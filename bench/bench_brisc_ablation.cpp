@@ -1,0 +1,63 @@
+//===- bench/bench_brisc_ablation.cpp - BRISC mechanism ablation ---------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Separates the contributions of BRISC's two mechanisms (operand
+// specialization and opcode combination, section 4) plus the epilogue
+// macro-instruction and the abundant-memory benefit metric (B = P
+// instead of B = P - W).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "brisc/Brisc.h"
+#include "vm/Encode.h"
+
+using namespace ccomp;
+using namespace ccomp::bench;
+
+int main() {
+  vm::VMProgram P = mustBuild(corpus::sizeClassSource("icc"));
+  size_t Native = vm::encodeProgramCompact(P).size();
+
+  struct Mode {
+    const char *Name;
+    brisc::CompressOptions Opts;
+  };
+  Mode Modes[6];
+  Modes[0] = {"neither (base opcodes only)", {}};
+  Modes[0].Opts.EnableSpecialization = false;
+  Modes[0].Opts.EnableCombination = false;
+  Modes[0].Opts.EnableEpi = false;
+  Modes[1] = {"specialization only", {}};
+  Modes[1].Opts.EnableCombination = false;
+  Modes[1].Opts.EnableEpi = false;
+  Modes[2] = {"combination only", {}};
+  Modes[2].Opts.EnableSpecialization = false;
+  Modes[2].Opts.EnableEpi = false;
+  Modes[3] = {"both", {}};
+  Modes[3].Opts.EnableEpi = false;
+  Modes[4] = {"both + epi", {}};
+  Modes[5] = {"both + epi, abundant memory", {}};
+  Modes[5].Opts.AbundantMemory = true;
+
+  std::printf("BRISC mechanism ablation (icc class; native = compact "
+              "encoding, %zu bytes)\n\n", Native);
+  std::printf("%-32s %10s %10s %10s\n", "mode", "bytes", "vs native",
+              "patterns");
+  hr();
+  for (const Mode &M : Modes) {
+    brisc::CompressStats S;
+    brisc::compress(P, M.Opts, &S);
+    std::printf("%-32s %10zu %10.2f %10zu\n", M.Name, S.TotalBytes,
+                double(S.TotalBytes) / double(Native), S.DictPatterns);
+  }
+  hr();
+  std::printf("\nexpected shape: each mechanism helps; together they "
+              "approach the paper's ~0.5x;\nabundant memory adopts more "
+              "patterns for a small extra gain or parity\n");
+  return 0;
+}

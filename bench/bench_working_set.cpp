@@ -1,0 +1,73 @@
+//===- bench/bench_working_set.cpp - Working-set reduction (section 1/4) -------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the in-text claim: interpreting BRISC directly cuts the
+// code working set by over 40% at a ~12x time penalty. We execute each
+// input natively (tracking the code pages of the compact/CISC encoding)
+// and by in-place interpretation (tracking BRISC image pages, with the
+// dictionary and Markov tables always resident), then compare page
+// counts. Inputs are program-scale (the linked corpus suite and the
+// synthetic size classes): working sets are meaningless for toy
+// programs that fit in a page or two.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "vm/Encode.h"
+
+using namespace ccomp;
+using namespace ccomp::bench;
+
+namespace {
+
+void row(const char *Name, const vm::VMProgram &P, uint32_t PageSize) {
+  vm::CodeLayout L = vm::compactLayout(P);
+  vm::RunOptions NOpts;
+  NOpts.Layout = &L;
+  NOpts.PageSize = PageSize;
+  vm::RunResult NR = vm::runProgram(P, NOpts);
+
+  brisc::BriscProgram B = brisc::compress(P);
+  vm::RunOptions BOpts;
+  BOpts.PageSize = PageSize;
+  vm::RunResult BR = brisc::interpret(B, BOpts);
+  if (!NR.Ok || !BR.Ok)
+    reportFatal(std::string("working-set run failed for ") + Name);
+
+  double Cut =
+      100.0 * (1.0 - double(BR.PagesTouched) / double(NR.PagesTouched));
+  std::printf("%-8s %12llu %12llu %11.1f%%\n", Name,
+              (unsigned long long)NR.PagesTouched,
+              (unsigned long long)BR.PagesTouched, Cut);
+}
+
+} // namespace
+
+int main() {
+  const uint32_t PageSize = 1024;
+  std::printf("Working set: code pages touched during execution "
+              "(page size %u bytes)\n", PageSize);
+  std::printf("(BRISC pages include the always-resident dictionary and "
+              "Markov tables)\n\n");
+  std::printf("%-8s %12s %12s %12s\n", "input", "native pages",
+              "BRISC pages", "reduction");
+  hr();
+  {
+    vm::VMProgram P = suiteProgram();
+    row("suite", P, PageSize);
+  }
+  for (const char *Cls : {"wep", "icc"}) {
+    vm::VMProgram P = mustBuild(corpus::sizeClassSource(Cls));
+    row(Cls, P, PageSize);
+  }
+  hr();
+  std::printf("\npaper: interpretation cuts the working set by over "
+              "40%%\n");
+  return 0;
+}

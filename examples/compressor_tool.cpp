@@ -1,0 +1,169 @@
+//===- examples/compressor_tool.cpp - Command-line compressor driver -----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A small cc-like driver over the public API:
+//
+//   compressor_tool run   file.c        compile and execute
+//   compressor_tool sizes file.c        print all representation sizes
+//   compressor_tool wire  file.c out.wf write a wire file
+//   compressor_tool brisc file.c out.br write a BRISC executable
+//   compressor_tool exec  out.br        run a BRISC executable in place
+//   compressor_tool asm   file.c        print VM assembly
+//   compressor_tool ir    file.c        print tree IR
+//
+//===----------------------------------------------------------------------===//
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "codegen/Codegen.h"
+#include "flate/Flate.h"
+#include "ir/Text.h"
+#include "minic/Compile.h"
+#include "vm/Asm.h"
+#include "vm/Encode.h"
+#include "wire/Wire.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ccomp;
+
+namespace {
+
+bool readFile(const char *Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string S = SS.str();
+  Out.assign(S.begin(), S.end());
+  return true;
+}
+
+bool writeFile(const char *Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  return static_cast<bool>(Out);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: compressor_tool <run|sizes|wire|brisc|exec|asm|ir> "
+               "<input> [output]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  const char *Cmd = argv[1];
+  const char *Input = argv[2];
+
+  if (!std::strcmp(Cmd, "exec")) {
+    std::vector<uint8_t> Bytes;
+    if (!readFile(Input, Bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", Input);
+      return 1;
+    }
+    brisc::BriscProgram B = brisc::BriscProgram::deserialize(Bytes);
+    vm::RunResult R = brisc::interpret(B);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Ok) {
+      std::fprintf(stderr, "trap: %s\n", R.Trap.c_str());
+      return 1;
+    }
+    return R.ExitCode;
+  }
+
+  std::vector<uint8_t> SrcBytes;
+  if (!readFile(Input, SrcBytes)) {
+    std::fprintf(stderr, "cannot read %s\n", Input);
+    return 1;
+  }
+  std::string Src(SrcBytes.begin(), SrcBytes.end());
+  minic::CompileResult CR = minic::compile(Src);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input, CR.Error.c_str());
+    return 1;
+  }
+
+  if (!std::strcmp(Cmd, "ir")) {
+    std::fputs(ir::printModule(*CR.M).c_str(), stdout);
+    return 0;
+  }
+
+  if (!std::strcmp(Cmd, "wire")) {
+    if (argc < 4)
+      return usage();
+    std::vector<uint8_t> Z = wire::compress(*CR.M);
+    if (!writeFile(argv[3], Z)) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("%s: %zu bytes\n", argv[3], Z.size());
+    return 0;
+  }
+
+  codegen::Result CG = codegen::generate(*CR.M);
+  if (!CG.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input, CG.Error.c_str());
+    return 1;
+  }
+
+  if (!std::strcmp(Cmd, "asm")) {
+    std::fputs(vm::printProgram(CG.P).c_str(), stdout);
+    return 0;
+  }
+  if (!std::strcmp(Cmd, "run")) {
+    vm::RunResult R = vm::runProgram(CG.P);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Ok) {
+      std::fprintf(stderr, "trap: %s\n", R.Trap.c_str());
+      return 1;
+    }
+    return R.ExitCode;
+  }
+  if (!std::strcmp(Cmd, "brisc")) {
+    if (argc < 4)
+      return usage();
+    brisc::BriscProgram B = brisc::compress(CG.P);
+    std::vector<uint8_t> Img = B.serialize(/*IncludeData=*/true);
+    if (!writeFile(argv[3], Img)) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("%s: %zu bytes (code segment %zu)\n", argv[3], Img.size(),
+                B.codeSegmentBytes());
+    return 0;
+  }
+  if (!std::strcmp(Cmd, "sizes")) {
+    std::vector<uint8_t> Native = vm::encodeProgram(CG.P);
+    std::vector<uint8_t> Compact = vm::encodeProgramCompact(CG.P);
+    std::vector<uint8_t> Wire = wire::compress(*CR.M);
+    brisc::BriscProgram B = brisc::compress(CG.P);
+    std::printf("%-28s %10zu\n", "fixed-width native (SPARC-ish)",
+                Native.size());
+    std::printf("%-28s %10zu\n", "compact native (x86-ish)",
+                Compact.size());
+    std::printf("%-28s %10zu\n", "gzipped fixed-width",
+                flate::compress(Native).size());
+    std::printf("%-28s %10zu\n", "gzipped compact",
+                flate::compress(Compact).size());
+    std::printf("%-28s %10zu\n", "wire format", Wire.size());
+    std::printf("%-28s %10zu\n", "BRISC code segment",
+                B.codeSegmentBytes());
+    return 0;
+  }
+  return usage();
+}

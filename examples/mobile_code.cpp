@@ -1,0 +1,114 @@
+//===- examples/mobile_code.cpp - Server/client mobile-code scenario -----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Plays out the paper's mobile-code story (section 4): a server compiles
+// and compresses an application; a client downloads it over a chosen
+// link, expands or JITs it, and runs it. Compares the wire format (best
+// for modems) with BRISC (best for LANs with period CPUs) end to end.
+//
+//   $ ./mobile_code [modem|isdn|lan|fast]
+//
+//===----------------------------------------------------------------------===//
+
+#include "brisc/Brisc.h"
+#include "codegen/Codegen.h"
+#include "corpus/Corpus.h"
+#include "minic/Compile.h"
+#include "native/Threaded.h"
+#include "sim/Transport.h"
+#include "wire/Wire.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace ccomp;
+
+namespace {
+
+double secondsOf(std::chrono::steady_clock::time_point A,
+                 std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double>(B - A).count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  sim::Link Link = sim::modem28k();
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "isdn"))
+      Link = sim::isdn128k();
+    else if (!std::strcmp(argv[1], "lan"))
+      Link = sim::ethernet10M();
+    else if (!std::strcmp(argv[1], "fast"))
+      Link = sim::fast100M();
+  }
+
+  // --- Server side -------------------------------------------------------
+  std::printf("[server] compiling the application (icc size class)...\n");
+  std::string Src = corpus::sizeClassSource("icc");
+  minic::CompileResult CR = minic::compile(Src);
+  if (!CR.ok()) {
+    std::printf("compile error: %s\n", CR.Error.c_str());
+    return 1;
+  }
+  codegen::Result CG = codegen::generate(*CR.M);
+
+  std::vector<uint8_t> WireFile = wire::compress(*CR.M);
+  brisc::BriscProgram B = brisc::compress(CG.P);
+  std::vector<uint8_t> BriscFile = B.serialize(/*IncludeData=*/true);
+  std::printf("[server] wire file %zu bytes, BRISC file %zu bytes\n",
+              WireFile.size(), BriscFile.size());
+
+  // --- Client side, option A: wire --------------------------------------
+  std::printf("\n[client] link: %s\n", Link.Name);
+  double WireTransfer = Link.transferSeconds(WireFile.size());
+  auto T0 = std::chrono::steady_clock::now();
+  std::string Error;
+  std::unique_ptr<ir::Module> M2 = wire::decompress(WireFile, Error);
+  if (!M2) {
+    std::printf("wire decompress failed: %s\n", Error.c_str());
+    return 1;
+  }
+  codegen::Result CG2 = codegen::generate(*M2);
+  native::NProgram NWire = native::generate(CG2.P);
+  auto T1 = std::chrono::steady_clock::now();
+  vm::RunResult RWire = native::run(NWire);
+  auto T2 = std::chrono::steady_clock::now();
+  std::printf("[client] wire:  transfer %.3fs + expand/compile %.3fs + "
+              "run %.3fs (exit %d)\n",
+              WireTransfer, secondsOf(T0, T1), secondsOf(T1, T2),
+              RWire.ExitCode);
+
+  // --- Client side, option B: BRISC --------------------------------------
+  double BriscTransfer = Link.transferSeconds(BriscFile.size());
+  auto T3 = std::chrono::steady_clock::now();
+  brisc::BriscProgram B2 = brisc::BriscProgram::deserialize(BriscFile);
+  native::GenStats JS;
+  native::NProgram NBrisc = native::generateFromBrisc(B2, &JS);
+  auto T4 = std::chrono::steady_clock::now();
+  vm::RunResult RBrisc = native::run(NBrisc);
+  auto T5 = std::chrono::steady_clock::now();
+  std::printf("[client] BRISC: transfer %.3fs + JIT %.3fs (%.0f MB/s) + "
+              "run %.3fs (exit %d)\n",
+              BriscTransfer, secondsOf(T3, T4),
+              double(JS.OutputBytes) / JS.Seconds / 1e6,
+              secondsOf(T4, T5), RBrisc.ExitCode);
+
+  if (RWire.ExitCode != RBrisc.ExitCode ||
+      RWire.Output != RBrisc.Output) {
+    std::printf("MISMATCH between delivery paths!\n");
+    return 1;
+  }
+
+  double WireTotal = WireTransfer + secondsOf(T0, T2);
+  double BriscTotal = BriscTransfer + secondsOf(T3, T5);
+  std::printf("\n[client] totals: wire %.3fs vs BRISC %.3fs -> %s wins "
+              "on this link\n",
+              WireTotal, BriscTotal,
+              WireTotal < BriscTotal ? "wire" : "BRISC");
+  return 0;
+}

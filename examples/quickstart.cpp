@@ -1,0 +1,110 @@
+//===- examples/quickstart.cpp - End-to-end tour of the library ----------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The five-minute tour: compile a C program to tree IR, compress it with
+// the wire format, ship + decompress it, generate VM code, compress that
+// with BRISC, and execute the result three ways (decoded VM code,
+// in-place BRISC interpretation, threaded native code).
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "codegen/Codegen.h"
+#include "flate/Flate.h"
+#include "minic/Compile.h"
+#include "native/Threaded.h"
+#include "vm/Encode.h"
+#include "wire/Wire.h"
+
+#include <cstdio>
+
+using namespace ccomp;
+
+static const char *Source = R"(
+/* The paper's running example, made runnable. */
+int pepper(int i, int j) { return i + j; }
+
+int salt(int j, int i) {
+  if (j > 0) {
+    pepper(i, j);
+    j--;
+  }
+  return j;
+}
+
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+
+int main(void) {
+  print_str("fib(20) = ");
+  print_int(fib(20));
+  print_char('\n');
+  return salt(5, 9);
+}
+)";
+
+int main() {
+  std::printf("== 1. Compile C to lcc-style tree IR ==\n");
+  minic::CompileResult CR = minic::compile(Source);
+  if (!CR.ok()) {
+    std::printf("compile error: %s\n", CR.Error.c_str());
+    return 1;
+  }
+  std::printf("   %u tree nodes in %zu functions\n",
+              ir::countNodes(*CR.M), CR.M->Functions.size());
+
+  std::printf("== 2. Wire-format compression (the modem representation) "
+              "==\n");
+  std::vector<uint8_t> Wire = wire::compress(*CR.M);
+  std::printf("   wire file: %zu bytes\n", Wire.size());
+  std::string Error;
+  std::unique_ptr<ir::Module> Shipped = wire::decompress(Wire, Error);
+  if (!Shipped) {
+    std::printf("decompress error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("== 3. Generate linked VM code ==\n");
+  codegen::Result CG = codegen::generate(*Shipped);
+  if (!CG.ok()) {
+    std::printf("codegen error: %s\n", CG.Error.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> Native = vm::encodeProgram(CG.P);
+  std::printf("   %llu instructions, %zu bytes fixed-width, %zu bytes "
+              "gzipped\n",
+              (unsigned long long)vm::countInstrs(CG.P), Native.size(),
+              flate::compress(Native).size());
+
+  std::printf("== 4. BRISC compression (the interpretable "
+              "representation) ==\n");
+  brisc::CompressStats Stats;
+  brisc::BriscProgram B =
+      brisc::compress(CG.P, brisc::CompressOptions(), &Stats);
+  std::printf("   %zu bytes (dictionary of %zu patterns, %u passes)\n",
+              Stats.TotalBytes, Stats.DictPatterns, Stats.Passes);
+
+  std::printf("== 5. Execute three ways ==\n");
+  vm::RunResult RVm = vm::runProgram(CG.P);
+  std::printf("   VM interpreter:     exit %d, output: %s", RVm.ExitCode,
+              RVm.Output.c_str());
+  vm::RunResult RBr = brisc::interpret(B);
+  std::printf("   BRISC in place:     exit %d, output: %s", RBr.ExitCode,
+              RBr.Output.c_str());
+  native::NProgram N = native::generateFromBrisc(B);
+  vm::RunResult RNat = native::run(N);
+  std::printf("   JIT threaded code:  exit %d, output: %s", RNat.ExitCode,
+              RNat.Output.c_str());
+
+  bool Agree = RVm.ExitCode == RBr.ExitCode &&
+               RBr.ExitCode == RNat.ExitCode &&
+               RVm.Output == RBr.Output && RBr.Output == RNat.Output;
+  std::printf("== %s ==\n", Agree ? "all three engines agree"
+                                  : "ENGINE MISMATCH (bug!)");
+  return Agree ? 0 : 1;
+}

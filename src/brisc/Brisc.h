@@ -1,0 +1,131 @@
+//===- brisc/Brisc.h - BRISC compressed executables -------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BRISC (Byte-coded RISC), section 4 of the paper: a dense, randomly
+/// addressable program representation built by operand specialization
+/// and opcode combination over linked VM programs, encoded byte-aligned
+/// through an order-1 semi-static Markov model of instruction patterns
+/// with a dedicated basic-block-start context.
+///
+/// A BriscProgram can be
+///   - interpreted in place without decompression (brisc/Interp.h),
+///   - expanded back to a VM program by the loader (decodeToVM, the
+///     front half of the paper's just-in-time native code generation),
+///   - serialized to a byte image whose size is what the paper's tables
+///     report (dictionary + Markov tables + code + block maps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_BRISC_BRISC_H
+#define CCOMP_BRISC_BRISC_H
+
+#include "brisc/Pattern.h"
+#include "vm/Machine.h"
+#include "vm/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace brisc {
+
+/// One compressed function.
+struct BriscFunction {
+  std::string Name;                ///< Not counted in the code segment.
+  std::vector<uint8_t> Code;       ///< Opcode bytes + packed operands.
+  std::vector<uint32_t> BBOffsets; ///< Sorted byte offsets of block starts.
+};
+
+/// A compressed executable.
+struct BriscProgram {
+  /// Dictionary. Ids 0..vm::VMOp::NumOps-1 are the base instruction set;
+  /// higher ids were added by the compressor.
+  std::vector<Pattern> Pats;
+
+  /// Order-1 Markov model: Successors[ctx] lists the pattern ids that can
+  /// follow context ctx, in first-occurrence order; the opcode byte is an
+  /// index into this list (255 escapes to an explicit 2-byte id). Context
+  /// ids equal pattern ids; the extra last context is the basic-block
+  /// start context.
+  std::vector<std::vector<uint32_t>> Successors;
+
+  std::vector<BriscFunction> Funcs;
+  uint32_t Entry = 0;
+
+  // Data segment, carried through for execution (not part of the code
+  // segment the paper's size comparisons measure).
+  std::vector<vm::VMGlobal> Globals;
+  uint32_t GlobalBase = 0x100;
+  uint32_t GlobalEnd = 0x100;
+
+  uint32_t bbStartContext() const {
+    return static_cast<uint32_t>(Pats.size());
+  }
+
+  /// Serializes the program. With \p IncludeData the globals ride along
+  /// (a self-contained executable); without, the image is the code
+  /// segment the paper's size tables measure.
+  std::vector<uint8_t> serialize(bool IncludeData) const;
+
+  /// Parses a serialized image. Fatal on corrupt input.
+  static BriscProgram deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Code-segment byte size (dictionary + tables + code + block maps).
+  size_t codeSegmentBytes() const { return serialize(false).size(); }
+};
+
+/// Compression knobs (defaults follow the paper).
+struct CompressOptions {
+  unsigned K = 20;              ///< Patterns adopted per pass.
+  /// Scale K up on large inputs (effective K = max(K, instrs/1500)) so
+  /// gcc-class programs converge in a bounded number of passes. The
+  /// paper treats K as a tunable; disable to reproduce K exactly.
+  bool AutoK = true;
+  bool AbundantMemory = false;  ///< B = P instead of B = P - W.
+  bool EnableSpecialization = true;
+  bool EnableCombination = true;
+  bool EnableEpi = true;        ///< Recognize whole epilogues as "epi".
+  unsigned MaxPasses = 200;
+  unsigned MaxCombinedElems = 6;
+};
+
+/// Compression telemetry for the experiment harness.
+struct CompressStats {
+  unsigned Passes = 0;
+  size_t CandidatesTested = 0; ///< Distinct candidate patterns examined.
+  size_t DictPatterns = 0;     ///< Final dictionary size (incl. base).
+  size_t DictBytes = 0;
+  size_t MarkovBytes = 0;
+  size_t CodeBytes = 0;
+  size_t BBMapBytes = 0;
+  size_t TotalBytes = 0;       ///< codeSegmentBytes().
+};
+
+/// Compresses a linked VM program into BRISC.
+BriscProgram compress(const vm::VMProgram &P,
+                      const CompressOptions &Opts = CompressOptions(),
+                      CompressStats *Stats = nullptr);
+
+/// The loader: expands BRISC back into a decoded VM program (the first
+/// half of just-in-time native code generation). The result executes
+/// identically to the compressor's input.
+vm::VMProgram decodeToVM(const BriscProgram &B);
+
+/// Code layout of the serialized image, for working-set measurements of
+/// in-place interpretation. Instruction granularity is the slot byte.
+struct BriscLayout {
+  std::vector<uint32_t> FuncBase; ///< Byte base of each function's code.
+  uint32_t FixedBytes = 0;        ///< Dictionary + tables (always resident).
+  uint32_t TotalBytes = 0;
+};
+BriscLayout layoutOf(const BriscProgram &B);
+
+} // namespace brisc
+} // namespace ccomp
+
+#endif // CCOMP_BRISC_BRISC_H

@@ -1,0 +1,36 @@
+//===- brisc/Interp.h - In-place BRISC interpretation -----------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct interpretation of BRISC code without decompression: each step
+/// decodes one pattern instance at the current byte offset (opcode byte
+/// through the Markov context, packed operands inline) and executes its
+/// elements against the shared Machine state. Branches target block-
+/// start byte offsets; the working set is the dictionary plus the code
+/// pages actually touched, which is what the paper's ">40% working set
+/// reduction" measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_BRISC_INTERP_H
+#define CCOMP_BRISC_INTERP_H
+
+#include "brisc/Brisc.h"
+#include "vm/Machine.h"
+
+namespace ccomp {
+namespace brisc {
+
+/// Interprets \p B in place. RunOptions' Layout field is ignored; page
+/// accounting uses the BRISC image layout (dictionary pages count as
+/// always-resident).
+vm::RunResult interpret(const BriscProgram &B,
+                        vm::RunOptions Opts = vm::RunOptions());
+
+} // namespace brisc
+} // namespace ccomp
+
+#endif // CCOMP_BRISC_INTERP_H

@@ -1,0 +1,53 @@
+//===- codegen/Codegen.h - Tree IR to VM code generation --------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles tree IR into linked VM programs: tree-walking instruction
+/// selection with an evaluation-register stack (n4..n11), the paper's
+/// prologue/epilogue shape (enter; spill.i ...; body; reload.i ...;
+/// exit; rjr ra), and the section-6 de-tuning switches that remove
+/// immediate instructions and/or register-displacement addressing to
+/// measure how a minimal abstract machine compresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_CODEGEN_CODEGEN_H
+#define CCOMP_CODEGEN_CODEGEN_H
+
+#include "ir/IR.h"
+#include "vm/Program.h"
+
+#include <string>
+
+namespace ccomp {
+namespace codegen {
+
+/// The section-6 abstract machine variants.
+struct Options {
+  /// Remove all immediate instructions except the load-immediate
+  /// primitive (ALU-immediate forms and immediate branches are
+  /// synthesized through li + register forms).
+  bool NoImmediates = false;
+  /// Remove all addressing modes except load-/store-indirect (nonzero
+  /// displacements are synthesized through address arithmetic).
+  bool NoRegDisp = false;
+};
+
+/// Result of code generation.
+struct Result {
+  vm::VMProgram P;
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Generates a linked VM program from \p M. The entry point is "main"
+/// when present, else the first function.
+Result generate(const ir::Module &M, const Options &Opts = Options());
+
+} // namespace codegen
+} // namespace ccomp
+
+#endif // CCOMP_CODEGEN_CODEGEN_H

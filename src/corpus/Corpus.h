@@ -1,0 +1,52 @@
+//===- corpus/Corpus.h - Benchmark program corpus ---------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus standing in for the paper's inputs (icc, gcc,
+/// wep, Word97): real algorithmic programs written in the C subset,
+/// embedded as source strings, plus a seeded synthetic program generator
+/// that scales to gcc-class sizes. Every program is deterministic,
+/// self-checking, and prints a final checksum so the three execution
+/// engines can be differentially tested on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_CORPUS_CORPUS_H
+#define CCOMP_CORPUS_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace corpus {
+
+/// One corpus entry.
+struct Program {
+  const char *Name;
+  const char *Description;
+  const char *Source;
+};
+
+/// All hand-written corpus programs.
+const std::vector<Program> &programs();
+
+/// Finds a program by name; null if absent.
+const Program *find(const std::string &Name);
+
+/// Generates a deterministic synthetic translation unit with
+/// \p NumFuncs functions whose statement/operator mix follows realistic
+/// frequencies. Used to reach the paper's gcc-scale input sizes.
+std::string synthesize(unsigned NumFuncs, uint64_t Seed);
+
+/// The three size classes of the paper's wire table (icc / gcc / wep).
+/// Small and large are synthesized around the hand-written core.
+std::string sizeClassSource(const std::string &Cls);
+
+} // namespace corpus
+} // namespace ccomp
+
+#endif // CCOMP_CORPUS_CORPUS_H

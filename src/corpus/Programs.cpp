@@ -1,0 +1,772 @@
+//===- corpus/Programs.cpp - Hand-written corpus programs ---------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Each program is deterministic and prints a checksum; exit status is
+// checksum & 255. They are written in the compiler's C subset (no
+// preprocessor, no floats, no function pointers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace ccomp;
+using namespace ccomp::corpus;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// expr: a little expression-language interpreter (the icc stand-in: a
+// lexer, a recursive-descent parser and a stack machine).
+//===----------------------------------------------------------------------===//
+const char *ExprSrc = R"CC(
+char src[] = "1+2*3; (4+5)*(6-2); 100/5-3*4; 2*(3+4*(5+6)); 7%3+1; "
+             "8*8-16/4; (1+2+3+4+5)*6; 9-(8-(7-(6-5))); 3*3*3*3; "
+             "(10+20)*(30-40)/5; 1+2-3+4-5+6-7+8-9; 42;";
+int pos;
+int token;   /* 0 eof, 1 num, 2 op */
+int tokval;
+
+int stack[64];
+int sp;
+
+void push(int v) { stack[sp++] = v; }
+int pop(void) { return stack[--sp]; }
+
+void nexttok(void) {
+  char c;
+  while (src[pos] == ' ') pos++;
+  c = src[pos];
+  if (c == 0) { token = 0; return; }
+  if (c >= '0' && c <= '9') {
+    int v = 0;
+    while (src[pos] >= '0' && src[pos] <= '9') {
+      v = v * 10 + (src[pos] - '0');
+      pos++;
+    }
+    token = 1;
+    tokval = v;
+    return;
+  }
+  token = 2;
+  tokval = c;
+  pos++;
+}
+
+void expr(void);
+
+void primary(void) {
+  if (token == 1) {
+    push(tokval);
+    nexttok();
+    return;
+  }
+  if (token == 2 && tokval == '(') {
+    nexttok();
+    expr();
+    nexttok(); /* ')' */
+    return;
+  }
+  if (token == 2 && tokval == '-') {
+    nexttok();
+    primary();
+    push(-pop());
+    return;
+  }
+  push(0);
+}
+
+void term(void) {
+  primary();
+  while (token == 2 && (tokval == '*' || tokval == '/' || tokval == '%')) {
+    int op = tokval;
+    int b, a;
+    nexttok();
+    primary();
+    b = pop();
+    a = pop();
+    if (op == '*') push(a * b);
+    else if (op == '/') push(b ? a / b : 0);
+    else push(b ? a % b : 0);
+  }
+}
+
+void expr(void) {
+  term();
+  while (token == 2 && (tokval == '+' || tokval == '-')) {
+    int op = tokval;
+    int b, a;
+    nexttok();
+    term();
+    b = pop();
+    a = pop();
+    if (op == '+') push(a + b);
+    else push(a - b);
+  }
+}
+
+int main(void) {
+  int sum = 0;
+  int count = 0;
+  pos = 0;
+  nexttok();
+  while (token != 0) {
+    expr();
+    sum = sum * 31 + pop();
+    count++;
+    if (token == 2 && tokval == ';') nexttok();
+  }
+  sum = sum ^ (count << 16);
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// pack: an LZSS-style compressor/decompressor with verification (the
+// wep compression-utility stand-in).
+//===----------------------------------------------------------------------===//
+const char *PackSrc = R"CC(
+unsigned char data[4096];
+unsigned char packed[8192];
+unsigned char out[4096];
+int datalen;
+
+void builddata(void) {
+  int i;
+  unsigned seed = 12345;
+  datalen = 4096;
+  for (i = 0; i < datalen; i++) {
+    seed = seed * 1103515245 + 12345;
+    if ((seed >> 16) % 4 == 0)
+      data[i] = (unsigned char)((seed >> 8) & 63);
+    else
+      data[i] = (unsigned char)('a' + i % 7);
+  }
+}
+
+int match(int pos, int cand, int limit) {
+  int n = 0;
+  while (n < limit && data[cand + n] == data[pos + n]) n++;
+  return n;
+}
+
+int compress(void) {
+  int pos = 0;
+  int outp = 0;
+  while (pos < datalen) {
+    int bestlen = 0, bestoff = 0;
+    int start = pos - 255;
+    int cand;
+    if (start < 0) start = 0;
+    for (cand = start; cand < pos; cand++) {
+      int limit = datalen - pos;
+      int n;
+      if (limit > 63) limit = 63;
+      n = match(pos, cand, limit);
+      if (n > bestlen) { bestlen = n; bestoff = pos - cand; }
+    }
+    if (bestlen >= 3) {
+      packed[outp++] = (unsigned char)(128 + bestlen);
+      packed[outp++] = (unsigned char)bestoff;
+      pos += bestlen;
+    } else {
+      packed[outp++] = data[pos] & 127;
+      pos++;
+    }
+  }
+  return outp;
+}
+
+int expand(int plen) {
+  int inp = 0, outp = 0;
+  while (inp < plen) {
+    int b = packed[inp++];
+    if (b >= 128) {
+      int len = b - 128;
+      int off = packed[inp++];
+      int i;
+      for (i = 0; i < len; i++) {
+        out[outp] = out[outp - off];
+        outp++;
+      }
+    } else {
+      out[outp++] = (unsigned char)b;
+    }
+  }
+  return outp;
+}
+
+int main(void) {
+  int plen, olen, i, ok, sum;
+  builddata();
+  plen = compress();
+  olen = expand(plen);
+  ok = olen == datalen;
+  for (i = 0; i < datalen && ok; i++)
+    if ((data[i] & 127) != out[i]) ok = 0;
+  sum = plen * 2 + ok * 100000;
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// qsort: quicksort with insertion-sort finish over a PRNG array.
+//===----------------------------------------------------------------------===//
+const char *QsortSrc = R"CC(
+int a[2000];
+unsigned seed;
+
+int nextrand(void) {
+  seed = seed * 1103515245 + 12345;
+  return (int)((seed >> 8) & 32767);
+}
+
+void sort(int lo, int hi) {
+  int i, j, pivot, t;
+  if (hi - lo < 8) {
+    for (i = lo + 1; i <= hi; i++) {
+      t = a[i];
+      j = i - 1;
+      while (j >= lo && a[j] > t) { a[j + 1] = a[j]; j--; }
+      a[j + 1] = t;
+    }
+    return;
+  }
+  pivot = a[(lo + hi) / 2];
+  i = lo; j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) i++;
+    while (a[j] > pivot) j--;
+    if (i <= j) {
+      t = a[i]; a[i] = a[j]; a[j] = t;
+      i++; j--;
+    }
+  }
+  if (lo < j) sort(lo, j);
+  if (i < hi) sort(i, hi);
+}
+
+int main(void) {
+  int i, sum = 0, sorted = 1;
+  seed = 42;
+  for (i = 0; i < 2000; i++) a[i] = nextrand();
+  sort(0, 1999);
+  for (i = 1; i < 2000; i++) if (a[i - 1] > a[i]) sorted = 0;
+  for (i = 0; i < 2000; i += 97) sum = sum * 17 + a[i];
+  sum = sum + sorted * 1000000;
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// matmul: fixed-point matrix multiply with a checksum.
+//===----------------------------------------------------------------------===//
+const char *MatmulSrc = R"CC(
+int A[40][40];
+int B[40][40];
+int C[40][40];
+
+int main(void) {
+  int i, j, k, sum = 0;
+  for (i = 0; i < 40; i++)
+    for (j = 0; j < 40; j++) {
+      A[i][j] = (i * 7 + j * 3) % 64 - 32;
+      B[i][j] = (i * 5 - j * 11) % 64;
+    }
+  for (i = 0; i < 40; i++)
+    for (j = 0; j < 40; j++) {
+      int acc = 0;
+      for (k = 0; k < 40; k++) acc += A[i][k] * B[k][j];
+      C[i][j] = acc >> 4;
+    }
+  for (i = 0; i < 40; i++) sum = sum * 13 + C[i][(i * 3) % 40];
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// crc: CRC-32 table generation and message hashing.
+//===----------------------------------------------------------------------===//
+const char *CrcSrc = R"CC(
+unsigned table[256];
+char msg[] = "the quick brown fox jumps over the lazy dog";
+
+void buildtable(void) {
+  unsigned c;
+  int n, k;
+  for (n = 0; n < 256; n++) {
+    c = (unsigned)n;
+    for (k = 0; k < 8; k++) {
+      if (c & 1) c = 0xedb88320u ^ (c >> 1);
+      else c = c >> 1;
+    }
+    table[n] = c;
+  }
+}
+
+unsigned crc32(char *buf, int len) {
+  unsigned c = 0xffffffffu;
+  int i;
+  for (i = 0; i < len; i++)
+    c = table[(c ^ (unsigned char)buf[i]) & 255] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+int main(void) {
+  unsigned h = 0;
+  int round;
+  int len = 0;
+  buildtable();
+  while (msg[len]) len++;
+  for (round = 0; round < 200; round++) {
+    msg[0] = (char)('a' + round % 26);
+    h = h * 31 + crc32(msg, len);
+  }
+  print_int((int)h);
+  print_char('\n');
+  return (int)(h & 255u);
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// sieve: prime sieve plus simple factor counting.
+//===----------------------------------------------------------------------===//
+const char *SieveSrc = R"CC(
+char flags[10000];
+
+int main(void) {
+  int i, k, count = 0, sum = 0;
+  for (i = 2; i < 10000; i++) flags[i] = 1;
+  for (i = 2; i < 10000; i++) {
+    if (!flags[i]) continue;
+    count++;
+    if (count % 100 == 0) sum += i;
+    for (k = i + i; k < 10000; k += i) flags[k] = 0;
+  }
+  sum = sum * 100 + count;
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// lists: heap-allocated singly linked lists (insert, reverse, merge).
+//===----------------------------------------------------------------------===//
+const char *ListsSrc = R"CC(
+struct Node { int value; struct Node *next; };
+
+struct Node *cons(int v, struct Node *rest) {
+  struct Node *n = alloc(sizeof(struct Node));
+  n->value = v;
+  n->next = rest;
+  return n;
+}
+
+struct Node *reverse(struct Node *l) {
+  struct Node *r = 0;
+  while (l) {
+    struct Node *next = l->next;
+    l->next = r;
+    r = l;
+    l = next;
+  }
+  return r;
+}
+
+struct Node *merge(struct Node *a, struct Node *b) {
+  struct Node *head = 0;
+  struct Node **tail = &head;
+  while (a && b) {
+    if (a->value <= b->value) { *tail = a; tail = &a->next; a = a->next; }
+    else { *tail = b; tail = &b->next; b = b->next; }
+  }
+  *tail = a ? a : b;
+  return head;
+}
+
+int sumlist(struct Node *l) {
+  int s = 0;
+  while (l) { s = s * 3 + l->value; l = l->next; }
+  return s;
+}
+
+int main(void) {
+  struct Node *evens = 0;
+  struct Node *odds = 0;
+  struct Node *all;
+  int i, sum;
+  for (i = 40; i > 0; i--) {
+    if (i % 2 == 0) evens = cons(i, evens);
+    else odds = cons(i, odds);
+  }
+  all = merge(evens, odds);
+  all = reverse(all);
+  sum = sumlist(all);
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// strings: a small string library and its self-test.
+//===----------------------------------------------------------------------===//
+const char *StringsSrc = R"CC(
+int slen(char *s) { int n = 0; while (s[n]) n++; return n; }
+
+void scpy(char *d, char *s) { while ((*d++ = *s++)) ; }
+
+int scmp(char *a, char *b) {
+  while (*a && *a == *b) { a++; b++; }
+  return *a - *b;
+}
+
+void scat(char *d, char *s) {
+  while (*d) d++;
+  scpy(d, s);
+}
+
+void srev(char *s) {
+  int i = 0, j = slen(s) - 1;
+  while (i < j) {
+    char t = s[i];
+    s[i] = s[j];
+    s[j] = t;
+    i++; j--;
+  }
+}
+
+void itoa(int v, char *out) {
+  char tmp[16];
+  int n = 0, neg = 0, i = 0;
+  if (v < 0) { neg = 1; v = -v; }
+  do { tmp[n++] = (char)('0' + v % 10); v /= 10; } while (v);
+  if (neg) out[i++] = '-';
+  while (n) out[i++] = tmp[--n];
+  out[i] = 0;
+}
+
+int atoi_(char *s) {
+  int v = 0, neg = 0;
+  if (*s == '-') { neg = 1; s++; }
+  while (*s >= '0' && *s <= '9') v = v * 10 + (*s++ - '0');
+  return neg ? -v : v;
+}
+
+char buf[128];
+char buf2[64];
+
+int main(void) {
+  int sum = 0, i;
+  scpy(buf, "code");
+  scat(buf, " compression");
+  sum += slen(buf);                      /* 16 */
+  srev(buf);
+  sum = sum * 31 + buf[0];               /* 'n' */
+  srev(buf);
+  sum = sum * 31 + (scmp(buf, "code compression") == 0);
+  for (i = -3; i <= 3; i++) {
+    itoa(i * 1234, buf2);
+    sum = sum * 7 + atoi_(buf2);
+  }
+  print_str(buf);
+  print_char(' ');
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// life: Conway's game of life on a torus, checksummed generations.
+//===----------------------------------------------------------------------===//
+const char *LifeSrc = R"CC(
+char grid[32][32];
+char next[32][32];
+
+int main(void) {
+  int gen, x, y, sum = 0;
+  unsigned seed = 7;
+  for (y = 0; y < 32; y++)
+    for (x = 0; x < 32; x++) {
+      seed = seed * 1103515245 + 12345;
+      grid[y][x] = (char)((seed >> 20) & 1);
+    }
+  for (gen = 0; gen < 24; gen++) {
+    for (y = 0; y < 32; y++)
+      for (x = 0; x < 32; x++) {
+        int n = 0, dy, dx;
+        for (dy = -1; dy <= 1; dy++)
+          for (dx = -1; dx <= 1; dx++) {
+            if (dy == 0 && dx == 0) continue;
+            n += grid[(y + dy + 32) & 31][(x + dx + 32) & 31];
+          }
+        if (grid[y][x]) next[y][x] = (char)(n == 2 || n == 3);
+        else next[y][x] = (char)(n == 3);
+      }
+    for (y = 0; y < 32; y++)
+      for (x = 0; x < 32; x++) grid[y][x] = next[y][x];
+  }
+  for (y = 0; y < 32; y++)
+    for (x = 0; x < 32; x++) sum += grid[y][x] << ((x + y) & 7);
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// queens: N-queens backtracking counter.
+//===----------------------------------------------------------------------===//
+const char *QueensSrc = R"CC(
+int cols[16];
+int diag1[32];
+int diag2[32];
+int n;
+
+int solve(int row) {
+  int c, found = 0;
+  if (row == n) return 1;
+  for (c = 0; c < n; c++) {
+    if (cols[c] || diag1[row + c] || diag2[row - c + n]) continue;
+    cols[c] = diag1[row + c] = diag2[row - c + n] = 1;
+    found += solve(row + 1);
+    cols[c] = diag1[row + c] = diag2[row - c + n] = 0;
+  }
+  return found;
+}
+
+int main(void) {
+  int total = 0;
+  for (n = 4; n <= 9; n++) {
+    int i;
+    for (i = 0; i < 16; i++) cols[i] = 0;
+    for (i = 0; i < 32; i++) { diag1[i] = 0; diag2[i] = 0; }
+    total = total * 10 + solve(0) % 10;
+  }
+  print_int(total);
+  print_char('\n');
+  return total & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// dhry: a dhrystone-flavored mix of records, strings and control flow.
+//===----------------------------------------------------------------------===//
+const char *DhrySrc = R"CC(
+struct Record {
+  int kind;
+  int intcomp;
+  char strcomp[32];
+  struct Record *ptrcomp;
+};
+
+struct Record recA;
+struct Record recB;
+int intglob;
+char chglob;
+
+int func1(char c1, char c2) {
+  char loc = c1;
+  if (loc != c2) return 0;
+  chglob = loc;
+  return 1;
+}
+
+int func2(char *s1, char *s2) {
+  int i = 0;
+  while (s1[i] == s2[i] && s1[i]) i++;
+  if (s1[i] == 0 && s2[i] == 0) {
+    chglob = 'A';
+    return 0;
+  }
+  if (s1[i] > s2[i]) {
+    intglob = intglob + 10;
+    return 1;
+  }
+  return -1;
+}
+
+void proc3(struct Record **target) {
+  if (recA.ptrcomp) *target = recA.ptrcomp;
+  intglob = 5;
+}
+
+void proc2(int *x) {
+  int loc = *x + 10;
+  for (;;) {
+    if (chglob == 'A') { loc--; *x = loc - intglob; break; }
+  }
+}
+
+void proc1(struct Record *p) {
+  struct Record *nx = p->ptrcomp;
+  *nx = *p;
+  nx->intcomp = 5;
+  proc3(&nx->ptrcomp);
+  if (nx->kind == 0) {
+    nx->intcomp = 6;
+    proc2(&nx->intcomp);
+  }
+}
+
+void scopy(char *d, char *s) { while ((*d++ = *s++)) ; }
+
+int main(void) {
+  int run, sum = 0;
+  scopy(recB.strcomp, "DHRYSTONE PROGRAM");
+  recA.ptrcomp = &recB;
+  recA.kind = 0;
+  recA.intcomp = 40;
+  scopy(recA.strcomp, "DHRYSTONE PROGRAM");
+  for (run = 0; run < 500; run++) {
+    int v = run % 7;
+    chglob = 'A';
+    proc1(&recA);
+    if (func1((char)('A' + v % 2), 'A')) sum += 1;
+    if (func2(recA.strcomp, recB.strcomp) == 0) sum += 2;
+    sum = sum * 3 + recB.intcomp + intglob;
+    sum &= 0xffffff;
+  }
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// huff: byte-frequency Huffman tree construction and coding cost.
+//===----------------------------------------------------------------------===//
+const char *HuffSrc = R"CC(
+char text[] = "this is a test of the huffman tree builder; "
+              "the builder builds a tree of the byte frequencies "
+              "and computes the total coded size in bits.";
+int freq[128];
+int left[256];
+int right[256];
+int weight[256];
+int alive[256];
+
+int main(void) {
+  int i, nodes = 0, bits = 0, n;
+  for (i = 0; text[i]; i++) freq[text[i] & 127]++;
+  for (i = 0; i < 128; i++)
+    if (freq[i]) {
+      weight[nodes] = freq[i];
+      left[nodes] = -1;
+      right[nodes] = -1 - i;
+      alive[nodes] = 1;
+      nodes++;
+    }
+  n = nodes;
+  while (n > 1) {
+    int a = -1, b = -1;
+    for (i = 0; i < nodes; i++) {
+      if (!alive[i]) continue;
+      if (a < 0 || weight[i] < weight[a]) { b = a; a = i; }
+      else if (b < 0 || weight[i] < weight[b]) b = i;
+    }
+    alive[a] = 0;
+    alive[b] = 0;
+    weight[nodes] = weight[a] + weight[b];
+    left[nodes] = a;
+    right[nodes] = b;
+    alive[nodes] = 1;
+    nodes++;
+    n--;
+  }
+  /* Total bits = sum over internal nodes of their weights. */
+  for (i = 0; i < nodes; i++)
+    if (left[i] >= 0) bits += weight[i];
+  bits = bits * 1000 + nodes;
+  print_int(bits);
+  print_char('\n');
+  return bits & 255;
+}
+)CC";
+
+//===----------------------------------------------------------------------===//
+// hash: open-addressing hash table workout.
+//===----------------------------------------------------------------------===//
+const char *HashSrc = R"CC(
+int keys[1024];
+int vals[1024];
+char used[1024];
+
+unsigned hash(unsigned k) {
+  k ^= k >> 16;
+  k *= 0x45d9f3bu;
+  k ^= k >> 16;
+  return k;
+}
+
+void insert(int k, int v) {
+  unsigned i = hash((unsigned)k) & 1023;
+  while (used[i] && keys[i] != k) i = (i + 1) & 1023;
+  used[i] = 1;
+  keys[i] = k;
+  vals[i] = v;
+}
+
+int get(int k) {
+  unsigned i = hash((unsigned)k) & 1023;
+  while (used[i]) {
+    if (keys[i] == k) return vals[i];
+    i = (i + 1) & 1023;
+  }
+  return -1;
+}
+
+int main(void) {
+  int i, sum = 0;
+  for (i = 0; i < 700; i++) insert(i * 37 + 11, i * i);
+  for (i = 0; i < 700; i++) {
+    int v = get(i * 37 + 11);
+    if (v != i * i) sum += 1000000;
+    sum = (sum + v) & 0xfffffff;
+  }
+  if (get(99999) != -1) sum += 5000000;
+  print_int(sum);
+  print_char('\n');
+  return sum & 255;
+}
+)CC";
+
+const std::vector<Program> AllPrograms = {
+    {"expr", "expression-language interpreter (icc stand-in)", ExprSrc},
+    {"pack", "LZSS-style compressor with verification (wep stand-in)",
+     PackSrc},
+    {"qsort", "quicksort with insertion-sort finish", QsortSrc},
+    {"matmul", "fixed-point matrix multiply", MatmulSrc},
+    {"crc", "CRC-32 table generation and hashing", CrcSrc},
+    {"sieve", "prime sieve", SieveSrc},
+    {"lists", "heap-allocated linked lists", ListsSrc},
+    {"strings", "string library self-test", StringsSrc},
+    {"life", "Conway's game of life", LifeSrc},
+    {"queens", "N-queens backtracking", QueensSrc},
+    {"dhry", "dhrystone-flavored record/string mix", DhrySrc},
+    {"huff", "Huffman tree construction", HuffSrc},
+    {"hash", "open-addressing hash table", HashSrc},
+};
+
+} // namespace
+
+const std::vector<Program> &corpus::programs() { return AllPrograms; }
+
+const Program *corpus::find(const std::string &Name) {
+  for (const Program &P : AllPrograms)
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,215 @@
+//===- corpus/Synth.cpp - Synthetic program generator --------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Generates deterministic C-subset translation units whose statement and
+// operator mixes follow realistic frequencies (assignments and loops
+// dominate; constants come from small pools; functions call earlier
+// functions). This is how the harness reaches the paper's gcc-class
+// input sizes without shipping gcc.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "support/PRNG.h"
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace ccomp;
+using namespace ccomp::corpus;
+
+namespace {
+
+/// Small constant pools: real code reuses a handful of literals.
+const int SmallConsts[] = {0, 1, 2, 3, 4, 8, 10, 16, 32, 64, 100, 255};
+
+class Synth {
+public:
+  Synth(unsigned NumFuncs, uint64_t Seed) : N(NumFuncs), Rng(Seed) {}
+
+  std::string run() {
+    OS << "/* synthetic translation unit: " << N << " functions */\n";
+    OS << "int sdata[512];\n";
+    OS << "char sbytes[256];\n";
+    OS << "int sacc;\n";
+    OS << "struct SPair { int first; int second; };\n";
+    OS << "struct SPair spairs[64];\n";
+    for (unsigned I = 0; I != N; ++I)
+      genFunction(I);
+    genMain();
+    return OS.str();
+  }
+
+private:
+  std::string smallConst() {
+    return std::to_string(SmallConsts[Rng.below(12)]);
+  }
+
+  /// Medium constants give each call site distinct immediate bytes, the
+  /// way real programs mix favorite literals with one-off offsets.
+  std::string mixedConst() {
+    if (Rng.chance(3, 5))
+      return smallConst();
+    return std::to_string(Rng.below(4096));
+  }
+
+  std::string var(unsigned NumLocals) {
+    unsigned I = static_cast<unsigned>(Rng.below(NumLocals + 2));
+    if (I == 0)
+      return "a";
+    if (I == 1)
+      return "b";
+    return "v" + std::to_string(I - 2);
+  }
+
+  std::string arith(unsigned NumLocals, int Depth = 0) {
+    if (Depth > 2 || Rng.chance(2, 5)) {
+      if (Rng.chance(1, 8))
+        return "salt";
+      return Rng.chance(3, 5) ? var(NumLocals) : mixedConst();
+    }
+    static const char *Ops[] = {" + ", " - ", " * ", " & ", " | ",
+                                " ^ ", " << ", " >> "};
+    const char *Op = Ops[Rng.below(8)];
+    std::string L = arith(NumLocals, Depth + 1);
+    std::string R = arith(NumLocals, Depth + 1);
+    if (Op[1] == '<' || Op[1] == '>')
+      R = "(" + R + " & 7)";
+    return "(" + L + Op + R + ")";
+  }
+
+  std::string cond(unsigned NumLocals) {
+    static const char *Rel[] = {" < ", " > ", " <= ", " >= ", " == ",
+                                " != "};
+    return var(NumLocals) + Rel[Rng.below(6)] +
+           (Rng.chance(1, 2) ? smallConst() : var(NumLocals));
+  }
+
+  void genStatement(unsigned NumLocals, unsigned FuncIdx, int Indent) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (Rng.below(10)) {
+    case 0: // Array store.
+      OS << Pad << "sdata[(" << var(NumLocals) << " + "
+         << Rng.below(512) << ") & 511] = " << arith(NumLocals) << ";\n";
+      break;
+    case 1: // Byte store.
+      OS << Pad << "sbytes[" << var(NumLocals) << " & 255] = (char)("
+         << arith(NumLocals) << ");\n";
+      break;
+    case 2: // Bounded for loop.
+      OS << Pad << "for (i = 0; i < (" << var(NumLocals)
+         << " & 7) + 2; i++) {\n";
+      OS << Pad << "  s += sdata[(i + " << var(NumLocals) << " + "
+         << Rng.below(512) << ") & 511] "
+         << (Rng.chance(1, 2) ? "*" : "+") << " " << mixedConst()
+         << ";\n";
+      if (Rng.chance(1, 2))
+        OS << Pad << "  s ^= i << (" << smallConst() << " & 7);\n";
+      OS << Pad << "}\n";
+      break;
+    case 3: // If/else.
+      OS << Pad << "if (" << cond(NumLocals) << ") s += "
+         << arith(NumLocals) << ";\n";
+      if (Rng.chance(1, 2))
+        OS << Pad << "else s -= " << var(NumLocals) << ";\n";
+      break;
+    case 4: // Call an earlier function.
+      if (FuncIdx > 0) {
+        unsigned Callee = static_cast<unsigned>(Rng.below(FuncIdx));
+        OS << Pad << "s += syn" << Callee << "(" << var(NumLocals)
+           << " & 15, " << smallConst() << ");\n";
+        break;
+      }
+      OS << Pad << "sacc += " << var(NumLocals) << ";\n";
+      break;
+    case 5: // Switch.
+      OS << Pad << "switch (" << var(NumLocals) << " & 3) {\n";
+      OS << Pad << "case 0: s += " << smallConst() << "; break;\n";
+      OS << Pad << "case 1: s ^= " << var(NumLocals) << "; break;\n";
+      OS << Pad << "case 2: s = s * 3 + 1; break;\n";
+      OS << Pad << "default: s--; break;\n";
+      OS << Pad << "}\n";
+      break;
+    case 6: // Struct field work.
+      OS << Pad << "spairs[" << var(NumLocals) << " & 63].first = "
+         << arith(NumLocals) << ";\n";
+      OS << Pad << "s += spairs[" << var(NumLocals)
+         << " & 63].first - spairs[" << smallConst()
+         << " & 63].second;\n";
+      break;
+    case 7: // While with explicit bound.
+      OS << Pad << "{ int n = 0; while (s > " << smallConst()
+         << " && n++ < 8) s = s / 2 + " << var(NumLocals) << "; }\n";
+      break;
+    case 8: // Plain assignments.
+      OS << Pad << var(NumLocals) << " = " << arith(NumLocals) << ";\n";
+      break;
+    default: // Accumulate.
+      OS << Pad << "s = s * " << (1 + Rng.below(7)) << " + ("
+         << arith(NumLocals) << ");\n";
+      break;
+    }
+  }
+
+  void genFunction(unsigned Idx) {
+    unsigned NumLocals = 1 + static_cast<unsigned>(Rng.below(4));
+    OS << "int syn" << Idx << "(int a, int b) {\n";
+    OS << "  int i, s = " << smallConst() << ";\n";
+    OS << "  int salt = " << Rng.below(8192) << ";\n";
+    for (unsigned I = 0; I != NumLocals; ++I)
+      OS << "  int v" << I << " = "
+         << (Rng.chance(1, 2) ? ("a + " + smallConst())
+                              : ("b * " + std::to_string(1 + Rng.below(5))))
+         << ";\n";
+    unsigned Stmts = 3 + static_cast<unsigned>(Rng.below(8));
+    for (unsigned S = 0; S != Stmts; ++S)
+      genStatement(NumLocals, Idx, 1);
+    OS << "  sacc = sacc * 5 + s;\n";
+    OS << "  return s & 0xffff;\n";
+    OS << "}\n";
+  }
+
+  void genMain() {
+    OS << "int main(void) {\n";
+    OS << "  int r = 0, rep;\n";
+    // Call a bounded sample, repeatedly, so the unit has measurable
+    // runtime without depending on its size.
+    OS << "  for (rep = 0; rep < 8; rep++) {\n";
+    unsigned Stride = N > 64 ? N / 64 : 1;
+    for (unsigned I = 0; I < N; I += Stride)
+      OS << "    r = r * 31 + syn" << I << "(" << (I % 13 + 1) << ", "
+         << (I % 7 + 1) << ");\n";
+    OS << "  }\n";
+    OS << "  r ^= sacc;\n";
+    OS << "  print_int(r);\n";
+    OS << "  print_char('\\n');\n";
+    OS << "  return r & 255;\n";
+    OS << "}\n";
+  }
+
+  unsigned N;
+  PRNG Rng;
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string corpus::synthesize(unsigned NumFuncs, uint64_t Seed) {
+  Synth S(NumFuncs, Seed);
+  return S.run();
+}
+
+std::string corpus::sizeClassSource(const std::string &Cls) {
+  // The three size classes of the paper's wire-format table.
+  if (Cls == "wep")
+    return synthesize(120, 1997);   // Small utility (~wep).
+  if (Cls == "icc")
+    return synthesize(700, 2001);   // Mid-size compiler (~icc).
+  if (Cls == "gcc")
+    return synthesize(2500, 42);    // Large compiler (~gcc).
+  reportFatal("unknown size class '" + Cls + "'");
+}

@@ -1,0 +1,57 @@
+//===- flate/Flate.h - LZ77 + Huffman general compressor -------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A gzip-class general-purpose compressor built from scratch: LZ77 with a
+/// 32 KiB window and hash-chain match finding (lazy matching), canonical
+/// Huffman coding of the literal/length and distance alphabets, and
+/// dynamic-Huffman blocks. The bitstream layout follows DEFLATE's
+/// structure but is a self-consistent format, not byte-compatible zlib.
+///
+/// The paper uses gzip twice: as the final stage of the wire format
+/// (section 3, step 5) and as the "gzipped x86" size baseline BRISC is
+/// compared against (section 4). This module is the stand-in for both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_FLATE_FLATE_H
+#define CCOMP_FLATE_FLATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+namespace flate {
+
+/// Compression effort knobs.
+struct Options {
+  /// Maximum hash-chain positions examined per match attempt.
+  unsigned MaxChainLength = 256;
+  /// Matches at least this long stop the search early.
+  unsigned GoodEnoughLength = 64;
+  /// Enable one-step lazy matching.
+  bool Lazy = true;
+};
+
+/// Compresses \p Input. The output is self-framing (records the original
+/// size) and always decodable by decompress().
+std::vector<uint8_t> compress(const std::vector<uint8_t> &Input,
+                              const Options &Opts = Options());
+
+/// Decompresses a buffer produced by compress(). Corrupt input is a fatal
+/// error (this project only feeds it buffers it produced itself).
+std::vector<uint8_t> decompress(const std::vector<uint8_t> &Input);
+
+/// Convenience: compressed size in bytes.
+inline size_t compressedSize(const std::vector<uint8_t> &Input) {
+  return compress(Input).size();
+}
+
+} // namespace flate
+} // namespace ccomp
+
+#endif // CCOMP_FLATE_FLATE_H

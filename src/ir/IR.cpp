@@ -1,0 +1,93 @@
+//===- ir/IR.cpp - Tree IR verification and counting ----------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <sstream>
+
+using namespace ccomp;
+using namespace ccomp::ir;
+
+static unsigned countTree(const Tree *T) {
+  if (!T)
+    return 0;
+  unsigned N = 1;
+  for (unsigned I = 0; I != T->NKids; ++I)
+    N += countTree(T->Kids[I]);
+  return N;
+}
+
+unsigned ir::countNodes(const Function &F) {
+  unsigned N = 0;
+  for (const Tree *T : F.Forest)
+    N += countTree(T);
+  return N;
+}
+
+unsigned ir::countNodes(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.Functions)
+    N += countNodes(*F);
+  return N;
+}
+
+std::string ir::verify(const Module &M) {
+  std::ostringstream Err;
+
+  std::function<bool(const Function &, const Tree *)> CheckTree =
+      [&](const Function &F, const Tree *T) -> bool {
+    if (!T) {
+      Err << "null tree in " << F.Name;
+      return false;
+    }
+    unsigned Expected = numKids(T->O);
+    // RET may have zero kids when returning void.
+    if (T->O == Op::RET && T->Suffix == TypeSuffix::V)
+      Expected = 0;
+    if (T->NKids != Expected) {
+      Err << F.Name << ": " << opName(T->O) << " has " << unsigned(T->NKids)
+          << " kids, expected " << Expected;
+      return false;
+    }
+    switch (litClass(T->O)) {
+    case LitClass::Label:
+      if (T->Literal < 0 ||
+          static_cast<uint32_t>(T->Literal) >= F.NumLabels) {
+        Err << F.Name << ": label " << T->Literal << " out of range";
+        return false;
+      }
+      break;
+    case LitClass::Global:
+      if (T->Literal < 0 ||
+          static_cast<size_t>(T->Literal) >= M.Symbols.size()) {
+        Err << F.Name << ": symbol index " << T->Literal << " out of range";
+        return false;
+      }
+      break;
+    default:
+      break;
+    }
+    for (unsigned I = 0; I != T->NKids; ++I)
+      if (!CheckTree(F, T->Kids[I]))
+        return false;
+    return true;
+  };
+
+  for (const auto &FP : M.Functions) {
+    const Function &F = *FP;
+    for (const Tree *T : F.Forest)
+      if (!CheckTree(F, T))
+        return Err.str();
+  }
+  for (const Global &G : M.Globals) {
+    if (G.SymbolIndex >= M.Symbols.size())
+      return "global with bad symbol index";
+    if (!G.Init.empty() && G.Init.size() > G.Size)
+      return "global initializer larger than object";
+  }
+  return std::string();
+}

@@ -1,0 +1,109 @@
+//===- ir/Link.cpp - IR-level module linking -----------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Link.h"
+
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace ccomp;
+using namespace ccomp::ir;
+
+/// Runtime names shared across linked units.
+static bool isRuntimeName(const std::string &Name) {
+  static const char *Names[] = {"print_int", "print_char", "print_str",
+                                "alloc", "exit"};
+  for (const char *N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+static void remapTree(Tree *T, const std::vector<uint32_t> &SymMap) {
+  if (T->O == Op::ADDRG)
+    T->Literal = SymMap[static_cast<size_t>(T->Literal)];
+  for (unsigned I = 0; I != T->NKids; ++I)
+    remapTree(T->Kids[I], SymMap);
+}
+
+std::unique_ptr<Module>
+ir::linkModules(std::vector<std::unique_ptr<Module>> Modules) {
+  auto Out = std::make_unique<Module>();
+  std::vector<std::string> SubMains;
+
+  for (size_t MI = 0; MI != Modules.size(); ++MI) {
+    Module &M = *Modules[MI];
+    std::string Prefix = "u" + std::to_string(MI) + "_";
+
+    // Remap this module's symbol indices into the output module.
+    std::vector<uint32_t> SymMap(M.Symbols.size());
+    for (size_t SI = 0; SI != M.Symbols.size(); ++SI) {
+      const Symbol &S = M.Symbols[SI];
+      std::string NewName =
+          isRuntimeName(S.Name) ? S.Name : Prefix + S.Name;
+      SymMap[SI] = Out->internSymbol(NewName, S.IsFunction);
+    }
+
+    for (const Global &G : M.Globals) {
+      Global NG = G;
+      NG.SymbolIndex = SymMap[G.SymbolIndex];
+      Out->Globals.push_back(std::move(NG));
+    }
+
+    for (std::unique_ptr<Function> &F : M.Functions) {
+      if (F->Name == "main")
+        SubMains.push_back(Prefix + "main");
+      F->Name = Prefix + F->Name;
+      for (Tree *T : F->Forest)
+        remapTree(T, SymMap);
+      Out->Functions.push_back(std::move(F));
+    }
+  }
+
+  // Fresh main: r = 0; for each unit: r = (r + unit_main()) & 255;
+  // return r.
+  Function *Main = Out->addFunction("main");
+  uint32_t Acc = 0; // Frame offset of the accumulator.
+  Main->FrameSize = 8;
+  uint32_t Tmp = 4;
+  Main->Forest.push_back(Main->newTree(
+      Op::ASGN, TypeSuffix::I, 0,
+      Main->newTree(Op::ADDRL, TypeSuffix::P, Acc),
+      Main->newTree(Op::CNST, TypeSuffix::I, 0)));
+  for (const std::string &Sub : SubMains) {
+    uint32_t SymIdx = Out->findSymbol(Sub);
+    if (SymIdx == ~0u)
+      reportFatal("link: lost sub-main symbol");
+    Tree *Call = Main->newTree(
+        Op::CALL, TypeSuffix::I, 0,
+        Main->newTree(Op::ADDRG, TypeSuffix::P, SymIdx));
+    Main->Forest.push_back(Main->newTree(
+        Op::ASGN, TypeSuffix::I, 0,
+        Main->newTree(Op::ADDRL, TypeSuffix::P, Tmp), Call));
+    Tree *Sum = Main->newTree(
+        Op::ADD, TypeSuffix::I, 0,
+        Main->newTree(Op::INDIR, TypeSuffix::I, 0,
+                      Main->newTree(Op::ADDRL, TypeSuffix::P, Acc)),
+        Main->newTree(Op::INDIR, TypeSuffix::I, 0,
+                      Main->newTree(Op::ADDRL, TypeSuffix::P, Tmp)));
+    Tree *Masked = Main->newTree(Op::BAND, TypeSuffix::I, 0, Sum,
+                                 Main->newTree(Op::CNST, TypeSuffix::I,
+                                               255));
+    Main->Forest.push_back(Main->newTree(
+        Op::ASGN, TypeSuffix::I, 0,
+        Main->newTree(Op::ADDRL, TypeSuffix::P, Acc), Masked));
+  }
+  Main->Forest.push_back(Main->newTree(
+      Op::RET, TypeSuffix::I, 0,
+      Main->newTree(Op::INDIR, TypeSuffix::I, 0,
+                    Main->newTree(Op::ADDRL, TypeSuffix::P, Acc))));
+
+  std::string Err = verify(*Out);
+  if (!Err.empty())
+    reportFatal("link: verification failed: " + Err);
+  return Out;
+}

@@ -1,0 +1,38 @@
+//===- ir/Link.h - IR-level module linking ----------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links several tree-IR modules into one program: every module's
+/// symbols are prefixed to avoid collisions, each module's main becomes
+/// an ordinary function, and a fresh main calls them in order,
+/// accumulating their results. Used to build suite-scale benchmark
+/// inputs out of the hand-written corpus programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_IR_LINK_H
+#define CCOMP_IR_LINK_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace ir {
+
+/// Links \p Modules into a single module. Module i's symbols are renamed
+/// "u<i>_<name>" except for well-known runtime functions (print_int,
+/// print_char, print_str, alloc, exit), which stay shared. The generated
+/// main returns the accumulated exit values masked to a byte.
+std::unique_ptr<Module>
+linkModules(std::vector<std::unique_ptr<Module>> Modules);
+
+} // namespace ir
+} // namespace ccomp
+
+#endif // CCOMP_IR_LINK_H

@@ -1,0 +1,153 @@
+//===- ir/Opcode.cpp - lcc-style tree IR operators ------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Support.h"
+
+using namespace ccomp;
+using namespace ccomp::ir;
+
+const char *ir::opName(Op O) {
+  switch (O) {
+  case Op::CNST:   return "CNST";
+  case Op::ADDRG:  return "ADDRG";
+  case Op::ADDRL:  return "ADDRL";
+  case Op::ADDRF:  return "ADDRF";
+  case Op::INDIR:  return "INDIR";
+  case Op::ASGN:   return "ASGN";
+  case Op::ASGNB:  return "ASGNB";
+  case Op::ADD:    return "ADD";
+  case Op::SUB:    return "SUB";
+  case Op::MUL:    return "MUL";
+  case Op::DIV:    return "DIV";
+  case Op::MOD:    return "MOD";
+  case Op::BAND:   return "BAND";
+  case Op::BOR:    return "BOR";
+  case Op::BXOR:   return "BXOR";
+  case Op::LSH:    return "LSH";
+  case Op::RSH:    return "RSH";
+  case Op::NEG:    return "NEG";
+  case Op::BCOM:   return "BCOM";
+  case Op::SXT8:   return "SXT8";
+  case Op::SXT16:  return "SXT16";
+  case Op::ZXT8:   return "ZXT8";
+  case Op::ZXT16:  return "ZXT16";
+  case Op::EQ:     return "EQ";
+  case Op::NE:     return "NE";
+  case Op::LT:     return "LT";
+  case Op::LE:     return "LE";
+  case Op::GT:     return "GT";
+  case Op::GE:     return "GE";
+  case Op::JUMP:   return "JUMP";
+  case Op::LABEL:  return "LABEL";
+  case Op::ARG:    return "ARG";
+  case Op::CALL:   return "CALL";
+  case Op::RET:    return "RET";
+  case Op::NumOps: break;
+  }
+  ccomp_unreachable("bad opcode");
+}
+
+char ir::suffixChar(TypeSuffix S) {
+  switch (S) {
+  case TypeSuffix::C: return 'C';
+  case TypeSuffix::S: return 'S';
+  case TypeSuffix::I: return 'I';
+  case TypeSuffix::U: return 'U';
+  case TypeSuffix::P: return 'P';
+  case TypeSuffix::V: return 'V';
+  case TypeSuffix::B: return 'B';
+  case TypeSuffix::NumSuffixes: break;
+  }
+  ccomp_unreachable("bad type suffix");
+}
+
+unsigned ir::numKids(Op O) {
+  switch (O) {
+  case Op::CNST:
+  case Op::ADDRG:
+  case Op::ADDRL:
+  case Op::ADDRF:
+  case Op::LABEL:
+  case Op::JUMP:
+    return 0;
+  case Op::INDIR:
+  case Op::NEG:
+  case Op::BCOM:
+  case Op::SXT8:
+  case Op::SXT16:
+  case Op::ZXT8:
+  case Op::ZXT16:
+  case Op::ARG:
+  case Op::CALL: // Kid is the callee address.
+    return 1;
+  case Op::RET: // 1 kid unless RETV; Tree stores the actual count.
+    return 1;
+  case Op::ASGN:
+  case Op::ASGNB:
+  case Op::ADD:
+  case Op::SUB:
+  case Op::MUL:
+  case Op::DIV:
+  case Op::MOD:
+  case Op::BAND:
+  case Op::BOR:
+  case Op::BXOR:
+  case Op::LSH:
+  case Op::RSH:
+  case Op::EQ:
+  case Op::NE:
+  case Op::LT:
+  case Op::LE:
+  case Op::GT:
+  case Op::GE:
+    return 2;
+  case Op::NumOps:
+    break;
+  }
+  ccomp_unreachable("bad opcode");
+}
+
+bool ir::hasLiteral(Op O) { return litClass(O) != LitClass::None; }
+
+LitClass ir::litClass(Op O) {
+  switch (O) {
+  case Op::CNST:
+    return LitClass::Const;
+  case Op::ADDRL:
+  case Op::ADDRF:
+    return LitClass::Local;
+  case Op::ADDRG:
+    return LitClass::Global;
+  case Op::EQ:
+  case Op::NE:
+  case Op::LT:
+  case Op::LE:
+  case Op::GT:
+  case Op::GE:
+  case Op::JUMP:
+  case Op::LABEL:
+    return LitClass::Label;
+  case Op::ASGNB:
+    return LitClass::Size;
+  default:
+    return LitClass::None;
+  }
+}
+
+const char *ir::litClassName(LitClass C) {
+  switch (C) {
+  case LitClass::None:   return "none";
+  case LitClass::Const:  return "const";
+  case LitClass::Local:  return "local";
+  case LitClass::Global: return "global";
+  case LitClass::Label:  return "label";
+  case LitClass::Size:   return "size";
+  case LitClass::NumClasses: break;
+  }
+  ccomp_unreachable("bad literal class");
+}

@@ -1,0 +1,110 @@
+//===- ir/Opcode.h - lcc-style tree IR operators ----------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operators and type suffixes of the tree intermediate code. The set
+/// mirrors lcc's IR (Fraser & Hanson), which is what the paper's wire
+/// format compresses: stack-oriented typed trees whose literal operands
+/// appear in square brackets, augmented with 8/16-bit width flags on
+/// operators whose literals fit in one or two bytes (e.g. ADDRLP8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_IR_OPCODE_H
+#define CCOMP_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace ccomp {
+namespace ir {
+
+/// Generic (type-less) tree operators.
+enum class Op : uint8_t {
+  // Leaves carrying a literal.
+  CNST,  ///< Integer constant [value].
+  ADDRG, ///< Address of global [symbol index].
+  ADDRL, ///< Address of local [frame offset].
+  ADDRF, ///< Address of formal parameter [frame offset].
+
+  // Memory.
+  INDIR, ///< Load through address kid; sub-word loads sign-extend.
+  ASGN,  ///< Store value kid through address kid.
+  ASGNB, ///< Block copy [size]: *kid0 = *kid1 for size bytes.
+
+  // Arithmetic / bitwise (two kids unless noted).
+  ADD, SUB, MUL, DIV, MOD, BAND, BOR, BXOR, LSH, RSH,
+  NEG,  ///< One kid.
+  BCOM, ///< One kid.
+
+  // Width adjustment (one kid), all with suffix I.
+  SXT8, SXT16, ZXT8, ZXT16,
+
+  // Control flow.
+  EQ, NE, LT, LE, GT, GE, ///< Compare kids, branch to [label] if true.
+  JUMP,  ///< Unconditional branch to [label].
+  LABEL, ///< Label definition [label].
+
+  // Calls.
+  ARG,  ///< Push one argument for the next CALL.
+  CALL, ///< Call function addressed by kid; consumes pending ARGs.
+  RET,  ///< Return; one kid unless suffix V.
+
+  NumOps
+};
+
+/// Type suffixes. Sub-word types exist only at memory operations; all
+/// computation is 32-bit (C's usual promotions).
+enum class TypeSuffix : uint8_t {
+  C, ///< 8-bit (char).
+  S, ///< 16-bit (short).
+  I, ///< 32-bit signed int.
+  U, ///< 32-bit unsigned int.
+  P, ///< 32-bit pointer.
+  V, ///< void (CALLV, RETV).
+  B, ///< block (ASGNB).
+  NumSuffixes
+};
+
+/// Literal-width flag the paper adds to operators whose literal operand
+/// fits in 8 or 16 bits (ADDRLP8, CNSTI16, ...). Computed at serialization
+/// time; semantically irrelevant.
+enum class WidthFlag : uint8_t { None, W8, W16 };
+
+/// Returns the printable name of \p O (e.g. "ADDRL").
+const char *opName(Op O);
+
+/// Returns the suffix character ('I', 'P', ...).
+char suffixChar(TypeSuffix S);
+
+/// Number of tree kids \p O takes (ARG/CALL conventions per Tree.h).
+unsigned numKids(Op O);
+
+/// True if \p O carries a literal operand.
+bool hasLiteral(Op O);
+
+/// Literal classes determine which wire-format literal stream a literal
+/// joins (the paper forms "one [stream] for the literal operands
+/// associated with each opcode or class of related opcodes").
+enum class LitClass : uint8_t {
+  None,
+  Const,   ///< CNST values.
+  Local,   ///< ADDRL/ADDRF frame offsets.
+  Global,  ///< ADDRG symbol indices.
+  Label,   ///< Branch/JUMP/LABEL label ids.
+  Size,    ///< ASGNB sizes.
+  NumClasses
+};
+
+/// Returns the literal stream class for \p O.
+LitClass litClass(Op O);
+
+/// Returns the name of a literal class ("const", "local", ...).
+const char *litClassName(LitClass C);
+
+} // namespace ir
+} // namespace ccomp
+
+#endif // CCOMP_IR_OPCODE_H

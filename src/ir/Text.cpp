@@ -1,0 +1,402 @@
+//===- ir/Text.cpp - Tree IR text printer and parser ----------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Text.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace ccomp;
+using namespace ccomp::ir;
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+/// Computes the width flag the paper attaches to literal-carrying
+/// operators (ADDRLP8 and friends). Symbol references never get one.
+static WidthFlag widthOf(const Tree *T) {
+  if (!hasLiteral(T->O) || T->O == Op::ADDRG)
+    return WidthFlag::None;
+  int64_t V = T->Literal;
+  if (V >= -128 && V <= 127)
+    return WidthFlag::W8;
+  if (V >= -32768 && V <= 32767)
+    return WidthFlag::W16;
+  return WidthFlag::None;
+}
+
+static void printOpHead(const Module &, const Tree *T, std::ostream &OS) {
+  OS << opName(T->O) << suffixChar(T->Suffix);
+  switch (widthOf(T)) {
+  case WidthFlag::None:
+    break;
+  case WidthFlag::W8:
+    OS << '8';
+    break;
+  case WidthFlag::W16:
+    OS << "16";
+    break;
+  }
+}
+
+static void printTreeRec(const Module &M, const Tree *T, std::ostream &OS) {
+  printOpHead(M, T, OS);
+  if (T->hasLit()) {
+    OS << '[';
+    if (T->O == Op::ADDRG)
+      OS << M.Symbols[static_cast<size_t>(T->Literal)].Name;
+    else
+      OS << T->Literal;
+    OS << ']';
+  }
+  if (T->NKids == 0)
+    return;
+  OS << '(';
+  for (unsigned I = 0; I != T->NKids; ++I) {
+    if (I)
+      OS << ',';
+    printTreeRec(M, T->Kids[I], OS);
+  }
+  OS << ')';
+}
+
+std::string ir::printTree(const Module &M, const Tree *T) {
+  std::ostringstream OS;
+  printTreeRec(M, T, OS);
+  return OS.str();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "module\n";
+  for (const Symbol &S : M.Symbols)
+    OS << "sym " << S.Name << ' ' << (S.IsFunction ? "func" : "data")
+       << '\n';
+  for (const Global &G : M.Globals) {
+    OS << "global " << G.SymbolIndex << " size " << G.Size << " align "
+       << G.Align << " init ";
+    if (G.Init.empty()) {
+      OS << '-';
+    } else {
+      static const char *Hex = "0123456789abcdef";
+      for (uint8_t B : G.Init)
+        OS << Hex[B >> 4] << Hex[B & 15];
+    }
+    OS << '\n';
+  }
+  for (const auto &FP : M.Functions) {
+    const Function &F = *FP;
+    OS << "func " << F.Name << " frame " << F.FrameSize << " params "
+       << F.ParamBytes << " labels " << F.NumLabels << " slots";
+    for (uint32_t SlotOff : F.ParamSlots)
+      OS << ' ' << SlotOff;
+    OS << '\n';
+    for (const Tree *T : F.Forest) {
+      OS << "  ";
+      printTreeRec(M, T, OS);
+      OS << '\n';
+    }
+    OS << "endfunc\n";
+  }
+  OS << "endmodule\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal recursive-descent parser over the canonical text form.
+class TextParser {
+public:
+  TextParser(const std::string &Text, std::string &Error)
+      : S(Text.c_str()), Error(Error) {}
+
+  std::unique_ptr<Module> run() {
+    auto M = std::make_unique<Module>();
+    if (!expectWord("module"))
+      return nullptr;
+    for (;;) {
+      skipSpace();
+      if (tryWord("sym")) {
+        std::string Name = parseName();
+        std::string Kind = parseName();
+        if (Name.empty() || (Kind != "func" && Kind != "data"))
+          return fail("bad sym line");
+        M->Symbols.push_back({Name, Kind == "func"});
+        continue;
+      }
+      if (tryWord("global")) {
+        Global G;
+        G.SymbolIndex = static_cast<uint32_t>(parseInt());
+        if (!expectWord("size"))
+          return nullptr;
+        G.Size = static_cast<uint32_t>(parseInt());
+        if (!expectWord("align"))
+          return nullptr;
+        G.Align = static_cast<uint32_t>(parseInt());
+        if (!expectWord("init"))
+          return nullptr;
+        skipSpace();
+        if (*S == '-') {
+          ++S;
+        } else {
+          while (std::isxdigit(static_cast<unsigned char>(S[0])) &&
+                 std::isxdigit(static_cast<unsigned char>(S[1]))) {
+            G.Init.push_back(
+                static_cast<uint8_t>(hexVal(S[0]) * 16 + hexVal(S[1])));
+            S += 2;
+          }
+        }
+        M->Globals.push_back(std::move(G));
+        continue;
+      }
+      if (tryWord("func")) {
+        if (!parseFunction(*M))
+          return nullptr;
+        continue;
+      }
+      if (tryWord("endmodule"))
+        return M;
+      return fail("unexpected input at module level");
+    }
+  }
+
+private:
+  std::unique_ptr<Module> fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return nullptr;
+  }
+
+  void skipSpace() {
+    while (*S && std::isspace(static_cast<unsigned char>(*S)))
+      ++S;
+  }
+
+  static int hexVal(char C) {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    return 10 + (C - 'a');
+  }
+
+  bool tryWord(const char *W) {
+    skipSpace();
+    size_t N = std::strlen(W);
+    if (std::strncmp(S, W, N) != 0)
+      return false;
+    char After = S[N];
+    if (After && !std::isspace(static_cast<unsigned char>(After)))
+      return false;
+    S += N;
+    return true;
+  }
+
+  bool expectWord(const char *W) {
+    if (tryWord(W))
+      return true;
+    Error = std::string("expected '") + W + "'";
+    return false;
+  }
+
+  std::string parseName() {
+    skipSpace();
+    std::string Out;
+    while (*S && (std::isalnum(static_cast<unsigned char>(*S)) ||
+                  *S == '_' || *S == '$' || *S == '.'))
+      Out.push_back(*S++);
+    return Out;
+  }
+
+  int64_t parseInt() {
+    skipSpace();
+    bool Neg = false;
+    if (*S == '-') {
+      Neg = true;
+      ++S;
+    }
+    int64_t V = 0;
+    while (std::isdigit(static_cast<unsigned char>(*S)))
+      V = V * 10 + (*S++ - '0');
+    return Neg ? -V : V;
+  }
+
+  bool parseFunction(Module &M) {
+    std::string Name = parseName();
+    if (Name.empty()) {
+      Error = "missing function name";
+      return false;
+    }
+    Function *F = M.addFunction(Name);
+    if (!expectWord("frame"))
+      return false;
+    F->FrameSize = static_cast<uint32_t>(parseInt());
+    if (!expectWord("params"))
+      return false;
+    F->ParamBytes = static_cast<uint32_t>(parseInt());
+    if (!expectWord("labels"))
+      return false;
+    F->NumLabels = static_cast<uint32_t>(parseInt());
+    if (!expectWord("slots"))
+      return false;
+    for (;;) {
+      // Slot offsets run to the end of the header line.
+      const char *P = S;
+      while (*P == ' ' || *P == '\t')
+        ++P;
+      if (!std::isdigit(static_cast<unsigned char>(*P)))
+        break;
+      S = P;
+      F->ParamSlots.push_back(static_cast<uint32_t>(parseInt()));
+    }
+    for (;;) {
+      skipSpace();
+      if (tryWord("endfunc"))
+        return true;
+      Tree *T = parseTree(M, *F);
+      if (!T)
+        return false;
+      F->Forest.push_back(T);
+    }
+  }
+
+  /// Parses an operator head: generic op name + suffix char + optional
+  /// width digits. Longest op-name match wins (ADDRL before ADD).
+  bool parseOpHead(Op &O, TypeSuffix &Sfx) {
+    skipSpace();
+    std::string Word;
+    const char *P = S;
+    while (*P && std::isalnum(static_cast<unsigned char>(*P)))
+      Word.push_back(*P++);
+    // Find the longest operator name that is a prefix of Word.
+    int Best = -1;
+    size_t BestLen = 0;
+    for (unsigned I = 0; I != static_cast<unsigned>(Op::NumOps); ++I) {
+      const char *Name = opName(static_cast<Op>(I));
+      size_t Len = std::strlen(Name);
+      if (Word.compare(0, Len, Name) == 0 && Len > BestLen) {
+        Best = static_cast<int>(I);
+        BestLen = Len;
+      }
+    }
+    if (Best < 0 || BestLen >= Word.size()) {
+      Error = "unknown operator '" + Word + "'";
+      return false;
+    }
+    O = static_cast<Op>(Best);
+    char C = Word[BestLen];
+    switch (C) {
+    case 'C': Sfx = TypeSuffix::C; break;
+    case 'S': Sfx = TypeSuffix::S; break;
+    case 'I': Sfx = TypeSuffix::I; break;
+    case 'U': Sfx = TypeSuffix::U; break;
+    case 'P': Sfx = TypeSuffix::P; break;
+    case 'V': Sfx = TypeSuffix::V; break;
+    case 'B': Sfx = TypeSuffix::B; break;
+    default:
+      Error = "bad type suffix in '" + Word + "'";
+      return false;
+    }
+    // Remaining characters must be a width flag; it is recomputed on
+    // print, so just validate and discard.
+    std::string Rest = Word.substr(BestLen + 1);
+    if (!Rest.empty() && Rest != "8" && Rest != "16") {
+      Error = "bad width flag in '" + Word + "'";
+      return false;
+    }
+    S = P;
+    return true;
+  }
+
+  Tree *parseTree(Module &M, Function &F) {
+    Op O;
+    TypeSuffix Sfx;
+    if (!parseOpHead(O, Sfx))
+      return nullptr;
+    Tree *T = F.newTree(O, Sfx);
+    if (hasLiteral(O)) {
+      skipSpace();
+      if (*S != '[') {
+        Error = "expected '[' literal";
+        return nullptr;
+      }
+      ++S;
+      if (O == Op::ADDRG) {
+        std::string Name = parseName();
+        uint32_t Idx = M.findSymbol(Name);
+        if (Idx == ~0u) {
+          Error = "unknown symbol '" + Name + "'";
+          return nullptr;
+        }
+        T->Literal = Idx;
+      } else {
+        T->Literal = parseInt();
+      }
+      skipSpace();
+      if (*S != ']') {
+        Error = "expected ']'";
+        return nullptr;
+      }
+      ++S;
+    }
+    unsigned Expected = numKids(O);
+    if (O == Op::RET && Sfx == TypeSuffix::V)
+      Expected = 0;
+    if (Expected == 0) {
+      T->NKids = 0;
+      return T;
+    }
+    skipSpace();
+    if (*S != '(') {
+      Error = "expected '('";
+      return nullptr;
+    }
+    ++S;
+    for (unsigned I = 0; I != Expected; ++I) {
+      if (I) {
+        skipSpace();
+        if (*S != ',') {
+          Error = "expected ','";
+          return nullptr;
+        }
+        ++S;
+      }
+      Tree *Kid = parseTree(M, F);
+      if (!Kid)
+        return nullptr;
+      T->Kids[I] = Kid;
+    }
+    T->NKids = static_cast<uint8_t>(Expected);
+    skipSpace();
+    if (*S != ')') {
+      Error = "expected ')'";
+      return nullptr;
+    }
+    ++S;
+    return T;
+  }
+
+  const char *S;
+  std::string &Error;
+};
+
+} // namespace
+
+std::unique_ptr<Module> ir::parseModule(const std::string &Text,
+                                        std::string &Error) {
+  Error.clear();
+  TextParser P(Text, Error);
+  std::unique_ptr<Module> M = P.run();
+  if (!M && Error.empty())
+    Error = "parse error";
+  return M;
+}

@@ -1,0 +1,42 @@
+//===- ir/Text.h - Tree IR text printer and parser --------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A canonical, re-parseable text form of the tree IR, printed in the
+/// paper's notation: operators with type suffixes and width flags, literal
+/// operands in square brackets, e.g.
+///   ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTI8[1]))
+/// Round-tripping (print -> parse -> print) is byte-identical, which the
+/// wire-format tests use as their identity oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_IR_TEXT_H
+#define CCOMP_IR_TEXT_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace ccomp {
+namespace ir {
+
+/// Prints one tree in the paper's notation (no trailing newline).
+std::string printTree(const Module &M, const Tree *T);
+
+/// Prints a whole module in the canonical text form.
+std::string printModule(const Module &M);
+
+/// Parses text produced by printModule. Returns nullptr and sets \p Error
+/// on malformed input.
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    std::string &Error);
+
+} // namespace ir
+} // namespace ccomp
+
+#endif // CCOMP_IR_TEXT_H

@@ -1,0 +1,2088 @@
+//===- minic/Compile.cpp - C subset to tree IR -----------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-pass, syntax-directed translation from the C subset to tree IR,
+/// in the style of lcc: statements append trees to the current function's
+/// forest; expressions build trees; calls, short-circuit operators and
+/// ?: lower through explicit temporaries and labels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "minic/Compile.h"
+
+#include "minic/Lexer.h"
+#include "minic/Types.h"
+#include "support/Support.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace ccomp;
+using namespace ccomp::minic;
+using ir::Op;
+using ir::Tree;
+using ir::TypeSuffix;
+
+namespace {
+
+/// An expression value during translation.
+///
+/// LValue: T is the ADDRESS of the object (type: pointer to Ty).
+/// IsCmp:  T is a comparison tree (EQ..GE) whose label literal is still
+///         unset; it must be consumed by a branch or lowered to 0/1.
+/// BareCall: T is a CALL tree not yet emitted; usable as a statement or
+///         materialized into a temporary when its value is needed.
+struct Value {
+  Tree *T = nullptr;
+  TypeId Ty = 0;
+  bool LValue = false;
+  bool IsCmp = false;
+  bool BareCall = false;
+};
+
+/// A named entity in some scope.
+struct Sym {
+  enum KindT { KGlobal, KFunc, KLocal, KStackParam, KEnum } Kind = KGlobal;
+  std::string Name;
+  TypeId Ty = 0;
+  int64_t Off = 0;      ///< Local frame offset / stack-param offset / enum
+                        ///< constant value.
+  uint32_t SymIdx = 0;  ///< Module symbol index (globals and functions).
+};
+
+class Compiler {
+public:
+  explicit Compiler(const std::string &Source) : Lex(Source) {
+    M = std::make_unique<ir::Module>();
+    Scopes.emplace_back(); // File scope.
+  }
+
+  CompileResult run();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Diagnostics
+  //===--------------------------------------------------------------------===
+
+  void error(const std::string &Msg) {
+    if (!Failed) {
+      Err = "line " + std::to_string(Lex.line()) + ": " + Msg;
+      Failed = true;
+    }
+  }
+
+  bool expect(Tok T) {
+    if (Lex.accept(T))
+      return true;
+    error(std::string("expected '") + tokName(T) + "', found '" +
+          tokName(Lex.kind()) + "'");
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Scopes and symbols
+  //===--------------------------------------------------------------------===
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  Sym *lookup(const std::string &Name) {
+    for (size_t I = Scopes.size(); I-- > 0;)
+      for (Sym &S : Scopes[I])
+        if (S.Name == Name)
+          return &S;
+    return nullptr;
+  }
+
+  Sym &declare(Sym S) {
+    Scopes.back().push_back(std::move(S));
+    return Scopes.back().back();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Tree construction helpers
+  //===--------------------------------------------------------------------===
+
+  Tree *newTree(Op O, TypeSuffix S, int64_t Lit = 0, Tree *K0 = nullptr,
+                Tree *K1 = nullptr) {
+    assert(F && "tree construction outside a function");
+    return F->newTree(O, S, Lit, K0, K1);
+  }
+
+  Tree *cloneTree(const Tree *T) {
+    Tree *C = newTree(T->O, T->Suffix, T->Literal);
+    C->NKids = T->NKids;
+    for (unsigned I = 0; I != T->NKids; ++I)
+      C->Kids[I] = cloneTree(T->Kids[I]);
+    return C;
+  }
+
+  Tree *tcnst(int64_t V, TypeSuffix S = TypeSuffix::I) {
+    return newTree(Op::CNST, S, V);
+  }
+
+  /// Builds a binary tree with light constant folding.
+  Tree *tbin(Op O, TypeSuffix S, Tree *L, Tree *R) {
+    if (L->O == Op::CNST && R->O == Op::CNST) {
+      std::optional<int64_t> V = foldBin(O, S, L->Literal, R->Literal);
+      if (V)
+        return tcnst(*V, S == TypeSuffix::P ? TypeSuffix::I : S);
+    }
+    // x + 0, x - 0, x * 1 simplifications keep the trees lcc-like.
+    if (R->O == Op::CNST) {
+      if ((O == Op::ADD || O == Op::SUB || O == Op::LSH || O == Op::RSH ||
+           O == Op::BOR || O == Op::BXOR) &&
+          R->Literal == 0)
+        return L;
+      if ((O == Op::MUL || O == Op::DIV) && R->Literal == 1)
+        return L;
+    }
+    if (L->O == Op::CNST && O == Op::ADD && L->Literal == 0)
+      return R;
+    Tree *T = newTree(O, S, 0, L, R);
+    return T;
+  }
+
+  static std::optional<int64_t> foldBin(Op O, TypeSuffix S, int64_t A,
+                                        int64_t B) {
+    bool U = S == TypeSuffix::U;
+    auto AI = static_cast<int32_t>(A);
+    auto BI = static_cast<int32_t>(B);
+    auto AU = static_cast<uint32_t>(A);
+    auto BU = static_cast<uint32_t>(B);
+    switch (O) {
+    case Op::ADD: return static_cast<int32_t>(AU + BU);
+    case Op::SUB: return static_cast<int32_t>(AU - BU);
+    case Op::MUL: return static_cast<int32_t>(AU * BU);
+    case Op::DIV:
+      if (BU == 0 || (!U && AI == INT32_MIN && BI == -1))
+        return std::nullopt;
+      return U ? static_cast<int32_t>(AU / BU) : AI / BI;
+    case Op::MOD:
+      if (BU == 0 || (!U && AI == INT32_MIN && BI == -1))
+        return std::nullopt;
+      return U ? static_cast<int32_t>(AU % BU) : AI % BI;
+    case Op::BAND: return static_cast<int32_t>(AU & BU);
+    case Op::BOR:  return static_cast<int32_t>(AU | BU);
+    case Op::BXOR: return static_cast<int32_t>(AU ^ BU);
+    case Op::LSH:  return static_cast<int32_t>(AU << (BU & 31));
+    case Op::RSH:
+      return U ? static_cast<int32_t>(AU >> (BU & 31)) : (AI >> (BU & 31));
+    default:
+      return std::nullopt;
+    }
+  }
+
+  void emit(Tree *T) { F->Forest.push_back(T); }
+
+  uint32_t newLabel() { return F->NumLabels++; }
+  void placeLabel(uint32_t L) {
+    emit(newTree(Op::LABEL, TypeSuffix::V, L));
+  }
+  void emitJump(uint32_t L) {
+    emit(newTree(Op::JUMP, TypeSuffix::V, L));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Frame and temporaries
+  //===--------------------------------------------------------------------===
+
+  uint32_t allocLocal(uint32_t Size, uint32_t Align) {
+    uint32_t Off = (F->FrameSize + Align - 1) & ~(Align - 1);
+    F->FrameSize = Off + Size;
+    return Off;
+  }
+
+  /// Allocates a scalar temporary; returns its frame offset.
+  uint32_t newTemp() { return allocLocal(4, 4); }
+
+  Tree *taddrl(int64_t Off) { return newTree(Op::ADDRL, TypeSuffix::P, Off); }
+
+  Value tempLValue(uint32_t Off, TypeId Ty) {
+    return {taddrl(Off), Ty, /*LValue=*/true, false, false};
+  }
+
+  //===--------------------------------------------------------------------===
+  // Types and suffixes
+  //===--------------------------------------------------------------------===
+
+  /// Suffix used for loads/stores of an object of type \p Ty.
+  TypeSuffix memSuffix(TypeId Ty) {
+    const Type &T = TT.get(Ty);
+    switch (T.K) {
+    case TyKind::I8:
+    case TyKind::U8: return TypeSuffix::C;
+    case TyKind::I16:
+    case TyKind::U16: return TypeSuffix::S;
+    case TyKind::I32: return TypeSuffix::I;
+    case TyKind::U32: return TypeSuffix::U;
+    case TyKind::Ptr: return TypeSuffix::P;
+    default:
+      error("cannot load/store type " + TT.name(Ty));
+      return TypeSuffix::I;
+    }
+  }
+
+  /// Suffix used for computation on a (promoted) value of type \p Ty.
+  TypeSuffix valSuffix(TypeId Ty) {
+    if (TT.isPointer(Ty))
+      return TypeSuffix::P;
+    return TT.isUnsigned(Ty) ? TypeSuffix::U : TypeSuffix::I;
+  }
+
+  /// C integer promotion: sub-word integer types compute as int.
+  TypeId promote(TypeId Ty) {
+    const Type &T = TT.get(Ty);
+    switch (T.K) {
+    case TyKind::I8:
+    case TyKind::U8:
+    case TyKind::I16:
+    case TyKind::U16: return TT.I32Ty;
+    default: return Ty;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Value manipulation
+  //===--------------------------------------------------------------------===
+
+  /// Lowers a pending comparison to a 0/1 value through a temporary.
+  Value cmpToValue(Value V) {
+    assert(V.IsCmp);
+    uint32_t T = newTemp();
+    uint32_t LTrue = newLabel();
+    emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(T), tcnst(1)));
+    V.T->Literal = static_cast<int64_t>(LTrue); // Branch if cmp true.
+    emit(V.T);
+    emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(T), tcnst(0)));
+    placeLabel(LTrue);
+    return {newTree(Op::INDIR, TypeSuffix::I, 0, taddrl(T)), TT.I32Ty,
+            false, false, false};
+  }
+
+  /// Materializes a not-yet-emitted CALL into a temporary.
+  Value materializeCall(Value V) {
+    assert(V.BareCall);
+    if (TT.isVoid(V.Ty)) {
+      error("void value used in expression");
+      emit(V.T);
+      return {tcnst(0), TT.I32Ty, false, false, false};
+    }
+    uint32_t Tmp = newTemp();
+    TypeSuffix S = memSuffix(promote(V.Ty));
+    emit(newTree(Op::ASGN, S, 0, taddrl(Tmp), V.T));
+    return {newTree(Op::INDIR, S, 0, taddrl(Tmp)), promote(V.Ty), false,
+            false, false};
+  }
+
+  /// Converts \p V to a plain rvalue: loads lvalues (with array decay),
+  /// materializes calls and lowers comparisons. Struct lvalues stay as
+  /// addresses (they only appear in assignment and member selection).
+  Value rvalue(Value V) {
+    if (V.IsCmp)
+      return cmpToValue(V);
+    if (V.BareCall)
+      return materializeCall(V);
+    if (!V.LValue)
+      return V;
+    if (TT.isArray(V.Ty)) {
+      // Array decays to pointer to the first element.
+      return {V.T, TT.pointerTo(TT.get(V.Ty).Elem), false, false, false};
+    }
+    if (TT.isStruct(V.Ty))
+      return V; // Struct values are manipulated by address.
+    if (TT.isFunc(V.Ty))
+      return {V.T, TT.pointerTo(V.Ty), false, false, false};
+    TypeSuffix S = memSuffix(V.Ty);
+    Tree *Load = newTree(Op::INDIR, S, 0, V.T);
+    TypeId Ty = promote(V.Ty);
+    // Sub-word loads sign-extend; unsigned sub-word types need masking.
+    if (TT.get(V.Ty).K == TyKind::U8)
+      Load = newTree(Op::ZXT8, TypeSuffix::I, 0, Load);
+    else if (TT.get(V.Ty).K == TyKind::U16)
+      Load = newTree(Op::ZXT16, TypeSuffix::I, 0, Load);
+    return {Load, Ty, false, false, false};
+  }
+
+  /// Returns an lvalue whose address may be cloned repeatedly without
+  /// duplicating side effects (spilling the address to a temporary when
+  /// the address expression is not a leaf).
+  Value reusableAddr(Value LV) {
+    assert(LV.LValue);
+    Op O = LV.T->O;
+    if (O == Op::ADDRL || O == Op::ADDRF || O == Op::ADDRG)
+      return LV;
+    uint32_t Tmp = newTemp();
+    emit(newTree(Op::ASGN, TypeSuffix::P, 0, taddrl(Tmp), LV.T));
+    LV.T = newTree(Op::INDIR, TypeSuffix::P, 0, taddrl(Tmp));
+    return LV;
+  }
+
+  /// Fresh copy of a reusable lvalue's address tree.
+  Tree *addrCopy(const Value &LV) { return cloneTree(LV.T); }
+
+  /// Emits a store of rvalue \p R into lvalue address \p Addr of type Ty.
+  void emitStore(Tree *Addr, TypeId Ty, Value R) {
+    if (TT.isStruct(Ty)) {
+      // Struct assignment: block copy of the right operand's address.
+      emit(newTree(Op::ASGNB, TypeSuffix::B, TT.sizeOf(Ty), Addr, R.T));
+      return;
+    }
+    emit(newTree(Op::ASGN, memSuffix(Ty), 0, Addr, R.T));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Branch emission
+  //===--------------------------------------------------------------------===
+
+  static Op invertCmp(Op O) {
+    switch (O) {
+    case Op::EQ: return Op::NE;
+    case Op::NE: return Op::EQ;
+    case Op::LT: return Op::GE;
+    case Op::GE: return Op::LT;
+    case Op::LE: return Op::GT;
+    case Op::GT: return Op::LE;
+    default: ccomp_unreachable("not a comparison");
+    }
+  }
+
+  /// Emits "branch to L if V is true/false". Consumes V.
+  void emitBranch(Value V, uint32_t L, bool IfTrue) {
+    if (V.IsCmp) {
+      if (!IfTrue)
+        V.T->O = invertCmp(V.T->O);
+      V.T->Literal = static_cast<int64_t>(L);
+      emit(V.T);
+      return;
+    }
+    Value R = rvalue(V);
+    if (R.T->O == Op::CNST) {
+      bool Truth = R.T->Literal != 0;
+      if (Truth == IfTrue)
+        emitJump(L);
+      return;
+    }
+    TypeSuffix S = valSuffix(R.Ty) == TypeSuffix::P ? TypeSuffix::U
+                                                    : valSuffix(R.Ty);
+    emit(newTree(IfTrue ? Op::NE : Op::EQ, S, L, R.T, tcnst(0)));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Grammar: expressions
+  //===--------------------------------------------------------------------===
+
+  Value parseExpr();           // Comma expression.
+  Value parseAssign();
+  Value parseConditional();
+  Value parseLogicalOr();
+  Value parseLogicalAnd();
+  Value parseBinary(int MinPrec);
+  Value parseUnary();
+  Value parsePostfix();
+  Value parsePrimary();
+  Value parseCall(Sym *FnSym);
+  Value combine(Tok K, Value L, Value R);
+
+  /// Statement-level condition parsing producing direct branches.
+  void parseCondFalse(uint32_t FalseL, Tok Stop);
+  void parseCondTrue(uint32_t TrueL, Tok Stop);
+  bool condNeedsValueLowering(Tok Stop);
+
+  //===--------------------------------------------------------------------===
+  // Grammar: declarations and statements
+  //===--------------------------------------------------------------------===
+
+  bool parseTopLevel();
+  bool parseEnumDef();
+  std::optional<TypeId> tryParseBaseType();
+  bool startsType();
+  TypeId parseStructSpecifier();
+  struct Declarator {
+    std::string Name;
+    TypeId Ty = 0;
+    bool IsFunc = false;
+    std::vector<std::pair<std::string, TypeId>> Params;
+  };
+  bool parseDeclarator(TypeId Base, Declarator &D);
+  bool parseFunctionDef(const Declarator &D);
+  void parseGlobalInit(const Declarator &D, uint32_t SymIdx);
+  void parseStatement();
+  void parseBlock();
+  void parseLocalDecl();
+  int64_t parseConstExpr();
+
+  //===--------------------------------------------------------------------===
+  // State
+  //===--------------------------------------------------------------------===
+
+  Lexer Lex;
+  TypeTable TT;
+  std::unique_ptr<ir::Module> M;
+  ir::Function *F = nullptr;
+  TypeId RetTy = 0;
+
+  std::string Err;
+  bool Failed = false;
+
+  std::vector<std::vector<Sym>> Scopes;
+  std::vector<uint32_t> BreakLabels;
+  std::vector<uint32_t> ContinueLabels;
+
+  struct SwitchCtx {
+    uint32_t EndL = 0;
+    uint32_t DispatchL = 0;
+    uint32_t TempOff = 0;
+    uint32_t DefaultL = ~0u;
+    std::vector<std::pair<int64_t, uint32_t>> Cases;
+  };
+  std::vector<SwitchCtx> Switches;
+
+  struct NamedLabel {
+    uint32_t Id = 0;
+    bool Defined = false;
+  };
+  std::map<std::string, NamedLabel> GotoLabels;
+
+  std::map<std::string, uint32_t> StringPool; ///< Literal -> symbol index.
+  unsigned StrCounter = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Compiler::startsType() {
+  switch (Lex.kind()) {
+  case Tok::KwVoid:
+  case Tok::KwChar:
+  case Tok::KwShort:
+  case Tok::KwInt:
+  case Tok::KwLong:
+  case Tok::KwUnsigned:
+  case Tok::KwSigned:
+  case Tok::KwStruct:
+  case Tok::KwConst:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<TypeId> Compiler::tryParseBaseType() {
+  while (Lex.accept(Tok::KwConst))
+    ; // const is accepted and ignored.
+  if (Lex.kind() == Tok::KwStruct)
+    return parseStructSpecifier();
+
+  bool SawUnsigned = false, SawSigned = false, SawAny = false;
+  TyKind Base = TyKind::I32;
+  bool SawVoid = false;
+  for (;;) {
+    switch (Lex.kind()) {
+    case Tok::KwUnsigned: SawUnsigned = true; SawAny = true; break;
+    case Tok::KwSigned: SawSigned = true; SawAny = true; break;
+    case Tok::KwVoid: SawVoid = true; SawAny = true; break;
+    case Tok::KwChar: Base = TyKind::I8; SawAny = true; break;
+    case Tok::KwShort: Base = TyKind::I16; SawAny = true; break;
+    case Tok::KwInt:
+    case Tok::KwLong: Base = TyKind::I32; SawAny = true; break;
+    case Tok::KwConst: break; // Ignored.
+    default:
+      if (!SawAny)
+        return std::nullopt;
+      if (SawVoid)
+        return TT.VoidTy;
+      (void)SawSigned;
+      switch (Base) {
+      case TyKind::I8: return SawUnsigned ? TT.U8Ty : TT.I8Ty;
+      case TyKind::I16: return SawUnsigned ? TT.U16Ty : TT.I16Ty;
+      default: return SawUnsigned ? TT.U32Ty : TT.I32Ty;
+      }
+    }
+    Lex.next();
+  }
+}
+
+TypeId Compiler::parseStructSpecifier() {
+  expect(Tok::KwStruct);
+  std::string Tag;
+  if (Lex.kind() == Tok::Ident) {
+    Tag = Lex.text();
+    Lex.next();
+  }
+  uint32_t Idx = TT.structByName(Tag.empty()
+                                     ? "$anon" + std::to_string(Lex.line())
+                                     : Tag);
+  if (Lex.accept(Tok::LBrace)) {
+    StructInfo &SI = TT.structInfo(Idx);
+    if (SI.Complete) {
+      error("struct " + Tag + " redefined");
+      return TT.structType(Idx);
+    }
+    uint32_t Off = 0, MaxAlign = 1;
+    while (!Lex.accept(Tok::RBrace)) {
+      std::optional<TypeId> Base = tryParseBaseType();
+      if (!Base) {
+        error("expected field type in struct " + Tag);
+        return TT.structType(Idx);
+      }
+      for (;;) {
+        Declarator D;
+        if (!parseDeclarator(*Base, D))
+          return TT.structType(Idx);
+        if (D.Name.empty() || D.IsFunc) {
+          error("bad struct field");
+          return TT.structType(Idx);
+        }
+        uint32_t A = TT.alignOf(D.Ty);
+        uint32_t Sz = TT.sizeOf(D.Ty);
+        Off = (Off + A - 1) & ~(A - 1);
+        TT.structInfo(Idx).Fields.push_back({D.Name, D.Ty, Off});
+        Off += Sz;
+        MaxAlign = std::max(MaxAlign, A);
+        if (!Lex.accept(Tok::Comma))
+          break;
+      }
+      if (!expect(Tok::Semi))
+        return TT.structType(Idx);
+      if (Failed)
+        return TT.structType(Idx);
+    }
+    StructInfo &SI2 = TT.structInfo(Idx);
+    SI2.Align = MaxAlign;
+    SI2.Size = (Off + MaxAlign - 1) & ~(MaxAlign - 1);
+    if (SI2.Size == 0)
+      SI2.Size = MaxAlign; // Empty structs still occupy storage.
+    SI2.Complete = true;
+  }
+  return TT.structType(Idx);
+}
+
+bool Compiler::parseDeclarator(TypeId Base, Declarator &D) {
+  TypeId Ty = Base;
+  while (Lex.accept(Tok::Star)) {
+    while (Lex.accept(Tok::KwConst))
+      ;
+    Ty = TT.pointerTo(Ty);
+  }
+  if (Lex.kind() == Tok::Ident) {
+    D.Name = Lex.text();
+    Lex.next();
+  }
+  if (Lex.accept(Tok::LParen)) {
+    // Function declarator.
+    D.IsFunc = true;
+    std::vector<TypeId> ParamTys;
+    if (!Lex.accept(Tok::RParen)) {
+      if (Lex.kind() == Tok::KwVoid) {
+        Lexer::State S = Lex.save();
+        Lex.next();
+        if (Lex.accept(Tok::RParen)) {
+          D.Ty = TT.functionOf(Ty, {});
+          return true;
+        }
+        Lex.restore(S);
+      }
+      for (;;) {
+        std::optional<TypeId> PBase = tryParseBaseType();
+        if (!PBase) {
+          error("expected parameter type");
+          return false;
+        }
+        Declarator PD;
+        if (!parseDeclarator(*PBase, PD))
+          return false;
+        TypeId PTy = PD.Ty;
+        if (TT.isArray(PTy)) // Array parameters decay.
+          PTy = TT.pointerTo(TT.get(PTy).Elem);
+        if (TT.isStruct(PTy)) {
+          error("struct parameters are not supported; pass a pointer");
+          return false;
+        }
+        D.Params.push_back({PD.Name, PTy});
+        ParamTys.push_back(PTy);
+        if (!Lex.accept(Tok::Comma))
+          break;
+      }
+      if (!expect(Tok::RParen))
+        return false;
+    }
+    D.Ty = TT.functionOf(Ty, std::move(ParamTys));
+    return true;
+  }
+  // Array suffixes bind inner-to-outer: int a[2][3] is array 2 of array 3.
+  std::vector<int64_t> Dims;
+  while (Lex.accept(Tok::LBracket)) {
+    if (Lex.accept(Tok::RBracket)) {
+      Dims.push_back(-1); // Unsized; must come first and get its size
+                          // from the initializer.
+      continue;
+    }
+    int64_t N = parseConstExpr();
+    Dims.push_back(N);
+    if (!expect(Tok::RBracket))
+      return false;
+  }
+  for (size_t I = Dims.size(); I-- > 0;) {
+    int64_t N = Dims[I];
+    Ty = TT.arrayOf(Ty, N < 0 ? 0 : static_cast<uint32_t>(N));
+  }
+  D.Ty = Ty;
+  return true;
+}
+
+bool Compiler::parseEnumDef() {
+  expect(Tok::KwEnum);
+  if (Lex.kind() == Tok::Ident)
+    Lex.next(); // Tag, ignored.
+  if (!expect(Tok::LBrace))
+    return false;
+  int64_t Next = 0;
+  while (Lex.kind() == Tok::Ident) {
+    std::string Name = Lex.text();
+    Lex.next();
+    if (Lex.accept(Tok::Assign))
+      Next = parseConstExpr();
+    Sym S;
+    S.Kind = Sym::KEnum;
+    S.Name = Name;
+    S.Ty = TT.I32Ty;
+    S.Off = Next++;
+    declare(std::move(S));
+    if (!Lex.accept(Tok::Comma))
+      break;
+  }
+  if (!expect(Tok::RBrace))
+    return false;
+  return expect(Tok::Semi);
+}
+
+bool Compiler::parseTopLevel() {
+  if (Lex.kind() == Tok::KwEnum)
+    return parseEnumDef();
+  bool IsExtern = false;
+  for (;;) {
+    if (Lex.accept(Tok::KwExtern)) {
+      IsExtern = true;
+      continue;
+    }
+    if (Lex.accept(Tok::KwStatic))
+      continue;
+    break;
+  }
+  std::optional<TypeId> Base = tryParseBaseType();
+  if (!Base) {
+    error("expected declaration");
+    return false;
+  }
+  if (Lex.accept(Tok::Semi))
+    return true; // Bare struct definition.
+  for (;;) {
+    Declarator D;
+    if (!parseDeclarator(*Base, D))
+      return false;
+    if (D.Name.empty()) {
+      error("expected declarator name");
+      return false;
+    }
+    if (D.IsFunc && Lex.kind() == Tok::LBrace)
+      return parseFunctionDef(D);
+    if (D.IsFunc) {
+      // Prototype.
+      if (!lookup(D.Name)) {
+        Sym S;
+        S.Kind = Sym::KFunc;
+        S.Name = D.Name;
+        S.Ty = D.Ty;
+        S.SymIdx = M->internSymbol(D.Name, /*IsFunction=*/true);
+        Scopes[0].push_back(std::move(S));
+      }
+    } else {
+      // Global variable.
+      uint32_t SymIdx = M->internSymbol(D.Name, /*IsFunction=*/false);
+      Sym S;
+      S.Kind = Sym::KGlobal;
+      S.Name = D.Name;
+      S.Ty = D.Ty;
+      S.SymIdx = SymIdx;
+      if (!lookup(D.Name))
+        Scopes[0].push_back(S);
+      if (!IsExtern)
+        parseGlobalInit(D, SymIdx);
+    }
+    if (Lex.accept(Tok::Comma))
+      continue;
+    return expect(Tok::Semi);
+  }
+}
+
+void Compiler::parseGlobalInit(const Declarator &DIn, uint32_t SymIdx) {
+  Declarator D = DIn;
+  ir::Global G;
+  G.SymbolIndex = SymIdx;
+  G.Align = std::max<uint32_t>(TT.alignOf(D.Ty), 1);
+
+  auto storeScalar = [&](std::vector<uint8_t> &Out, TypeId Ty, int64_t V) {
+    uint32_t Sz = TT.sizeOf(Ty);
+    for (uint32_t I = 0; I != Sz; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  };
+
+  if (Lex.accept(Tok::Assign)) {
+    if (Lex.kind() == Tok::StrConst && TT.isArray(D.Ty)) {
+      std::string S = Lex.strValue();
+      Lex.next();
+      uint32_t Need = static_cast<uint32_t>(S.size() + 1);
+      TypeId Elem = TT.get(D.Ty).Elem;
+      if (TT.get(D.Ty).ArraySize == 0)
+        D.Ty = TT.arrayOf(Elem, Need);
+      G.Init.assign(S.begin(), S.end());
+      G.Init.push_back(0);
+    } else if (Lex.accept(Tok::LBrace)) {
+      if (!TT.isArray(D.Ty)) {
+        error("brace initializer on non-array global");
+        return;
+      }
+      TypeId Elem = TT.get(D.Ty).Elem;
+      std::vector<uint8_t> Bytes;
+      uint32_t Count = 0;
+      if (!Lex.accept(Tok::RBrace)) {
+        for (;;) {
+          int64_t V = parseConstExpr();
+          storeScalar(Bytes, Elem, V);
+          ++Count;
+          if (!Lex.accept(Tok::Comma))
+            break;
+          if (Lex.kind() == Tok::RBrace)
+            break; // Trailing comma.
+        }
+        expect(Tok::RBrace);
+      }
+      if (TT.get(D.Ty).ArraySize == 0)
+        D.Ty = TT.arrayOf(Elem, Count);
+      G.Init = std::move(Bytes);
+    } else {
+      int64_t V = parseConstExpr();
+      std::vector<uint8_t> Bytes;
+      storeScalar(Bytes, TT.isScalar(D.Ty) ? D.Ty : TT.I32Ty, V);
+      G.Init = std::move(Bytes);
+    }
+  }
+  // Update the scope entry in case an unsized array got its size.
+  if (Sym *S = lookup(D.Name))
+    S->Ty = D.Ty;
+  G.Size = std::max<uint32_t>(TT.sizeOf(D.Ty), 1);
+  if (G.Init.size() > G.Size)
+    G.Size = static_cast<uint32_t>(G.Init.size());
+  M->Globals.push_back(std::move(G));
+}
+
+bool Compiler::parseFunctionDef(const Declarator &D) {
+  TypeId FnTy = D.Ty;
+  RetTy = TT.get(FnTy).Elem;
+
+  // Register (or re-register) the function symbol at file scope.
+  if (Sym *Existing = lookup(D.Name)) {
+    Existing->Ty = FnTy;
+  } else {
+    Sym S;
+    S.Kind = Sym::KFunc;
+    S.Name = D.Name;
+    S.Ty = FnTy;
+    S.SymIdx = M->internSymbol(D.Name, true);
+    Scopes[0].push_back(std::move(S));
+  }
+
+  F = M->addFunction(D.Name);
+  F->ParamBytes = static_cast<uint32_t>(D.Params.size() * 4);
+  GotoLabels.clear();
+
+  pushScope();
+  for (size_t I = 0; I != D.Params.size(); ++I) {
+    const auto &[PName, PTy] = D.Params[I];
+    Sym S;
+    S.Name = PName;
+    S.Ty = PTy;
+    if (I < 4) {
+      // Register parameter: the code generator stores it to a frame slot.
+      S.Kind = Sym::KLocal;
+      S.Off = allocLocal(4, 4);
+      F->ParamSlots.push_back(static_cast<uint32_t>(S.Off));
+    } else {
+      S.Kind = Sym::KStackParam;
+      S.Off = static_cast<int64_t>(4 * (I - 4));
+    }
+    declare(std::move(S));
+  }
+
+  if (!expect(Tok::LBrace))
+    return false;
+  while (!Lex.accept(Tok::RBrace)) {
+    if (Lex.kind() == Tok::End || Failed) {
+      if (!Failed)
+        error("unterminated function body");
+      return false;
+    }
+    parseStatement();
+  }
+  popScope();
+
+  for (const auto &[Name, L] : GotoLabels)
+    if (!L.Defined)
+      error("goto label '" + Name + "' never defined");
+
+  // Fall-off-the-end return.
+  if (TT.isVoid(RetTy))
+    emit(newTree(Op::RET, TypeSuffix::V, 0));
+  else
+    emit(newTree(Op::RET, valSuffix(promote(RetTy)), 0, tcnst(0)));
+  F = nullptr;
+  return !Failed;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant expressions
+//===----------------------------------------------------------------------===//
+
+int64_t Compiler::parseConstExpr() {
+  // Constant expressions are evaluated over a tiny recursive interpreter
+  // that mirrors the expression grammar for side-effect-free operators.
+  struct ConstEval {
+    Compiler &C;
+    explicit ConstEval(Compiler &C) : C(C) {}
+
+    int64_t primary() {
+      Lexer &L = C.Lex;
+      if (L.kind() == Tok::IntConst) {
+        int64_t V = L.intValue();
+        L.next();
+        return V;
+      }
+      if (L.accept(Tok::LParen)) {
+        // Either a cast-to-int-type (ignored at 32 bits) or parens.
+        std::optional<TypeId> Ty = C.tryParseBaseType();
+        if (Ty) {
+          C.expect(Tok::RParen);
+          int64_t V = unary();
+          uint32_t Sz = C.TT.sizeOf(*Ty);
+          if (Sz == 1)
+            return C.TT.isUnsigned(*Ty) ? (V & 0xFF)
+                                        : static_cast<int8_t>(V);
+          if (Sz == 2)
+            return C.TT.isUnsigned(*Ty) ? (V & 0xFFFF)
+                                        : static_cast<int16_t>(V);
+          return static_cast<int32_t>(V);
+        }
+        int64_t V = ternary();
+        C.expect(Tok::RParen);
+        return V;
+      }
+      if (L.accept(Tok::KwSizeof)) {
+        C.expect(Tok::LParen);
+        std::optional<TypeId> Ty = C.tryParseBaseType();
+        if (!Ty) {
+          C.error("sizeof in constant expressions requires a type");
+          return 0;
+        }
+        Declarator D;
+        C.parseDeclarator(*Ty, D);
+        C.expect(Tok::RParen);
+        return C.TT.sizeOf(D.Ty);
+      }
+      if (L.kind() == Tok::Ident) {
+        Sym *S = C.lookup(L.text());
+        if (S && S->Kind == Sym::KEnum) {
+          L.next();
+          return S->Off;
+        }
+        C.error("'" + L.text() + "' is not a constant");
+        L.next();
+        return 0;
+      }
+      C.error("expected constant expression");
+      return 0;
+    }
+
+    int64_t unary() {
+      Lexer &L = C.Lex;
+      if (L.accept(Tok::Minus))
+        return static_cast<int32_t>(-unary());
+      if (L.accept(Tok::Plus))
+        return unary();
+      if (L.accept(Tok::Tilde))
+        return static_cast<int32_t>(~unary());
+      if (L.accept(Tok::Bang))
+        return unary() == 0;
+      return primary();
+    }
+
+    int64_t binaryRhs(int MinPrec, int64_t Lhs) {
+      for (;;) {
+        Tok K = C.Lex.kind();
+        int Prec = precOf(K);
+        if (Prec < MinPrec)
+          return Lhs;
+        C.Lex.next();
+        int64_t Rhs = unary();
+        int NextPrec = precOf(C.Lex.kind());
+        if (NextPrec > Prec)
+          Rhs = binaryRhs(Prec + 1, Rhs);
+        Lhs = apply(K, Lhs, Rhs);
+      }
+    }
+
+    static int precOf(Tok K) {
+      switch (K) {
+      case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+      case Tok::Plus: case Tok::Minus: return 9;
+      case Tok::Shl: case Tok::Shr: return 8;
+      case Tok::Lt: case Tok::Gt: case Tok::Le: case Tok::Ge: return 7;
+      case Tok::EqEq: case Tok::NotEq: return 6;
+      case Tok::Amp: return 5;
+      case Tok::Caret: return 4;
+      case Tok::Pipe: return 3;
+      case Tok::AmpAmp: return 2;
+      case Tok::PipePipe: return 1;
+      default: return 0;
+      }
+    }
+
+    int64_t apply(Tok K, int64_t A, int64_t B) {
+      auto AI = static_cast<int32_t>(A), BI = static_cast<int32_t>(B);
+      switch (K) {
+      case Tok::Star: return static_cast<int32_t>(AI * BI);
+      case Tok::Slash: return BI ? AI / BI : 0;
+      case Tok::Percent: return BI ? AI % BI : 0;
+      case Tok::Plus: return static_cast<int32_t>(AI + BI);
+      case Tok::Minus: return static_cast<int32_t>(AI - BI);
+      case Tok::Shl: return static_cast<int32_t>(AI << (BI & 31));
+      case Tok::Shr: return AI >> (BI & 31);
+      case Tok::Lt: return AI < BI;
+      case Tok::Gt: return AI > BI;
+      case Tok::Le: return AI <= BI;
+      case Tok::Ge: return AI >= BI;
+      case Tok::EqEq: return AI == BI;
+      case Tok::NotEq: return AI != BI;
+      case Tok::Amp: return AI & BI;
+      case Tok::Caret: return AI ^ BI;
+      case Tok::Pipe: return AI | BI;
+      case Tok::AmpAmp: return AI && BI;
+      case Tok::PipePipe: return AI || BI;
+      default: return 0;
+      }
+    }
+
+    int64_t ternary() {
+      int64_t Cond = binaryRhs(1, unary());
+      if (!C.Lex.accept(Tok::Question))
+        return Cond;
+      int64_t T = ternary();
+      C.expect(Tok::Colon);
+      int64_t E = ternary();
+      return Cond ? T : E;
+    }
+  };
+  ConstEval CE(*this);
+  return CE.ternary();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Compiler::parseBlock() {
+  pushScope();
+  expect(Tok::LBrace);
+  while (!Lex.accept(Tok::RBrace)) {
+    if (Lex.kind() == Tok::End || Failed) {
+      if (!Failed)
+        error("unterminated block");
+      break;
+    }
+    parseStatement();
+  }
+  popScope();
+}
+
+void Compiler::parseLocalDecl() {
+  std::optional<TypeId> Base = tryParseBaseType();
+  assert(Base && "caller checked startsType");
+  if (Lex.accept(Tok::Semi))
+    return; // Local struct definition.
+  for (;;) {
+    Declarator D;
+    if (!parseDeclarator(*Base, D))
+      return;
+    if (D.IsFunc) {
+      // Local function prototype.
+      if (!lookup(D.Name)) {
+        Sym S;
+        S.Kind = Sym::KFunc;
+        S.Name = D.Name;
+        S.Ty = D.Ty;
+        S.SymIdx = M->internSymbol(D.Name, true);
+        Scopes[0].push_back(std::move(S));
+      }
+    } else {
+      // Unsized local arrays take their size from a string initializer.
+      if (TT.isArray(D.Ty) && TT.get(D.Ty).ArraySize == 0 &&
+          Lex.kind() != Tok::Assign) {
+        error("unsized local array");
+        return;
+      }
+      Sym S;
+      S.Kind = Sym::KLocal;
+      S.Name = D.Name;
+      S.Ty = D.Ty;
+      if (Lex.kind() == Tok::Assign && TT.isArray(D.Ty)) {
+        Lex.next();
+        if (Lex.kind() != Tok::StrConst) {
+          error("local array initializers support string literals only");
+          return;
+        }
+        std::string Str = Lex.strValue();
+        Lex.next();
+        uint32_t Need = static_cast<uint32_t>(Str.size() + 1);
+        if (TT.get(D.Ty).ArraySize == 0)
+          S.Ty = TT.arrayOf(TT.get(D.Ty).Elem, Need);
+        S.Off = allocLocal(TT.sizeOf(S.Ty), TT.alignOf(S.Ty));
+        // Copy the pooled string into the local array.
+        Value StrV = {nullptr, 0, false, false, false};
+        uint32_t StrSym;
+        auto It = StringPool.find(Str);
+        if (It != StringPool.end()) {
+          StrSym = It->second;
+        } else {
+          std::string GName = "Lstr" + std::to_string(StrCounter++);
+          StrSym = M->internSymbol(GName, false);
+          ir::Global G;
+          G.SymbolIndex = StrSym;
+          G.Size = Need;
+          G.Align = 1;
+          G.Init.assign(Str.begin(), Str.end());
+          G.Init.push_back(0);
+          M->Globals.push_back(std::move(G));
+          StringPool[Str] = StrSym;
+        }
+        (void)StrV;
+        emit(newTree(Op::ASGNB, TypeSuffix::B, Need, taddrl(S.Off),
+                     newTree(Op::ADDRG, TypeSuffix::P, StrSym)));
+        declare(std::move(S));
+      } else {
+        S.Off = allocLocal(std::max<uint32_t>(TT.sizeOf(S.Ty), 1),
+                           std::max<uint32_t>(TT.alignOf(S.Ty), 1));
+        Sym &Decl = declare(std::move(S));
+        if (Lex.accept(Tok::Assign)) {
+          if (!TT.isScalar(Decl.Ty) && !TT.isStruct(Decl.Ty)) {
+            error("unsupported local initializer");
+            return;
+          }
+          Value R = rvalue(parseAssign());
+          emitStore(taddrl(Decl.Off), Decl.Ty, R);
+        }
+      }
+    }
+    if (Lex.accept(Tok::Comma))
+      continue;
+    expect(Tok::Semi);
+    return;
+  }
+}
+
+bool Compiler::condNeedsValueLowering(Tok Stop) {
+  // Scan ahead to the matching ')' / stop token; if a top-level ||, ?:,
+  // comma or assignment appears, the condition is parsed as a plain
+  // expression (value lowering) instead of direct branches.
+  Lexer::State S = Lex.save();
+  int Depth = 0;
+  bool Complex = false;
+  for (;;) {
+    Tok K = Lex.kind();
+    if (K == Tok::End)
+      break;
+    if (K == Tok::LParen || K == Tok::LBracket) {
+      ++Depth;
+    } else if (K == Tok::RParen || K == Tok::RBracket) {
+      if (Depth == 0)
+        break;
+      --Depth;
+    } else if (Depth == 0) {
+      if (K == Stop)
+        break;
+      switch (K) {
+      case Tok::PipePipe:
+      case Tok::Question:
+      case Tok::Comma:
+      case Tok::Assign:
+      case Tok::PlusAssign: case Tok::MinusAssign: case Tok::StarAssign:
+      case Tok::SlashAssign: case Tok::PercentAssign: case Tok::AmpAssign:
+      case Tok::PipeAssign: case Tok::CaretAssign: case Tok::ShlAssign:
+      case Tok::ShrAssign:
+        Complex = true;
+        break;
+      default:
+        break;
+      }
+      if (Complex)
+        break;
+    }
+    Lex.next();
+  }
+  Lex.restore(S);
+  return Complex;
+}
+
+void Compiler::parseCondFalse(uint32_t FalseL, Tok Stop) {
+  if (condNeedsValueLowering(Stop)) {
+    Value V = parseExpr();
+    emitBranch(V, FalseL, /*IfTrue=*/false);
+    return;
+  }
+  // Pure &&-chain (possibly a single atom): every atom false-branches to
+  // FalseL, reproducing the paper's inverted-comparison shape
+  // (if (j > 0) ... => LEI[L](j, 0)).
+  for (;;) {
+    Value A = parseBinary(3); // Binary levels at/above bitwise-or.
+    emitBranch(A, FalseL, /*IfTrue=*/false);
+    if (!Lex.accept(Tok::AmpAmp))
+      return;
+  }
+}
+
+void Compiler::parseCondTrue(uint32_t TrueL, Tok Stop) {
+  if (condNeedsValueLowering(Stop)) {
+    Value V = parseExpr();
+    emitBranch(V, TrueL, /*IfTrue=*/true);
+    return;
+  }
+  uint32_t FailL = ~0u;
+  for (;;) {
+    Value A = parseBinary(3);
+    if (Lex.accept(Tok::AmpAmp)) {
+      if (FailL == ~0u)
+        FailL = newLabel();
+      emitBranch(A, FailL, /*IfTrue=*/false);
+      continue;
+    }
+    emitBranch(A, TrueL, /*IfTrue=*/true);
+    break;
+  }
+  if (FailL != ~0u)
+    placeLabel(FailL);
+}
+
+void Compiler::parseStatement() {
+  switch (Lex.kind()) {
+  case Tok::LBrace:
+    parseBlock();
+    return;
+  case Tok::Semi:
+    Lex.next();
+    return;
+  case Tok::KwIf: {
+    Lex.next();
+    expect(Tok::LParen);
+    uint32_t ElseL = newLabel();
+    parseCondFalse(ElseL, Tok::RParen);
+    expect(Tok::RParen);
+    parseStatement();
+    if (Lex.accept(Tok::KwElse)) {
+      uint32_t EndL = newLabel();
+      emitJump(EndL);
+      placeLabel(ElseL);
+      parseStatement();
+      placeLabel(EndL);
+    } else {
+      placeLabel(ElseL);
+    }
+    return;
+  }
+  case Tok::KwWhile: {
+    Lex.next();
+    expect(Tok::LParen);
+    uint32_t TopL = newLabel(), EndL = newLabel();
+    placeLabel(TopL);
+    parseCondFalse(EndL, Tok::RParen);
+    expect(Tok::RParen);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(TopL);
+    parseStatement();
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emitJump(TopL);
+    placeLabel(EndL);
+    return;
+  }
+  case Tok::KwDo: {
+    Lex.next();
+    uint32_t TopL = newLabel(), EndL = newLabel(), ContL = newLabel();
+    placeLabel(TopL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(ContL);
+    parseStatement();
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    placeLabel(ContL);
+    expect(Tok::KwWhile);
+    expect(Tok::LParen);
+    parseCondTrue(TopL, Tok::RParen);
+    expect(Tok::RParen);
+    expect(Tok::Semi);
+    placeLabel(EndL);
+    return;
+  }
+  case Tok::KwFor: {
+    Lex.next();
+    expect(Tok::LParen);
+    pushScope();
+    if (!Lex.accept(Tok::Semi)) {
+      if (startsType()) {
+        parseLocalDecl(); // Consumes the ';'.
+      } else {
+        parseExpr();
+        expect(Tok::Semi);
+      }
+    }
+    uint32_t TopL = newLabel(), EndL = newLabel(), ContL = newLabel();
+    placeLabel(TopL);
+    if (!Lex.accept(Tok::Semi)) {
+      parseCondFalse(EndL, Tok::Semi);
+      expect(Tok::Semi);
+    }
+    // Step expression: parse lazily by snapshotting the lexer, emit after
+    // the body (single-pass trick).
+    Lexer::State StepStart = Lex.save();
+    int Depth = 0;
+    while (!(Lex.kind() == Tok::RParen && Depth == 0)) {
+      if (Lex.kind() == Tok::LParen)
+        ++Depth;
+      else if (Lex.kind() == Tok::RParen)
+        --Depth;
+      else if (Lex.kind() == Tok::End) {
+        error("unterminated for header");
+        return;
+      }
+      Lex.next();
+    }
+    Lexer::State AfterStep = Lex.save();
+    expect(Tok::RParen);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(ContL);
+    parseStatement();
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    placeLabel(ContL);
+    Lexer::State AfterBody = Lex.save();
+    Lex.restore(StepStart);
+    if (Lex.kind() != Tok::RParen)
+      parseExpr();
+    Lex.restore(AfterBody);
+    (void)AfterStep;
+    emitJump(TopL);
+    placeLabel(EndL);
+    popScope();
+    return;
+  }
+  case Tok::KwReturn: {
+    Lex.next();
+    if (Lex.accept(Tok::Semi)) {
+      emit(newTree(Op::RET, TypeSuffix::V, 0));
+      return;
+    }
+    Value V = rvalue(parseExpr());
+    expect(Tok::Semi);
+    if (TT.isVoid(RetTy)) {
+      error("return with a value in a void function");
+      return;
+    }
+    emit(newTree(Op::RET, valSuffix(promote(RetTy)), 0, V.T));
+    return;
+  }
+  case Tok::KwBreak: {
+    Lex.next();
+    expect(Tok::Semi);
+    if (BreakLabels.empty()) {
+      error("break outside loop or switch");
+      return;
+    }
+    emitJump(BreakLabels.back());
+    return;
+  }
+  case Tok::KwContinue: {
+    Lex.next();
+    expect(Tok::Semi);
+    if (ContinueLabels.empty()) {
+      error("continue outside loop");
+      return;
+    }
+    emitJump(ContinueLabels.back());
+    return;
+  }
+  case Tok::KwSwitch: {
+    Lex.next();
+    expect(Tok::LParen);
+    Value Scrut = rvalue(parseExpr());
+    expect(Tok::RParen);
+    SwitchCtx Ctx;
+    Ctx.EndL = newLabel();
+    Ctx.DispatchL = newLabel();
+    Ctx.TempOff = newTemp();
+    emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(Ctx.TempOff), Scrut.T));
+    emitJump(Ctx.DispatchL);
+    Switches.push_back(Ctx);
+    BreakLabels.push_back(Ctx.EndL);
+    parseStatement();
+    BreakLabels.pop_back();
+    SwitchCtx Done = Switches.back();
+    Switches.pop_back();
+    emitJump(Done.EndL);
+    placeLabel(Done.DispatchL);
+    for (const auto &[K, L] : Done.Cases)
+      emit(newTree(Op::EQ, TypeSuffix::I, L,
+                   newTree(Op::INDIR, TypeSuffix::I, 0,
+                           taddrl(Done.TempOff)),
+                   tcnst(K)));
+    emitJump(Done.DefaultL != ~0u ? Done.DefaultL : Done.EndL);
+    placeLabel(Done.EndL);
+    return;
+  }
+  case Tok::KwCase: {
+    Lex.next();
+    int64_t K = parseConstExpr();
+    expect(Tok::Colon);
+    if (Switches.empty()) {
+      error("case outside switch");
+      return;
+    }
+    uint32_t L = newLabel();
+    placeLabel(L);
+    Switches.back().Cases.push_back({K, L});
+    parseStatement();
+    return;
+  }
+  case Tok::KwDefault: {
+    Lex.next();
+    expect(Tok::Colon);
+    if (Switches.empty()) {
+      error("default outside switch");
+      return;
+    }
+    uint32_t L = newLabel();
+    placeLabel(L);
+    Switches.back().DefaultL = L;
+    parseStatement();
+    return;
+  }
+  case Tok::KwGoto: {
+    Lex.next();
+    if (Lex.kind() != Tok::Ident) {
+      error("expected label after goto");
+      return;
+    }
+    std::string Name = Lex.text();
+    Lex.next();
+    expect(Tok::Semi);
+    auto It = GotoLabels.find(Name);
+    if (It == GotoLabels.end())
+      It = GotoLabels.insert({Name, {newLabel(), false}}).first;
+    emitJump(It->second.Id);
+    return;
+  }
+  default:
+    break;
+  }
+
+  if (startsType()) {
+    parseLocalDecl();
+    return;
+  }
+
+  // Named label: IDENT ':' (but not part of an expression).
+  if (Lex.kind() == Tok::Ident) {
+    Lexer::State S = Lex.save();
+    std::string Name = Lex.text();
+    Lex.next();
+    if (Lex.kind() == Tok::Colon) {
+      Lex.next();
+      auto It = GotoLabels.find(Name);
+      if (It == GotoLabels.end())
+        It = GotoLabels.insert({Name, {newLabel(), false}}).first;
+      if (It->second.Defined) {
+        error("label '" + Name + "' redefined");
+        return;
+      }
+      It->second.Defined = true;
+      placeLabel(It->second.Id);
+      parseStatement();
+      return;
+    }
+    Lex.restore(S);
+  }
+
+  // Expression statement.
+  Value V = parseExpr();
+  expect(Tok::Semi);
+  if (V.BareCall) {
+    emit(V.T); // Call for effect, result discarded.
+    return;
+  }
+  // Assignments and side effects were already emitted; a remaining pure
+  // tree is discarded.
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Value Compiler::parseExpr() {
+  Value V = parseAssign();
+  while (Lex.accept(Tok::Comma)) {
+    if (V.BareCall)
+      emit(V.T);
+    V = parseAssign();
+  }
+  return V;
+}
+
+Value Compiler::parseAssign() {
+  Value L = parseConditional();
+  Tok K = Lex.kind();
+  Op BinOp;
+  switch (K) {
+  case Tok::Assign: BinOp = Op::NumOps; break;
+  case Tok::PlusAssign: BinOp = Op::ADD; break;
+  case Tok::MinusAssign: BinOp = Op::SUB; break;
+  case Tok::StarAssign: BinOp = Op::MUL; break;
+  case Tok::SlashAssign: BinOp = Op::DIV; break;
+  case Tok::PercentAssign: BinOp = Op::MOD; break;
+  case Tok::AmpAssign: BinOp = Op::BAND; break;
+  case Tok::PipeAssign: BinOp = Op::BOR; break;
+  case Tok::CaretAssign: BinOp = Op::BXOR; break;
+  case Tok::ShlAssign: BinOp = Op::LSH; break;
+  case Tok::ShrAssign: BinOp = Op::RSH; break;
+  default:
+    return L;
+  }
+  Lex.next();
+  if (!L.LValue) {
+    error("assignment to non-lvalue");
+    return L;
+  }
+
+  if (K == Tok::Assign) {
+    Value R = rvalue(parseAssign());
+    if (TT.isStruct(L.Ty)) {
+      emitStore(L.T, L.Ty, R);
+      return L;
+    }
+    L = reusableAddr(L);
+    // Narrow stores truncate implicitly; pointer/int mix is accepted.
+    emitStore(addrCopy(L), L.Ty, R);
+    return L;
+  }
+
+  // Compound assignment: load, op, store.
+  L = reusableAddr(L);
+  Value Cur = rvalue(Value{addrCopy(L), L.Ty, true, false, false});
+  Value R = rvalue(parseAssign());
+  TypeSuffix S;
+  Tree *NewV;
+  if (TT.isPointer(L.Ty) && (BinOp == Op::ADD || BinOp == Op::SUB)) {
+    uint32_t Sz = TT.sizeOf(TT.get(L.Ty).Elem);
+    Tree *Scaled = tbin(Op::MUL, TypeSuffix::I, R.T, tcnst(Sz));
+    NewV = tbin(BinOp, TypeSuffix::P, Cur.T, Scaled);
+  } else {
+    bool U = TT.isUnsigned(Cur.Ty) || TT.isUnsigned(R.Ty);
+    S = U ? TypeSuffix::U : TypeSuffix::I;
+    NewV = tbin(BinOp, S, Cur.T, R.T);
+  }
+  emitStore(addrCopy(L), L.Ty, Value{NewV, L.Ty, false, false, false});
+  return L;
+}
+
+Value Compiler::parseConditional() {
+  Value C = parseLogicalOr();
+  if (!Lex.accept(Tok::Question))
+    return C;
+  uint32_t ElseL = newLabel(), EndL = newLabel();
+  uint32_t Tmp = newTemp();
+  emitBranch(C, ElseL, /*IfTrue=*/false);
+  Value TV = rvalue(parseAssign());
+  TypeSuffix S = memSuffix(TT.isScalar(TV.Ty) ? TV.Ty : TT.I32Ty);
+  emit(newTree(Op::ASGN, S, 0, taddrl(Tmp), TV.T));
+  emitJump(EndL);
+  placeLabel(ElseL);
+  expect(Tok::Colon);
+  Value EV = rvalue(parseConditional());
+  emit(newTree(Op::ASGN, S, 0, taddrl(Tmp), EV.T));
+  placeLabel(EndL);
+  TypeId Ty = TV.Ty;
+  return {newTree(Op::INDIR, S, 0, taddrl(Tmp)), Ty, false, false, false};
+}
+
+Value Compiler::parseLogicalOr() {
+  Value L = parseLogicalAnd();
+  if (Lex.kind() != Tok::PipePipe)
+    return L;
+  uint32_t Tmp = newTemp(), EndL = newLabel();
+  emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(Tmp), tcnst(1)));
+  emitBranch(L, EndL, /*IfTrue=*/true);
+  while (Lex.accept(Tok::PipePipe)) {
+    Value R = parseLogicalAnd();
+    emitBranch(R, EndL, /*IfTrue=*/true);
+  }
+  emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(Tmp), tcnst(0)));
+  placeLabel(EndL);
+  return {newTree(Op::INDIR, TypeSuffix::I, 0, taddrl(Tmp)), TT.I32Ty,
+          false, false, false};
+}
+
+Value Compiler::parseLogicalAnd() {
+  Value L = parseBinary(3);
+  if (Lex.kind() != Tok::AmpAmp)
+    return L;
+  uint32_t Tmp = newTemp(), EndL = newLabel();
+  emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(Tmp), tcnst(0)));
+  emitBranch(L, EndL, /*IfTrue=*/false);
+  while (Lex.accept(Tok::AmpAmp)) {
+    Value R = parseBinary(3);
+    emitBranch(R, EndL, /*IfTrue=*/false);
+  }
+  emit(newTree(Op::ASGN, TypeSuffix::I, 0, taddrl(Tmp), tcnst(1)));
+  placeLabel(EndL);
+  return {newTree(Op::INDIR, TypeSuffix::I, 0, taddrl(Tmp)), TT.I32Ty,
+          false, false, false};
+}
+
+/// Binary operator precedences (bitwise-or level = 3 upward; && and ||
+/// are handled separately for short-circuit lowering).
+static int binPrec(Tok K) {
+  switch (K) {
+  case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+  case Tok::Plus: case Tok::Minus: return 9;
+  case Tok::Shl: case Tok::Shr: return 8;
+  case Tok::Lt: case Tok::Gt: case Tok::Le: case Tok::Ge: return 7;
+  case Tok::EqEq: case Tok::NotEq: return 6;
+  case Tok::Amp: return 5;
+  case Tok::Caret: return 4;
+  case Tok::Pipe: return 3;
+  default: return 0;
+  }
+}
+
+Value Compiler::parseBinary(int MinPrec) {
+  Value L = parseUnary();
+  for (;;) {
+    Tok K = Lex.kind();
+    int Prec = binPrec(K);
+    if (Prec < MinPrec)
+      return L;
+    Lex.next();
+    Value LV = rvalue(L);
+    // Parse the right side at strictly higher precedence (left assoc).
+    Value RV = rvalue(parseBinary(Prec + 1));
+    L = combine(K, LV, RV);
+  }
+}
+
+Value Compiler::parsePrimary() {
+  switch (Lex.kind()) {
+  case Tok::IntConst: {
+    int64_t V = Lex.intValue();
+    Lex.next();
+    return {tcnst(V), TT.I32Ty, false, false, false};
+  }
+  case Tok::StrConst: {
+    std::string S = Lex.strValue();
+    Lex.next();
+    uint32_t SymIdx;
+    auto It = StringPool.find(S);
+    if (It != StringPool.end()) {
+      SymIdx = It->second;
+    } else {
+      std::string GName = "Lstr" + std::to_string(StrCounter++);
+      SymIdx = M->internSymbol(GName, false);
+      ir::Global G;
+      G.SymbolIndex = SymIdx;
+      G.Size = static_cast<uint32_t>(S.size() + 1);
+      G.Align = 1;
+      G.Init.assign(S.begin(), S.end());
+      G.Init.push_back(0);
+      M->Globals.push_back(std::move(G));
+      StringPool[S] = SymIdx;
+    }
+    return {newTree(Op::ADDRG, TypeSuffix::P, SymIdx),
+            TT.pointerTo(TT.I8Ty), false, false, false};
+  }
+  case Tok::LParen: {
+    Lex.next();
+    Value V = parseExpr();
+    expect(Tok::RParen);
+    return V;
+  }
+  case Tok::Ident: {
+    std::string Name = Lex.text();
+    Lex.next();
+    Sym *S = lookup(Name);
+    if (Lex.kind() == Tok::LParen) {
+      // Function call (possibly implicitly declared).
+      if (!S) {
+        Sym NS;
+        NS.Kind = Sym::KFunc;
+        NS.Name = Name;
+        NS.Ty = TT.functionOf(TT.I32Ty, {});
+        NS.SymIdx = M->internSymbol(Name, true);
+        Scopes[0].push_back(std::move(NS));
+        S = lookup(Name);
+      }
+      if (S->Kind == Sym::KFunc)
+        return parseCall(S);
+    }
+    if (!S) {
+      error("undeclared identifier '" + Name + "'");
+      return {tcnst(0), TT.I32Ty, false, false, false};
+    }
+    switch (S->Kind) {
+    case Sym::KEnum:
+      return {tcnst(S->Off), TT.I32Ty, false, false, false};
+    case Sym::KLocal:
+      return {taddrl(S->Off), S->Ty, true, false, false};
+    case Sym::KStackParam:
+      return {newTree(Op::ADDRF, TypeSuffix::P, S->Off), S->Ty, true,
+              false, false};
+    case Sym::KGlobal:
+      return {newTree(Op::ADDRG, TypeSuffix::P, S->SymIdx), S->Ty, true,
+              false, false};
+    case Sym::KFunc:
+      return {newTree(Op::ADDRG, TypeSuffix::P, S->SymIdx), S->Ty, true,
+              false, false};
+    }
+    ccomp_unreachable("bad symbol kind");
+  }
+  default:
+    error(std::string("unexpected token '") + tokName(Lex.kind()) +
+          "' in expression");
+    Lex.next();
+    return {tcnst(0), TT.I32Ty, false, false, false};
+  }
+}
+
+Value Compiler::parseCall(Sym *FnSym) {
+  expect(Tok::LParen);
+  const Type &FnTy = TT.get(FnSym->Ty);
+  TypeId Ret = FnTy.Elem;
+
+  std::vector<Value> Args;
+  if (!Lex.accept(Tok::RParen)) {
+    for (;;) {
+      Value A = rvalue(parseAssign());
+      Args.push_back(A);
+      if (!Lex.accept(Tok::Comma))
+        break;
+    }
+    expect(Tok::RParen);
+  }
+
+  // Emit ARG trees immediately before the CALL (lcc convention).
+  for (Value &A : Args) {
+    TypeSuffix S = valSuffix(A.Ty);
+    emit(newTree(Op::ARG, S, 0, A.T));
+  }
+
+  TypeSuffix CallS = TT.isVoid(Ret) ? TypeSuffix::V : valSuffix(promote(Ret));
+  Tree *Callee = newTree(Op::ADDRG, TypeSuffix::P, FnSym->SymIdx);
+  Tree *Call = newTree(Op::CALL, CallS, static_cast<int64_t>(Args.size()),
+                       Callee);
+  return {Call, Ret, false, false, /*BareCall=*/true};
+}
+
+Value Compiler::parsePostfix() {
+  Value V = parsePrimary();
+  for (;;) {
+    switch (Lex.kind()) {
+    case Tok::LBracket: {
+      Lex.next();
+      Value Base = rvalue(V);
+      Value Idx = rvalue(parseExpr());
+      expect(Tok::RBracket);
+      if (!TT.isPointer(Base.Ty)) {
+        // index[ptr] form.
+        std::swap(Base, Idx);
+      }
+      if (!TT.isPointer(Base.Ty)) {
+        error("subscripted value is not a pointer or array");
+        return Base;
+      }
+      TypeId Elem = TT.get(Base.Ty).Elem;
+      uint32_t Sz = TT.sizeOf(Elem);
+      Tree *Scaled = tbin(Op::MUL, TypeSuffix::I, Idx.T,
+                          tcnst(static_cast<int64_t>(Sz)));
+      Tree *Addr = tbin(Op::ADD, TypeSuffix::P, Base.T, Scaled);
+      V = {Addr, Elem, true, false, false};
+      continue;
+    }
+    case Tok::Dot:
+    case Tok::Arrow: {
+      bool IsArrow = Lex.kind() == Tok::Arrow;
+      Lex.next();
+      if (Lex.kind() != Tok::Ident) {
+        error("expected member name");
+        return V;
+      }
+      std::string Member = Lex.text();
+      Lex.next();
+      Tree *Addr;
+      TypeId StructTy;
+      if (IsArrow) {
+        Value P = rvalue(V);
+        if (!TT.isPointer(P.Ty) || !TT.isStruct(TT.get(P.Ty).Elem)) {
+          error("-> on non-struct-pointer");
+          return V;
+        }
+        Addr = P.T;
+        StructTy = TT.get(P.Ty).Elem;
+      } else {
+        if (!V.LValue || !TT.isStruct(V.Ty)) {
+          error(". on non-struct");
+          return V;
+        }
+        Addr = V.T;
+        StructTy = V.Ty;
+      }
+      const StructInfo &SI = TT.structInfo(TT.get(StructTy).StructIdx);
+      const Field *Fld = nullptr;
+      for (const Field &Candidate : SI.Fields)
+        if (Candidate.Name == Member)
+          Fld = &Candidate;
+      if (!Fld) {
+        error("no member '" + Member + "' in struct " + SI.Name);
+        return V;
+      }
+      Tree *FA = Fld->Offset
+                     ? tbin(Op::ADD, TypeSuffix::P, Addr,
+                            tcnst(static_cast<int64_t>(Fld->Offset)))
+                     : Addr;
+      V = {FA, Fld->Ty, true, false, false};
+      continue;
+    }
+    case Tok::PlusPlus:
+    case Tok::MinusMinus: {
+      bool Inc = Lex.kind() == Tok::PlusPlus;
+      Lex.next();
+      if (!V.LValue) {
+        error("++/-- on non-lvalue");
+        return V;
+      }
+      Value L = reusableAddr(V);
+      Value Old = rvalue(Value{addrCopy(L), L.Ty, true, false, false});
+      // Save the old value.
+      uint32_t Tmp = newTemp();
+      TypeSuffix S = memSuffix(promote(TT.isScalar(L.Ty) ? L.Ty : TT.I32Ty));
+      emit(newTree(Op::ASGN, S, 0, taddrl(Tmp), Old.T));
+      // Store the new value.
+      Tree *Delta;
+      TypeSuffix OpS;
+      if (TT.isPointer(L.Ty)) {
+        Delta = tcnst(static_cast<int64_t>(TT.sizeOf(TT.get(L.Ty).Elem)));
+        OpS = TypeSuffix::P;
+      } else {
+        Delta = tcnst(1);
+        OpS = valSuffix(promote(L.Ty));
+      }
+      Tree *Reload = newTree(Op::INDIR, S, 0, taddrl(Tmp));
+      Tree *NewV = tbin(Inc ? Op::ADD : Op::SUB, OpS, Reload, Delta);
+      emitStore(addrCopy(L), L.Ty, Value{NewV, L.Ty, false, false, false});
+      V = {newTree(Op::INDIR, S, 0, taddrl(Tmp)),
+           promote(TT.isScalar(L.Ty) ? L.Ty : TT.I32Ty), false, false,
+           false};
+      continue;
+    }
+    default:
+      return V;
+    }
+  }
+}
+
+Value Compiler::parseUnary() {
+  switch (Lex.kind()) {
+  case Tok::PlusPlus:
+  case Tok::MinusMinus: {
+    bool Inc = Lex.kind() == Tok::PlusPlus;
+    Lex.next();
+    Value V = parseUnary();
+    if (!V.LValue) {
+      error("++/-- on non-lvalue");
+      return V;
+    }
+    Value L = reusableAddr(V);
+    Value Cur = rvalue(Value{addrCopy(L), L.Ty, true, false, false});
+    Tree *Delta;
+    TypeSuffix OpS;
+    if (TT.isPointer(L.Ty)) {
+      Delta = tcnst(static_cast<int64_t>(TT.sizeOf(TT.get(L.Ty).Elem)));
+      OpS = TypeSuffix::P;
+    } else {
+      Delta = tcnst(1);
+      OpS = valSuffix(promote(L.Ty));
+    }
+    Tree *NewV = tbin(Inc ? Op::ADD : Op::SUB, OpS, Cur.T, Delta);
+    emitStore(addrCopy(L), L.Ty, Value{NewV, L.Ty, false, false, false});
+    return Value{addrCopy(L), L.Ty, true, false, false};
+  }
+  case Tok::Plus:
+    Lex.next();
+    return rvalue(parseUnary());
+  case Tok::Minus: {
+    Lex.next();
+    Value V = rvalue(parseUnary());
+    if (V.T->O == Op::CNST)
+      return {tcnst(static_cast<int32_t>(-V.T->Literal)), V.Ty, false,
+              false, false};
+    return {newTree(Op::NEG, valSuffix(V.Ty), 0, V.T), V.Ty, false, false,
+            false};
+  }
+  case Tok::Tilde: {
+    Lex.next();
+    Value V = rvalue(parseUnary());
+    if (V.T->O == Op::CNST)
+      return {tcnst(static_cast<int32_t>(~V.T->Literal)), V.Ty, false,
+              false, false};
+    return {newTree(Op::BCOM, valSuffix(V.Ty), 0, V.T), V.Ty, false, false,
+            false};
+  }
+  case Tok::Bang: {
+    Lex.next();
+    Value V = parseUnary();
+    if (V.IsCmp) {
+      V.T->O = invertCmp(V.T->O);
+      return V;
+    }
+    Value R = rvalue(V);
+    if (R.T->O == Op::CNST)
+      return {tcnst(R.T->Literal == 0), TT.I32Ty, false, false, false};
+    // !x is the pending comparison x == 0.
+    TypeSuffix S = valSuffix(R.Ty) == TypeSuffix::P ? TypeSuffix::U
+                                                    : valSuffix(R.Ty);
+    Tree *Cmp = newTree(Op::EQ, S, 0, R.T, tcnst(0));
+    return {Cmp, TT.I32Ty, false, /*IsCmp=*/true, false};
+  }
+  case Tok::Star: {
+    Lex.next();
+    Value V = rvalue(parseUnary());
+    if (!TT.isPointer(V.Ty)) {
+      error("dereference of non-pointer");
+      return V;
+    }
+    return {V.T, TT.get(V.Ty).Elem, true, false, false};
+  }
+  case Tok::Amp: {
+    Lex.next();
+    Value V = parseUnary();
+    if (!V.LValue) {
+      error("& requires an lvalue");
+      return V;
+    }
+    TypeId Ty = TT.isFunc(V.Ty) ? TT.pointerTo(V.Ty) : TT.pointerTo(V.Ty);
+    return {V.T, Ty, false, false, false};
+  }
+  case Tok::KwSizeof: {
+    Lex.next();
+    if (Lex.kind() == Tok::LParen) {
+      Lexer::State S = Lex.save();
+      Lex.next();
+      std::optional<TypeId> Ty = tryParseBaseType();
+      if (Ty) {
+        Declarator D;
+        parseDeclarator(*Ty, D);
+        expect(Tok::RParen);
+        return {tcnst(TT.sizeOf(D.Ty), TypeSuffix::U), TT.U32Ty, false,
+                false, false};
+      }
+      Lex.restore(S);
+    }
+    Value V = parseUnary();
+    TypeId Ty = V.Ty;
+    return {tcnst(TT.sizeOf(Ty), TypeSuffix::U), TT.U32Ty, false, false,
+            false};
+  }
+  case Tok::LParen: {
+    // Possible cast.
+    Lexer::State S = Lex.save();
+    Lex.next();
+    std::optional<TypeId> Base = tryParseBaseType();
+    if (Base) {
+      Declarator D;
+      D.Ty = *Base;
+      // Abstract declarator: pointers only (no abstract arrays/functions).
+      TypeId Ty = *Base;
+      while (Lex.accept(Tok::Star))
+        Ty = TT.pointerTo(Ty);
+      if (Lex.accept(Tok::RParen)) {
+        Value V = rvalue(parseUnary());
+        // Casts: truncate to sub-word types; otherwise retype.
+        switch (TT.get(Ty).K) {
+        case TyKind::I8:
+          return {newTree(Op::SXT8, TypeSuffix::I, 0, V.T), TT.I32Ty,
+                  false, false, false};
+        case TyKind::U8:
+          return {newTree(Op::ZXT8, TypeSuffix::I, 0, V.T), TT.I32Ty,
+                  false, false, false};
+        case TyKind::I16:
+          return {newTree(Op::SXT16, TypeSuffix::I, 0, V.T), TT.I32Ty,
+                  false, false, false};
+        case TyKind::U16:
+          return {newTree(Op::ZXT16, TypeSuffix::I, 0, V.T), TT.I32Ty,
+                  false, false, false};
+        case TyKind::Void:
+          return {V.T, TT.VoidTy, false, false, false};
+        default:
+          return {V.T, Ty, false, false, false};
+        }
+      }
+    }
+    Lex.restore(S);
+    return parsePostfix();
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Binary operator combination
+//===----------------------------------------------------------------------===//
+
+Value Compiler::combine(Tok K, Value L, Value R) {
+  // Comparison operators produce pending-comparison values.
+  Op CmpOp = Op::NumOps;
+  switch (K) {
+  case Tok::EqEq: CmpOp = Op::EQ; break;
+  case Tok::NotEq: CmpOp = Op::NE; break;
+  case Tok::Lt: CmpOp = Op::LT; break;
+  case Tok::Le: CmpOp = Op::LE; break;
+  case Tok::Gt: CmpOp = Op::GT; break;
+  case Tok::Ge: CmpOp = Op::GE; break;
+  default: break;
+  }
+  if (CmpOp != Op::NumOps) {
+    bool U = TT.isUnsigned(L.Ty) || TT.isUnsigned(R.Ty) ||
+             TT.isPointer(L.Ty) || TT.isPointer(R.Ty);
+    TypeSuffix S = U ? TypeSuffix::U : TypeSuffix::I;
+    if (L.T->O == Op::CNST && R.T->O == Op::CNST) {
+      int64_t A = L.T->Literal, B = R.T->Literal;
+      bool Res;
+      if (U) {
+        auto AU = static_cast<uint32_t>(A), BU = static_cast<uint32_t>(B);
+        switch (CmpOp) {
+        case Op::EQ: Res = AU == BU; break;
+        case Op::NE: Res = AU != BU; break;
+        case Op::LT: Res = AU < BU; break;
+        case Op::LE: Res = AU <= BU; break;
+        case Op::GT: Res = AU > BU; break;
+        default: Res = AU >= BU; break;
+        }
+      } else {
+        auto AI = static_cast<int32_t>(A), BI = static_cast<int32_t>(B);
+        switch (CmpOp) {
+        case Op::EQ: Res = AI == BI; break;
+        case Op::NE: Res = AI != BI; break;
+        case Op::LT: Res = AI < BI; break;
+        case Op::LE: Res = AI <= BI; break;
+        case Op::GT: Res = AI > BI; break;
+        default: Res = AI >= BI; break;
+        }
+      }
+      return {tcnst(Res), TT.I32Ty, false, false, false};
+    }
+    Tree *Cmp = newTree(CmpOp, S, 0, L.T, R.T);
+    return {Cmp, TT.I32Ty, false, /*IsCmp=*/true, false};
+  }
+
+  Op O;
+  switch (K) {
+  case Tok::Plus: O = Op::ADD; break;
+  case Tok::Minus: O = Op::SUB; break;
+  case Tok::Star: O = Op::MUL; break;
+  case Tok::Slash: O = Op::DIV; break;
+  case Tok::Percent: O = Op::MOD; break;
+  case Tok::Amp: O = Op::BAND; break;
+  case Tok::Pipe: O = Op::BOR; break;
+  case Tok::Caret: O = Op::BXOR; break;
+  case Tok::Shl: O = Op::LSH; break;
+  case Tok::Shr: O = Op::RSH; break;
+  default:
+    ccomp_unreachable("bad binary operator");
+  }
+
+  // Pointer arithmetic.
+  if (O == Op::ADD || O == Op::SUB) {
+    bool LP = TT.isPointer(L.Ty), RP = TT.isPointer(R.Ty);
+    if (LP && RP && O == Op::SUB) {
+      uint32_t Sz = TT.sizeOf(TT.get(L.Ty).Elem);
+      Tree *Diff = tbin(Op::SUB, TypeSuffix::I, L.T, R.T);
+      Tree *Res = Sz > 1 ? tbin(Op::DIV, TypeSuffix::I, Diff,
+                                tcnst(static_cast<int64_t>(Sz)))
+                         : Diff;
+      return {Res, TT.I32Ty, false, false, false};
+    }
+    if (LP || RP) {
+      if (RP && O == Op::ADD)
+        std::swap(L, R);
+      if (TT.isPointer(R.Ty)) {
+        error("invalid pointer arithmetic");
+        return L;
+      }
+      uint32_t Sz = TT.sizeOf(TT.get(L.Ty).Elem);
+      Tree *Scaled = tbin(Op::MUL, TypeSuffix::I, R.T,
+                          tcnst(static_cast<int64_t>(Sz)));
+      Tree *Res = tbin(O, TypeSuffix::P, L.T, Scaled);
+      return {Res, L.Ty, false, false, false};
+    }
+  }
+
+  bool U = TT.isUnsigned(L.Ty) || TT.isUnsigned(R.Ty);
+  TypeSuffix S = U ? TypeSuffix::U : TypeSuffix::I;
+  // Shifts: result signedness follows the left operand.
+  if (O == Op::LSH || O == Op::RSH)
+    S = TT.isUnsigned(L.Ty) ? TypeSuffix::U : TypeSuffix::I;
+  Tree *T = tbin(O, S, L.T, R.T);
+  TypeId Ty = U ? TT.U32Ty : TT.I32Ty;
+  if (O == Op::LSH || O == Op::RSH)
+    Ty = L.Ty;
+  return {T, Ty, false, false, false};
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+CompileResult Compiler::run() {
+  while (Lex.kind() != Tok::End && !Failed)
+    if (!parseTopLevel())
+      break;
+  CompileResult R;
+  if (Failed) {
+    R.Error = Err;
+    return R;
+  }
+  std::string VerifyErr = ir::verify(*M);
+  if (!VerifyErr.empty()) {
+    R.Error = "internal: IR verification failed: " + VerifyErr;
+    return R;
+  }
+  R.M = std::move(M);
+  return R;
+}
+
+} // namespace
+
+CompileResult minic::compile(const std::string &Source) {
+  Compiler C(Source);
+  return C.run();
+}

@@ -1,0 +1,45 @@
+//===- minic/Compile.h - C subset to tree IR --------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end driver: compiles C-subset source text to a tree-IR
+/// Module (the representation the paper's wire format compresses).
+/// Translation is single-pass and syntax-directed, in the style of lcc.
+///
+/// Runtime interface: calls to the following names are recognized by the
+/// code generator and lowered to VM system calls; declaring them is
+/// optional (implicit declarations are accepted):
+///   void print_int(int), void print_char(int), void print_str(char *),
+///   void *alloc(int bytes), void exit(int code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_MINIC_COMPILE_H
+#define CCOMP_MINIC_COMPILE_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace ccomp {
+namespace minic {
+
+/// Result of a compilation: a module on success, else a diagnostic.
+struct CompileResult {
+  std::unique_ptr<ir::Module> M; ///< Null on error.
+  std::string Error;             ///< First diagnostic, with line number.
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Compiles \p Source (a full translation unit, no preprocessor).
+CompileResult compile(const std::string &Source);
+
+} // namespace minic
+} // namespace ccomp
+
+#endif // CCOMP_MINIC_COMPILE_H

@@ -1,0 +1,332 @@
+//===- minic/Lexer.cpp - C-subset lexer -----------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstring>
+#include <unordered_map>
+
+using namespace ccomp;
+using namespace ccomp::minic;
+
+const char *ccomp::minic::tokName(Tok T) {
+  switch (T) {
+  case Tok::End: return "<eof>";
+  case Tok::Ident: return "identifier";
+  case Tok::IntConst: return "integer constant";
+  case Tok::StrConst: return "string literal";
+  case Tok::KwVoid: return "void";
+  case Tok::KwChar: return "char";
+  case Tok::KwShort: return "short";
+  case Tok::KwInt: return "int";
+  case Tok::KwLong: return "long";
+  case Tok::KwUnsigned: return "unsigned";
+  case Tok::KwSigned: return "signed";
+  case Tok::KwStruct: return "struct";
+  case Tok::KwIf: return "if";
+  case Tok::KwElse: return "else";
+  case Tok::KwWhile: return "while";
+  case Tok::KwFor: return "for";
+  case Tok::KwDo: return "do";
+  case Tok::KwReturn: return "return";
+  case Tok::KwBreak: return "break";
+  case Tok::KwContinue: return "continue";
+  case Tok::KwSwitch: return "switch";
+  case Tok::KwCase: return "case";
+  case Tok::KwDefault: return "default";
+  case Tok::KwSizeof: return "sizeof";
+  case Tok::KwExtern: return "extern";
+  case Tok::KwStatic: return "static";
+  case Tok::KwConst: return "const";
+  case Tok::KwGoto: return "goto";
+  case Tok::KwEnum: return "enum";
+  case Tok::LParen: return "(";
+  case Tok::RParen: return ")";
+  case Tok::LBrace: return "{";
+  case Tok::RBrace: return "}";
+  case Tok::LBracket: return "[";
+  case Tok::RBracket: return "]";
+  case Tok::Semi: return ";";
+  case Tok::Comma: return ",";
+  case Tok::Colon: return ":";
+  case Tok::Question: return "?";
+  case Tok::Assign: return "=";
+  case Tok::Plus: return "+";
+  case Tok::Minus: return "-";
+  case Tok::Star: return "*";
+  case Tok::Slash: return "/";
+  case Tok::Percent: return "%";
+  case Tok::Amp: return "&";
+  case Tok::Pipe: return "|";
+  case Tok::Caret: return "^";
+  case Tok::Tilde: return "~";
+  case Tok::Bang: return "!";
+  case Tok::Lt: return "<";
+  case Tok::Gt: return ">";
+  case Tok::Le: return "<=";
+  case Tok::Ge: return ">=";
+  case Tok::EqEq: return "==";
+  case Tok::NotEq: return "!=";
+  case Tok::AmpAmp: return "&&";
+  case Tok::PipePipe: return "||";
+  case Tok::Shl: return "<<";
+  case Tok::Shr: return ">>";
+  case Tok::PlusPlus: return "++";
+  case Tok::MinusMinus: return "--";
+  case Tok::PlusAssign: return "+=";
+  case Tok::MinusAssign: return "-=";
+  case Tok::StarAssign: return "*=";
+  case Tok::SlashAssign: return "/=";
+  case Tok::PercentAssign: return "%=";
+  case Tok::AmpAssign: return "&=";
+  case Tok::PipeAssign: return "|=";
+  case Tok::CaretAssign: return "^=";
+  case Tok::ShlAssign: return "<<=";
+  case Tok::ShrAssign: return ">>=";
+  case Tok::Dot: return ".";
+  case Tok::Arrow: return "->";
+  }
+  return "<bad token>";
+}
+
+Lexer::Lexer(const std::string &Source) : Src(Source) { next(); }
+
+void Lexer::skipSpaceAndComments() {
+  for (;;) {
+    while (Pos < Src.size() &&
+           std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+      if (Src[Pos] == '\n')
+        ++Line;
+      ++Pos;
+    }
+    if (Pos + 1 < Src.size() && Src[Pos] == '/' && Src[Pos + 1] == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (Pos + 1 < Src.size() && Src[Pos] == '/' && Src[Pos + 1] == '*') {
+      Pos += 2;
+      while (Pos + 1 < Src.size() &&
+             !(Src[Pos] == '*' && Src[Pos + 1] == '/')) {
+        if (Src[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      Pos = Pos + 2 <= Src.size() ? Pos + 2 : Src.size();
+      continue;
+    }
+    return;
+  }
+}
+
+int Lexer::lexEscape() {
+  // Pos is just past the backslash.
+  char C = Pos < Src.size() ? Src[Pos++] : 0;
+  switch (C) {
+  case 'n': return '\n';
+  case 't': return '\t';
+  case 'r': return '\r';
+  case '0': return 0;
+  case 'b': return '\b';
+  case 'f': return '\f';
+  case 'v': return '\v';
+  case 'a': return '\a';
+  case '\\': return '\\';
+  case '\'': return '\'';
+  case '"': return '"';
+  case 'x': {
+    int V = 0;
+    while (Pos < Src.size() &&
+           std::isxdigit(static_cast<unsigned char>(Src[Pos]))) {
+      char D = Src[Pos++];
+      int Nib = D <= '9' ? D - '0' : (std::tolower(D) - 'a' + 10);
+      V = V * 16 + Nib;
+    }
+    return V & 0xFF;
+  }
+  default:
+    return C;
+  }
+}
+
+void Lexer::lexNumber() {
+  int64_t V = 0;
+  if (Src[Pos] == '0' && Pos + 1 < Src.size() &&
+      (Src[Pos + 1] == 'x' || Src[Pos + 1] == 'X')) {
+    Pos += 2;
+    while (Pos < Src.size() &&
+           std::isxdigit(static_cast<unsigned char>(Src[Pos]))) {
+      char D = Src[Pos++];
+      int Nib = D <= '9' ? D - '0' : (std::tolower(D) - 'a' + 10);
+      V = V * 16 + Nib;
+    }
+  } else {
+    while (Pos < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(Src[Pos])))
+      V = V * 10 + (Src[Pos++] - '0');
+  }
+  // Accept (and ignore) integer suffixes.
+  while (Pos < Src.size() && (Src[Pos] == 'u' || Src[Pos] == 'U' ||
+                              Src[Pos] == 'l' || Src[Pos] == 'L'))
+    ++Pos;
+  Kind = Tok::IntConst;
+  IntValue = static_cast<int32_t>(V); // The subset's int is 32-bit.
+}
+
+void Lexer::lexCharConst() {
+  ++Pos; // Opening quote.
+  int V = 0;
+  if (Pos < Src.size() && Src[Pos] == '\\') {
+    ++Pos;
+    V = lexEscape();
+  } else if (Pos < Src.size()) {
+    V = static_cast<unsigned char>(Src[Pos++]);
+  }
+  if (Pos < Src.size() && Src[Pos] == '\'')
+    ++Pos;
+  Kind = Tok::IntConst;
+  IntValue = V;
+}
+
+void Lexer::lexString() {
+  StrValue.clear();
+  for (;;) {
+    ++Pos; // Opening quote (or continue after concatenation).
+    while (Pos < Src.size() && Src[Pos] != '"') {
+      if (Src[Pos] == '\\') {
+        ++Pos;
+        StrValue.push_back(static_cast<char>(lexEscape()));
+      } else {
+        if (Src[Pos] == '\n')
+          ++Line;
+        StrValue.push_back(Src[Pos++]);
+      }
+    }
+    if (Pos < Src.size())
+      ++Pos; // Closing quote.
+    // Adjacent string literals concatenate.
+    size_t Save = Pos;
+    unsigned SaveLine = Line;
+    skipSpaceAndComments();
+    if (Pos < Src.size() && Src[Pos] == '"')
+      continue;
+    Pos = Save;
+    Line = SaveLine;
+    break;
+  }
+  Kind = Tok::StrConst;
+}
+
+void Lexer::next() {
+  skipSpaceAndComments();
+  TokLine = Line;
+  if (Pos >= Src.size()) {
+    Kind = Tok::End;
+    return;
+  }
+  char C = Src[Pos];
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    Text.clear();
+    while (Pos < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '_'))
+      Text.push_back(Src[Pos++]);
+    static const std::unordered_map<std::string, Tok> Keywords = {
+        {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+        {"short", Tok::KwShort},     {"int", Tok::KwInt},
+        {"long", Tok::KwLong},       {"unsigned", Tok::KwUnsigned},
+        {"signed", Tok::KwSigned},   {"struct", Tok::KwStruct},
+        {"if", Tok::KwIf},           {"else", Tok::KwElse},
+        {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+        {"do", Tok::KwDo},           {"return", Tok::KwReturn},
+        {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+        {"switch", Tok::KwSwitch},   {"case", Tok::KwCase},
+        {"default", Tok::KwDefault}, {"sizeof", Tok::KwSizeof},
+        {"extern", Tok::KwExtern},   {"static", Tok::KwStatic},
+        {"const", Tok::KwConst},     {"goto", Tok::KwGoto},
+        {"enum", Tok::KwEnum}};
+    auto It = Keywords.find(Text);
+    Kind = It != Keywords.end() ? It->second : Tok::Ident;
+    return;
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    lexNumber();
+    return;
+  }
+  if (C == '\'') {
+    lexCharConst();
+    return;
+  }
+  if (C == '"') {
+    lexString();
+    return;
+  }
+
+  auto Two = [&](char A, char B) {
+    return C == A && Pos + 1 < Src.size() && Src[Pos + 1] == B;
+  };
+  auto Three = [&](char A, char B, char D) {
+    return C == A && Pos + 2 < Src.size() && Src[Pos + 1] == B &&
+           Src[Pos + 2] == D;
+  };
+
+  // Three-character operators first.
+  if (Three('<', '<', '=')) { Kind = Tok::ShlAssign; Pos += 3; return; }
+  if (Three('>', '>', '=')) { Kind = Tok::ShrAssign; Pos += 3; return; }
+
+  // Two-character operators.
+  struct TwoOp { char A, B; Tok T; };
+  static const TwoOp TwoOps[] = {
+      {'=', '=', Tok::EqEq},      {'!', '=', Tok::NotEq},
+      {'<', '=', Tok::Le},        {'>', '=', Tok::Ge},
+      {'&', '&', Tok::AmpAmp},    {'|', '|', Tok::PipePipe},
+      {'<', '<', Tok::Shl},       {'>', '>', Tok::Shr},
+      {'+', '+', Tok::PlusPlus},  {'-', '-', Tok::MinusMinus},
+      {'+', '=', Tok::PlusAssign},{'-', '=', Tok::MinusAssign},
+      {'*', '=', Tok::StarAssign},{'/', '=', Tok::SlashAssign},
+      {'%', '=', Tok::PercentAssign}, {'&', '=', Tok::AmpAssign},
+      {'|', '=', Tok::PipeAssign},{'^', '=', Tok::CaretAssign},
+      {'-', '>', Tok::Arrow}};
+  for (const TwoOp &Q : TwoOps)
+    if (Two(Q.A, Q.B)) {
+      Kind = Q.T;
+      Pos += 2;
+      return;
+    }
+
+  ++Pos;
+  switch (C) {
+  case '(': Kind = Tok::LParen; return;
+  case ')': Kind = Tok::RParen; return;
+  case '{': Kind = Tok::LBrace; return;
+  case '}': Kind = Tok::RBrace; return;
+  case '[': Kind = Tok::LBracket; return;
+  case ']': Kind = Tok::RBracket; return;
+  case ';': Kind = Tok::Semi; return;
+  case ',': Kind = Tok::Comma; return;
+  case ':': Kind = Tok::Colon; return;
+  case '?': Kind = Tok::Question; return;
+  case '=': Kind = Tok::Assign; return;
+  case '+': Kind = Tok::Plus; return;
+  case '-': Kind = Tok::Minus; return;
+  case '*': Kind = Tok::Star; return;
+  case '/': Kind = Tok::Slash; return;
+  case '%': Kind = Tok::Percent; return;
+  case '&': Kind = Tok::Amp; return;
+  case '|': Kind = Tok::Pipe; return;
+  case '^': Kind = Tok::Caret; return;
+  case '~': Kind = Tok::Tilde; return;
+  case '!': Kind = Tok::Bang; return;
+  case '<': Kind = Tok::Lt; return;
+  case '>': Kind = Tok::Gt; return;
+  case '.': Kind = Tok::Dot; return;
+  default:
+    reportFatal(std::string("minic lexer: stray character '") + C + "'");
+  }
+}

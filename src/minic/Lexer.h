@@ -1,0 +1,124 @@
+//===- minic/Lexer.h - C-subset lexer ---------------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C subset compiled by ccomp_minic (the stand-in for
+/// lcc / the Omniware C++ front end). Supports //- and /*-comments,
+/// decimal/hex/char/string literals with the usual escapes, and all
+/// operators of the subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_MINIC_LEXER_H
+#define CCOMP_MINIC_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccomp {
+namespace minic {
+
+/// Token kinds. Single-character punctuators use their character value;
+/// multi-character ones and literals get named kinds.
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  IntConst, ///< Value in Lexer::intValue().
+  StrConst, ///< Bytes (no terminating NUL) in Lexer::strValue().
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned, KwStruct,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSwitch, KwCase, KwDefault, KwSizeof, KwExtern, KwStatic, KwConst,
+  KwGoto, KwEnum,
+
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  Assign,         // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Shl, Shr,
+  PlusPlus, MinusMinus,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Dot, Arrow,
+};
+
+/// Returns a printable spelling for diagnostics.
+const char *tokName(Tok T);
+
+/// One-token-lookahead lexer.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source);
+
+  Tok kind() const { return Kind; }
+  const std::string &text() const { return Text; }
+  int64_t intValue() const { return IntValue; }
+  const std::string &strValue() const { return StrValue; }
+  unsigned line() const { return TokLine; }
+
+  /// Advances to the next token.
+  void next();
+
+  /// True and advances if the current token is \p T.
+  bool accept(Tok T) {
+    if (Kind != T)
+      return false;
+    next();
+    return true;
+  }
+
+  /// Snapshot of the lexer position, for bounded lookahead.
+  struct State {
+    size_t Pos;
+    unsigned Line;
+    Tok Kind;
+    std::string Text;
+    int64_t IntValue;
+    std::string StrValue;
+    unsigned TokLine;
+  };
+
+  State save() const {
+    return {Pos, Line, Kind, Text, IntValue, StrValue, TokLine};
+  }
+
+  void restore(const State &S) {
+    Pos = S.Pos;
+    Line = S.Line;
+    Kind = S.Kind;
+    Text = S.Text;
+    IntValue = S.IntValue;
+    StrValue = S.StrValue;
+    TokLine = S.TokLine;
+  }
+
+private:
+  void skipSpaceAndComments();
+  void lexNumber();
+  void lexCharConst();
+  void lexString();
+  int lexEscape();
+
+  std::string Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+  Tok Kind = Tok::End;
+  std::string Text;     ///< Identifier spelling.
+  int64_t IntValue = 0; ///< Integer/char constant value.
+  std::string StrValue; ///< String literal bytes.
+  unsigned TokLine = 1;
+};
+
+} // namespace minic
+} // namespace ccomp
+
+#endif // CCOMP_MINIC_LEXER_H

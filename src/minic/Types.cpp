@@ -1,0 +1,134 @@
+//===- minic/Types.cpp - C-subset type system ------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Types.h"
+
+#include "support/Support.h"
+
+using namespace ccomp;
+using namespace ccomp::minic;
+
+TypeTable::TypeTable() {
+  auto Mk = [&](TyKind K) {
+    Type T;
+    T.K = K;
+    Types.push_back(T);
+    return static_cast<TypeId>(Types.size() - 1);
+  };
+  VoidTy = Mk(TyKind::Void);
+  I8Ty = Mk(TyKind::I8);
+  U8Ty = Mk(TyKind::U8);
+  I16Ty = Mk(TyKind::I16);
+  U16Ty = Mk(TyKind::U16);
+  I32Ty = Mk(TyKind::I32);
+  U32Ty = Mk(TyKind::U32);
+}
+
+TypeId TypeTable::intern(Type T) {
+  for (TypeId I = 0; I != Types.size(); ++I) {
+    const Type &E = Types[I];
+    if (E.K == T.K && E.Elem == T.Elem && E.ArraySize == T.ArraySize &&
+        E.StructIdx == T.StructIdx && E.Params == T.Params)
+      return I;
+  }
+  Types.push_back(std::move(T));
+  return static_cast<TypeId>(Types.size() - 1);
+}
+
+TypeId TypeTable::pointerTo(TypeId Elem) {
+  Type T;
+  T.K = TyKind::Ptr;
+  T.Elem = Elem;
+  return intern(std::move(T));
+}
+
+TypeId TypeTable::arrayOf(TypeId Elem, uint32_t Count) {
+  Type T;
+  T.K = TyKind::Array;
+  T.Elem = Elem;
+  T.ArraySize = Count;
+  return intern(std::move(T));
+}
+
+TypeId TypeTable::functionOf(TypeId Ret, std::vector<TypeId> Params) {
+  Type T;
+  T.K = TyKind::Func;
+  T.Elem = Ret;
+  T.Params = std::move(Params);
+  return intern(std::move(T));
+}
+
+uint32_t TypeTable::structByName(const std::string &Name) {
+  for (uint32_t I = 0; I != Structs.size(); ++I)
+    if (Structs[I].Name == Name)
+      return I;
+  StructInfo SI;
+  SI.Name = Name;
+  Structs.push_back(std::move(SI));
+  return static_cast<uint32_t>(Structs.size() - 1);
+}
+
+TypeId TypeTable::structType(uint32_t StructIdx) {
+  Type T;
+  T.K = TyKind::Struct;
+  T.StructIdx = StructIdx;
+  return intern(std::move(T));
+}
+
+uint32_t TypeTable::sizeOf(TypeId Id) const {
+  const Type &T = get(Id);
+  switch (T.K) {
+  case TyKind::Void: return 0;
+  case TyKind::I8:
+  case TyKind::U8: return 1;
+  case TyKind::I16:
+  case TyKind::U16: return 2;
+  case TyKind::I32:
+  case TyKind::U32:
+  case TyKind::Ptr: return 4;
+  case TyKind::Array: return sizeOf(T.Elem) * T.ArraySize;
+  case TyKind::Struct: return Structs[T.StructIdx].Size;
+  case TyKind::Func: return 0;
+  }
+  ccomp_unreachable("bad type kind");
+}
+
+uint32_t TypeTable::alignOf(TypeId Id) const {
+  const Type &T = get(Id);
+  switch (T.K) {
+  case TyKind::Void: return 1;
+  case TyKind::I8:
+  case TyKind::U8: return 1;
+  case TyKind::I16:
+  case TyKind::U16: return 2;
+  case TyKind::I32:
+  case TyKind::U32:
+  case TyKind::Ptr: return 4;
+  case TyKind::Array: return alignOf(T.Elem);
+  case TyKind::Struct: return Structs[T.StructIdx].Align;
+  case TyKind::Func: return 1;
+  }
+  ccomp_unreachable("bad type kind");
+}
+
+std::string TypeTable::name(TypeId Id) const {
+  const Type &T = get(Id);
+  switch (T.K) {
+  case TyKind::Void: return "void";
+  case TyKind::I8: return "char";
+  case TyKind::U8: return "unsigned char";
+  case TyKind::I16: return "short";
+  case TyKind::U16: return "unsigned short";
+  case TyKind::I32: return "int";
+  case TyKind::U32: return "unsigned";
+  case TyKind::Ptr: return name(T.Elem) + "*";
+  case TyKind::Array:
+    return name(T.Elem) + "[" + std::to_string(T.ArraySize) + "]";
+  case TyKind::Struct: return "struct " + Structs[T.StructIdx].Name;
+  case TyKind::Func: return name(T.Elem) + "(...)";
+  }
+  ccomp_unreachable("bad type kind");
+}

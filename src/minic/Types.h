@@ -1,0 +1,116 @@
+//===- minic/Types.h - C-subset type system ---------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the C subset: void, the integer types (char/short/int with
+/// signedness, all computing at 32 bits), 32-bit pointers, arrays, structs
+/// and function types. Types are interned in a TypeTable and referenced by
+/// TypeId.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_MINIC_TYPES_H
+#define CCOMP_MINIC_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace minic {
+
+using TypeId = uint32_t;
+
+enum class TyKind : uint8_t {
+  Void,
+  I8, U8, I16, U16, I32, U32,
+  Ptr,
+  Array,
+  Struct,
+  Func,
+};
+
+/// One interned type.
+struct Type {
+  TyKind K = TyKind::Void;
+  TypeId Elem = 0;              ///< Pointee (Ptr) / element (Array) / return
+                                ///< type (Func).
+  uint32_t ArraySize = 0;       ///< Element count for Array.
+  uint32_t StructIdx = 0;       ///< Index into TypeTable::Structs.
+  std::vector<TypeId> Params;   ///< Parameter types for Func.
+};
+
+/// A struct member.
+struct Field {
+  std::string Name;
+  TypeId Ty = 0;
+  uint32_t Offset = 0;
+};
+
+/// A struct definition (or forward declaration while !Complete).
+struct StructInfo {
+  std::string Name;
+  std::vector<Field> Fields;
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  bool Complete = false;
+};
+
+/// Interning table for types; owns struct definitions.
+class TypeTable {
+public:
+  TypeTable();
+
+  // Predefined ids, fixed by the constructor.
+  TypeId VoidTy, I8Ty, U8Ty, I16Ty, U16Ty, I32Ty, U32Ty;
+
+  const Type &get(TypeId Id) const { return Types[Id]; }
+
+  TypeId pointerTo(TypeId Elem);
+  TypeId arrayOf(TypeId Elem, uint32_t Count);
+  TypeId functionOf(TypeId Ret, std::vector<TypeId> Params);
+
+  /// Finds a struct by tag, creating an incomplete one if absent.
+  uint32_t structByName(const std::string &Name);
+  TypeId structType(uint32_t StructIdx);
+
+  StructInfo &structInfo(uint32_t Idx) { return Structs[Idx]; }
+  const StructInfo &structInfo(uint32_t Idx) const { return Structs[Idx]; }
+
+  uint32_t sizeOf(TypeId Id) const;
+  uint32_t alignOf(TypeId Id) const;
+
+  bool isInteger(TypeId Id) const {
+    TyKind K = get(Id).K;
+    return K >= TyKind::I8 && K <= TyKind::U32;
+  }
+  bool isUnsigned(TypeId Id) const {
+    TyKind K = get(Id).K;
+    return K == TyKind::U8 || K == TyKind::U16 || K == TyKind::U32;
+  }
+  bool isPointer(TypeId Id) const { return get(Id).K == TyKind::Ptr; }
+  bool isArray(TypeId Id) const { return get(Id).K == TyKind::Array; }
+  bool isStruct(TypeId Id) const { return get(Id).K == TyKind::Struct; }
+  bool isFunc(TypeId Id) const { return get(Id).K == TyKind::Func; }
+  bool isVoid(TypeId Id) const { return get(Id).K == TyKind::Void; }
+
+  /// True for types that can appear in a scalar expression.
+  bool isScalar(TypeId Id) const { return isInteger(Id) || isPointer(Id); }
+
+  /// Human-readable type spelling for diagnostics.
+  std::string name(TypeId Id) const;
+
+private:
+  TypeId intern(Type T);
+
+  std::vector<Type> Types;
+  std::vector<StructInfo> Structs;
+};
+
+} // namespace minic
+} // namespace ccomp
+
+#endif // CCOMP_MINIC_TYPES_H

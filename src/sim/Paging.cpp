@@ -1,0 +1,43 @@
+//===- sim/Paging.cpp - Demand-paging simulation -------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Paging.h"
+
+#include <list>
+#include <unordered_map>
+
+using namespace ccomp;
+using namespace ccomp::sim;
+
+PagingResult sim::simulateLRU(const std::vector<uint32_t> &Trace,
+                              unsigned ResidentPages) {
+  PagingResult R;
+  if (ResidentPages == 0) {
+    R.References = Trace.size();
+    R.Faults = Trace.size();
+    return R;
+  }
+  // Classic LRU: list in recency order plus an index into it.
+  std::list<uint32_t> Recency;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> Where;
+  for (uint32_t Page : Trace) {
+    ++R.References;
+    auto It = Where.find(Page);
+    if (It != Where.end()) {
+      Recency.splice(Recency.begin(), Recency, It->second);
+      continue;
+    }
+    ++R.Faults;
+    if (Where.size() == ResidentPages) {
+      uint32_t Victim = Recency.back();
+      Recency.pop_back();
+      Where.erase(Victim);
+    }
+    Recency.push_front(Page);
+    Where[Page] = Recency.begin();
+  }
+  return R;
+}

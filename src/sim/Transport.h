@@ -1,0 +1,60 @@
+//===- sim/Transport.h - Delivery link models -------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Link models for the paper's delivery scenarios ("this fact is
+/// self-evident when delivering code over 28.8kbaud modems, but it can
+/// be true for faster networks"). The bench harness combines transfer
+/// time from these models with measured client-side decompress/compile
+/// times to reproduce the wire-vs-BRISC crossover: the wire format wins
+/// over a modem, BRISC wins on a LAN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SIM_TRANSPORT_H
+#define CCOMP_SIM_TRANSPORT_H
+
+#include <cstddef>
+
+namespace ccomp {
+namespace sim {
+
+/// A point-to-point link.
+struct Link {
+  const char *Name;
+  double BitsPerSecond;
+  double LatencySeconds; ///< Per-transfer setup latency.
+
+  /// Seconds to deliver \p Bytes.
+  double transferSeconds(size_t Bytes) const {
+    return LatencySeconds + static_cast<double>(Bytes) * 8.0 /
+                                BitsPerSecond;
+  }
+};
+
+/// Period-accurate link presets.
+inline Link modem28k() { return {"28.8k modem", 28800.0, 0.1}; }
+inline Link isdn128k() { return {"128k ISDN", 128000.0, 0.05}; }
+inline Link ethernet10M() { return {"10Mb LAN", 10000000.0, 0.005}; }
+inline Link fast100M() { return {"100Mb LAN", 100000000.0, 0.001}; }
+
+/// End-to-end delivery time: transfer plus measured client-side work
+/// (decompression, code generation), in seconds.
+struct Delivery {
+  double TransferSeconds = 0;
+  double ClientSeconds = 0;
+  double total() const { return TransferSeconds + ClientSeconds; }
+};
+
+inline Delivery deliver(const Link &L, size_t Bytes,
+                        double ClientSeconds) {
+  return {L.transferSeconds(Bytes), ClientSeconds};
+}
+
+} // namespace sim
+} // namespace ccomp
+
+#endif // CCOMP_SIM_TRANSPORT_H

@@ -1,0 +1,113 @@
+//===- support/BitStream.h - LSB-first bit reader/writer -------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LSB-first bit-level I/O, shared by the Huffman coder and the flate
+/// (DEFLATE-class) compressor. The bit order matches DEFLATE: bits are
+/// packed into each byte starting at the least significant position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_BITSTREAM_H
+#define CCOMP_SUPPORT_BITSTREAM_H
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+
+/// Append-only LSB-first bit sink.
+class BitWriter {
+public:
+  /// Writes the low \p NBits bits of \p V, least significant bit first.
+  void writeBits(uint32_t V, unsigned NBits) {
+    assert(NBits <= 32 && "bit count out of range");
+    Acc |= static_cast<uint64_t>(V & bitMask(NBits)) << NAcc;
+    NAcc += NBits;
+    while (NAcc >= 8) {
+      Bytes.push_back(static_cast<uint8_t>(Acc));
+      Acc >>= 8;
+      NAcc -= 8;
+    }
+  }
+
+  /// Writes a Huffman code, which by canonical-code convention is stored
+  /// MSB-first in \p Code; this reverses it into the LSB-first stream.
+  void writeCodeMSB(uint32_t Code, unsigned NBits) {
+    uint32_t Rev = 0;
+    for (unsigned I = 0; I != NBits; ++I)
+      Rev |= ((Code >> I) & 1) << (NBits - 1 - I);
+    writeBits(Rev, NBits);
+  }
+
+  /// Pads to a byte boundary with zero bits and returns the buffer.
+  std::vector<uint8_t> finish() {
+    if (NAcc > 0) {
+      Bytes.push_back(static_cast<uint8_t>(Acc));
+      Acc = 0;
+      NAcc = 0;
+    }
+    return std::move(Bytes);
+  }
+
+  /// Number of bits written so far.
+  size_t bitCount() const { return Bytes.size() * 8 + NAcc; }
+
+private:
+  static uint32_t bitMask(unsigned NBits) {
+    return NBits >= 32 ? 0xFFFFFFFFu : ((1u << NBits) - 1u);
+  }
+
+  std::vector<uint8_t> Bytes;
+  uint64_t Acc = 0;
+  unsigned NAcc = 0;
+};
+
+/// Sequential LSB-first bit source. Reading past the end is a fatal error.
+class BitReader {
+public:
+  BitReader(const uint8_t *Data, size_t N) : Data(Data), NBytes(N) {}
+  explicit BitReader(const std::vector<uint8_t> &V)
+      : Data(V.data()), NBytes(V.size()) {}
+
+  uint32_t readBits(unsigned NBits) {
+    assert(NBits <= 32 && "bit count out of range");
+    while (NAcc < NBits) {
+      if (Pos >= NBytes)
+        reportFatal("BitReader: read past end of stream");
+      Acc |= static_cast<uint64_t>(Data[Pos++]) << NAcc;
+      NAcc += 8;
+    }
+    uint32_t V = static_cast<uint32_t>(Acc) &
+                 (NBits >= 32 ? 0xFFFFFFFFu : ((1u << NBits) - 1u));
+    Acc >>= NBits;
+    NAcc -= NBits;
+    return V;
+  }
+
+  /// Reads a single bit.
+  uint32_t readBit() { return readBits(1); }
+
+  /// True once every byte has been consumed and fewer than 8 buffered bits
+  /// remain (the tail padding).
+  bool nearEnd() const { return Pos >= NBytes && NAcc < 8; }
+
+  size_t bitPos() const { return Pos * 8 - NAcc; }
+
+private:
+  const uint8_t *Data;
+  size_t NBytes;
+  size_t Pos = 0;
+  uint64_t Acc = 0;
+  unsigned NAcc = 0;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_BITSTREAM_H

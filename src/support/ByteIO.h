@@ -1,0 +1,161 @@
+//===- support/ByteIO.h - Byte buffer reader/writer ------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian byte-buffer serialization helpers used by every on-disk
+/// and on-wire container format in the project (wire streams, BRISC
+/// dictionaries, flate framing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_BYTEIO_H
+#define CCOMP_SUPPORT_BYTEIO_H
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+
+  void writeU16(uint16_t V) {
+    writeU8(static_cast<uint8_t>(V));
+    writeU8(static_cast<uint8_t>(V >> 8));
+  }
+
+  void writeU32(uint32_t V) {
+    writeU16(static_cast<uint16_t>(V));
+    writeU16(static_cast<uint16_t>(V >> 16));
+  }
+
+  void writeU64(uint64_t V) {
+    writeU32(static_cast<uint32_t>(V));
+    writeU32(static_cast<uint32_t>(V >> 32));
+  }
+
+  /// Unsigned LEB128.
+  void writeVarU(uint64_t V) {
+    while (V >= 0x80) {
+      writeU8(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    writeU8(static_cast<uint8_t>(V));
+  }
+
+  /// Signed LEB128 via zig-zag.
+  void writeVarS(int64_t V) {
+    writeVarU((static_cast<uint64_t>(V) << 1) ^
+              static_cast<uint64_t>(V >> 63));
+  }
+
+  /// Length-prefixed string.
+  void writeStr(const std::string &S) {
+    writeVarU(S.size());
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+
+  void writeBytes(const uint8_t *Data, size_t N) {
+    Bytes.insert(Bytes.end(), Data, Data + N);
+  }
+
+  void writeBytes(const std::vector<uint8_t> &Data) {
+    writeBytes(Data.data(), Data.size());
+  }
+
+  size_t size() const { return Bytes.size(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Sequential little-endian byte source. Reads past the end are a fatal
+/// error (corrupt container), not UB.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
+  explicit ByteReader(const std::vector<uint8_t> &V)
+      : Data(V.data()), N(V.size()) {}
+
+  uint8_t readU8() {
+    if (Pos >= N)
+      reportFatal("ByteReader: read past end of buffer");
+    return Data[Pos++];
+  }
+
+  uint16_t readU16() {
+    uint16_t Lo = readU8();
+    return static_cast<uint16_t>(Lo | (readU8() << 8));
+  }
+
+  uint32_t readU32() {
+    uint32_t Lo = readU16();
+    return Lo | (static_cast<uint32_t>(readU16()) << 16);
+  }
+
+  uint64_t readU64() {
+    uint64_t Lo = readU32();
+    return Lo | (static_cast<uint64_t>(readU32()) << 32);
+  }
+
+  uint64_t readVarU() {
+    uint64_t V = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      uint8_t B = readU8();
+      V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      if (!(B & 0x80))
+        return V;
+      Shift += 7;
+      if (Shift >= 64)
+        reportFatal("ByteReader: malformed varint");
+    }
+  }
+
+  int64_t readVarS() {
+    uint64_t Z = readVarU();
+    return static_cast<int64_t>((Z >> 1) ^ (~(Z & 1) + 1));
+  }
+
+  std::string readStr() {
+    size_t Len = readVarU();
+    if (Pos + Len > N)
+      reportFatal("ByteReader: string past end of buffer");
+    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  std::vector<uint8_t> readBytes(size_t Len) {
+    if (Pos + Len > N)
+      reportFatal("ByteReader: bytes past end of buffer");
+    std::vector<uint8_t> Out(Data + Pos, Data + Pos + Len);
+    Pos += Len;
+    return Out;
+  }
+
+  size_t remaining() const { return N - Pos; }
+  size_t pos() const { return Pos; }
+  bool atEnd() const { return Pos == N; }
+
+private:
+  const uint8_t *Data;
+  size_t N;
+  size_t Pos = 0;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_BYTEIO_H

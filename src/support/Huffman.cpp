@@ -1,0 +1,209 @@
+//===- support/Huffman.cpp - Canonical Huffman coding --------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Huffman.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace ccomp;
+
+std::vector<uint8_t>
+ccomp::buildHuffmanLengths(const std::vector<uint64_t> &Freqs,
+                           unsigned MaxLen) {
+  const size_t N = Freqs.size();
+  std::vector<uint8_t> Lengths(N, 0);
+
+  // Collect live symbols.
+  std::vector<unsigned> Live;
+  for (unsigned I = 0; I != N; ++I)
+    if (Freqs[I] != 0)
+      Live.push_back(I);
+  if (Live.empty())
+    return Lengths;
+  if (Live.size() == 1) {
+    Lengths[Live[0]] = 1;
+    return Lengths;
+  }
+
+  // Standard heap-based Huffman over internal nodes. Node indices < N are
+  // leaves; >= N are internal.
+  struct HeapEntry {
+    uint64_t Freq;
+    uint32_t Node;
+    bool operator>(const HeapEntry &O) const {
+      if (Freq != O.Freq)
+        return Freq > O.Freq;
+      return Node > O.Node; // Deterministic tie-break.
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      Heap;
+  std::vector<uint32_t> Parent(N + Live.size(), 0);
+  for (unsigned S : Live)
+    Heap.push({Freqs[S], S});
+  uint32_t Next = N;
+  while (Heap.size() > 1) {
+    HeapEntry A = Heap.top();
+    Heap.pop();
+    HeapEntry B = Heap.top();
+    Heap.pop();
+    Parent[A.Node] = Next;
+    Parent[B.Node] = Next;
+    Heap.push({A.Freq + B.Freq, Next});
+    ++Next;
+  }
+  uint32_t Root = Heap.top().Node;
+
+  // Depth of each leaf = code length.
+  std::vector<uint8_t> Depth(Next, 0);
+  for (uint32_t I = Next; I-- > 0;) {
+    if (I == Root)
+      continue;
+    if (I >= N || Freqs[I] != 0) {
+      unsigned D = Depth[Parent[I]] + 1;
+      Depth[I] = static_cast<uint8_t>(std::min<unsigned>(D, 255));
+    }
+  }
+  for (unsigned S : Live)
+    Lengths[S] = Depth[S];
+
+  // Length-limit: clamp overlong codes to MaxLen, then restore the Kraft
+  // equality by lengthening the cheapest short codes (zlib-style repair).
+  bool Over = false;
+  for (unsigned S : Live)
+    if (Lengths[S] > MaxLen) {
+      Lengths[S] = static_cast<uint8_t>(MaxLen);
+      Over = true;
+    }
+  if (Over) {
+    // Kraft sum in units of 2^-MaxLen.
+    auto kraft = [&]() {
+      uint64_t Sum = 0;
+      for (unsigned S : Live)
+        Sum += 1ull << (MaxLen - Lengths[S]);
+      return Sum;
+    };
+    uint64_t Limit = 1ull << MaxLen;
+    // While oversubscribed, lengthen a code that is currently shorter than
+    // MaxLen, preferring the rarest symbol (costs the fewest output bits).
+    while (kraft() > Limit) {
+      unsigned Best = ~0u;
+      for (unsigned S : Live)
+        if (Lengths[S] < MaxLen &&
+            (Best == ~0u || Freqs[S] < Freqs[Best]))
+          Best = S;
+      if (Best == ~0u)
+        reportFatal("Huffman length limiting failed");
+      ++Lengths[Best];
+    }
+    // If undersubscribed, shorten the most frequent MaxLen code; purely an
+    // optimization, decodability does not require Kraft equality.
+    for (;;) {
+      uint64_t Sum = kraft();
+      if (Sum >= Limit)
+        break;
+      unsigned Best = ~0u;
+      for (unsigned S : Live) {
+        if (Lengths[S] <= 1)
+          continue;
+        uint64_t Gain = 1ull << (MaxLen - Lengths[S]);
+        if (Sum + Gain <= Limit && (Best == ~0u || Freqs[S] > Freqs[Best]))
+          Best = S;
+      }
+      if (Best == ~0u)
+        break;
+      --Lengths[Best];
+    }
+  }
+  return Lengths;
+}
+
+bool HuffmanCode::isValidLengthSet(const std::vector<uint8_t> &Lengths) {
+  unsigned Max = 0;
+  for (uint8_t L : Lengths)
+    Max = std::max<unsigned>(Max, L);
+  if (Max == 0 || Max > 31)
+    return Max == 0; // Empty alphabet is trivially fine.
+  uint64_t Sum = 0;
+  for (uint8_t L : Lengths)
+    if (L)
+      Sum += 1ull << (Max - L);
+  return Sum <= (1ull << Max);
+}
+
+HuffmanCode::HuffmanCode(std::vector<uint8_t> Lens)
+    : Lengths(std::move(Lens)) {
+  for (uint8_t L : Lengths)
+    MaxLen = std::max<unsigned>(MaxLen, L);
+  Codes.assign(Lengths.size(), 0);
+  CountOfLen.assign(MaxLen + 1, 0);
+  for (uint8_t L : Lengths)
+    if (L)
+      ++CountOfLen[L];
+
+  // Canonical first-code per length.
+  FirstCode.assign(MaxLen + 2, 0);
+  FirstIndex.assign(MaxLen + 2, 0);
+  uint32_t Code = 0, Index = 0;
+  for (unsigned L = 1; L <= MaxLen; ++L) {
+    Code = (Code + (L > 1 ? CountOfLen[L - 1] : 0)) << 1;
+    FirstCode[L] = Code;
+    FirstIndex[L] = Index;
+    Index += CountOfLen[L];
+    if (FirstCode[L] + CountOfLen[L] > (1u << L))
+      reportFatal("HuffmanCode: oversubscribed code lengths");
+  }
+
+  // Assign codes in (length, symbol) order.
+  SortedSyms.clear();
+  std::vector<uint32_t> NextCode(MaxLen + 1);
+  for (unsigned L = 1; L <= MaxLen; ++L)
+    NextCode[L] = FirstCode[L];
+  for (unsigned S = 0; S != Lengths.size(); ++S) {
+    unsigned L = Lengths[S];
+    if (!L)
+      continue;
+    Codes[S] = NextCode[L]++;
+  }
+  // SortedSyms[FirstIndex[L] + k] = k-th symbol of length L.
+  SortedSyms.assign(Index, 0);
+  std::vector<uint32_t> Fill(MaxLen + 1);
+  for (unsigned L = 1; L <= MaxLen; ++L)
+    Fill[L] = FirstIndex[L];
+  for (unsigned S = 0; S != Lengths.size(); ++S) {
+    unsigned L = Lengths[S];
+    if (!L)
+      continue;
+    SortedSyms[Fill[L]++] = S;
+  }
+}
+
+void HuffmanCode::encode(BitWriter &BW, unsigned Sym) const {
+  assert(Sym < Lengths.size() && Lengths[Sym] && "symbol has no code");
+  BW.writeCodeMSB(Codes[Sym], Lengths[Sym]);
+}
+
+unsigned HuffmanCode::decode(BitReader &BR) const {
+  uint32_t Code = 0;
+  for (unsigned L = 1; L <= MaxLen; ++L) {
+    Code = (Code << 1) | BR.readBit();
+    if (CountOfLen[L] && Code < FirstCode[L] + CountOfLen[L] &&
+        Code >= FirstCode[L])
+      return SortedSyms[FirstIndex[L] + (Code - FirstCode[L])];
+  }
+  reportFatal("HuffmanCode: invalid code in stream");
+}
+
+uint64_t HuffmanCode::costBits(const std::vector<uint64_t> &Freqs) const {
+  uint64_t Bits = 0;
+  for (unsigned S = 0; S != Freqs.size() && S != Lengths.size(); ++S)
+    Bits += Freqs[S] * Lengths[S];
+  return Bits;
+}

@@ -1,0 +1,74 @@
+//===- support/Huffman.h - Canonical Huffman coding ------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical Huffman coding with a configurable maximum code length.
+/// The paper's wire format Huffman-codes MTF indices (step 4 of the
+/// pipeline in section 3) and the flate compressor uses the same coder
+/// for its literal/length and distance alphabets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_HUFFMAN_H
+#define CCOMP_SUPPORT_HUFFMAN_H
+
+#include "support/BitStream.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+
+/// Computes length-limited canonical Huffman code lengths for \p Freqs.
+///
+/// Symbols with zero frequency get length 0 (no code). If only one symbol
+/// has nonzero frequency it is assigned length 1 so the stream remains
+/// decodable. Lengths never exceed \p MaxLen (overlong codes are adjusted
+/// with the standard zlib-style rebalancing).
+std::vector<uint8_t> buildHuffmanLengths(const std::vector<uint64_t> &Freqs,
+                                         unsigned MaxLen = 15);
+
+/// A canonical Huffman code built from code lengths, usable for both
+/// encoding and decoding. Codes are assigned in the canonical order:
+/// shorter codes first, ties broken by symbol index.
+class HuffmanCode {
+public:
+  /// Builds the canonical code. Invalid (oversubscribed) length sets are a
+  /// fatal error for lengths produced internally; use isValidLengthSet()
+  /// first when the lengths come from an untrusted container.
+  explicit HuffmanCode(std::vector<uint8_t> Lengths);
+
+  /// Returns true if \p Lengths forms a decodable (not oversubscribed)
+  /// canonical code.
+  static bool isValidLengthSet(const std::vector<uint8_t> &Lengths);
+
+  /// Writes the code for \p Sym to \p BW. \p Sym must have a code.
+  void encode(BitWriter &BW, unsigned Sym) const;
+
+  /// Reads one symbol from \p BR.
+  unsigned decode(BitReader &BR) const;
+
+  unsigned numSymbols() const { return Lengths.size(); }
+  uint8_t lengthOf(unsigned Sym) const { return Lengths[Sym]; }
+  const std::vector<uint8_t> &lengths() const { return Lengths; }
+
+  /// Total encoded bit count if symbol \p Sym occurs Freqs[Sym] times.
+  uint64_t costBits(const std::vector<uint64_t> &Freqs) const;
+
+private:
+  std::vector<uint8_t> Lengths;   // Per-symbol code length, 0 = absent.
+  std::vector<uint32_t> Codes;    // Per-symbol canonical code (MSB-first).
+  // Canonical decode tables indexed by length 1..MaxLen.
+  unsigned MaxLen = 0;
+  std::vector<uint32_t> FirstCode;   // First canonical code of each length.
+  std::vector<uint32_t> FirstIndex;  // Index of that code in SortedSyms.
+  std::vector<uint32_t> CountOfLen;  // Number of codes of each length.
+  std::vector<uint32_t> SortedSyms;  // Symbols sorted by (length, index).
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_HUFFMAN_H

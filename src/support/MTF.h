@@ -1,0 +1,80 @@
+//===- support/MTF.h - Move-to-front coding ---------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Move-to-front coding (Bentley/Sleator/Tarjan/Wei; Elias) as used by
+/// step 3 of the paper's wire format: each stream is MTF-coded in
+/// isolation, index 0 denotes a symbol not seen previously (followed by
+/// the symbol itself), and indices >= 1 address the dynamic table whose
+/// front element is the most recently accessed symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_MTF_H
+#define CCOMP_SUPPORT_MTF_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+
+/// One MTF output token. Index 0 means "new symbol"; the symbol value
+/// rides along. Index >= 1 addresses the table (1 = front).
+struct MTFToken {
+  uint32_t Index = 0;
+  uint64_t NewSymbol = 0;
+};
+
+/// Stateful MTF encoder over arbitrary 64-bit symbols.
+class MTFEncoder {
+public:
+  MTFToken encode(uint64_t Sym) {
+    for (size_t I = 0; I != Table.size(); ++I) {
+      if (Table[I] != Sym)
+        continue;
+      // Move to front.
+      Table.erase(Table.begin() + I);
+      Table.insert(Table.begin(), Sym);
+      return {static_cast<uint32_t>(I + 1), 0};
+    }
+    Table.insert(Table.begin(), Sym);
+    return {0, Sym};
+  }
+
+  size_t tableSize() const { return Table.size(); }
+
+private:
+  std::vector<uint64_t> Table;
+};
+
+/// Stateful MTF decoder mirroring MTFEncoder.
+class MTFDecoder {
+public:
+  /// Decodes one token. \p NewSymbol is consulted only when Index == 0.
+  uint64_t decode(uint32_t Index, uint64_t NewSymbol) {
+    if (Index == 0) {
+      Table.insert(Table.begin(), NewSymbol);
+      return NewSymbol;
+    }
+    if (Index > Table.size())
+      reportFatal("MTFDecoder: index out of range");
+    uint64_t Sym = Table[Index - 1];
+    Table.erase(Table.begin() + (Index - 1));
+    Table.insert(Table.begin(), Sym);
+    return Sym;
+  }
+
+  size_t tableSize() const { return Table.size(); }
+
+private:
+  std::vector<uint64_t> Table;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_MTF_H

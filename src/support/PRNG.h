@@ -1,0 +1,65 @@
+//===- support/PRNG.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64 seeded xorshift128+) so tests,
+/// the synthetic corpus generator, and the benchmark harness produce the
+/// same inputs on every run and platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_PRNG_H
+#define CCOMP_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace ccomp {
+
+/// Deterministic 64-bit PRNG.
+class PRNG {
+public:
+  explicit PRNG(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the xorshift state.
+    auto Split = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Split();
+    S1 = Split();
+    if (S0 == 0 && S1 == 0)
+      S0 = 1;
+  }
+
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_PRNG_H

@@ -1,0 +1,43 @@
+//===- support/Support.h - Common utilities -------------------*- C++ -*-===//
+//
+// Part of the ccomp project: a reproduction of "Code Compression",
+// Ernst, Evans, Fraser, Lucco, Proebsting, PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small project-wide helpers: fatal-error reporting and an unreachable
+/// marker in the style of llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_SUPPORT_H
+#define CCOMP_SUPPORT_SUPPORT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ccomp {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// indicate a bug in this library rather than bad user input.
+[[noreturn]] inline void reportFatal(const std::string &Msg) {
+  std::fprintf(stderr, "ccomp fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+#define ccomp_unreachable(MSG)                                                 \
+  ::ccomp::unreachableImpl(MSG, __FILE__, __LINE__)
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_SUPPORT_H

@@ -1,0 +1,534 @@
+//===- vm/Asm.cpp - VM assembler / disassembler ------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Asm.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+using namespace ccomp;
+using namespace ccomp::vm;
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+std::string vm::printInstr(const Instr &In, const VMProgram *P) {
+  std::ostringstream OS;
+  OS << opMnemonic(In.Op);
+  VMOp Op = In.Op;
+
+  auto Reg = [](unsigned R) { return std::string(regName(R)); };
+
+  switch (Op) {
+  case VMOp::LD_B: case VMOp::LD_BU: case VMOp::LD_H: case VMOp::LD_HU:
+  case VMOp::LD_W: case VMOp::ST_B: case VMOp::ST_H: case VMOp::ST_W:
+    OS << ' ' << Reg(In.Rd) << ',' << In.Imm << '(' << Reg(In.Rs1) << ')';
+    break;
+  case VMOp::SPILL: case VMOp::RELOAD:
+    OS << ' ' << Reg(In.Rd) << ',' << In.Imm << "(sp)";
+    break;
+  case VMOp::ENTER: case VMOp::EXIT:
+    OS << " sp,sp," << In.Imm;
+    break;
+  case VMOp::EPI:
+    break;
+  case VMOp::SYS:
+    OS << ' ' << In.Imm;
+    break;
+  case VMOp::JMP:
+    OS << " $L" << In.Target;
+    break;
+  case VMOp::CALL:
+    if (P && In.Target < P->Functions.size())
+      OS << ' ' << P->Functions[In.Target].Name;
+    else
+      OS << " #" << In.Target;
+    break;
+  case VMOp::RJR:
+    OS << ' ' << Reg(In.Rd);
+    break;
+  case VMOp::LI:
+    OS << ' ' << Reg(In.Rd) << ',' << In.Imm;
+    break;
+  default:
+    if (isBranchImm(Op)) {
+      OS << ' ' << Reg(In.Rs1) << ',' << In.Imm << ",$L" << In.Target;
+    } else if (isBranch(Op)) {
+      OS << ' ' << Reg(In.Rs1) << ',' << Reg(In.Rs2) << ",$L" << In.Target;
+    } else {
+      // Generic register/imm forms driven by the field descriptors.
+      unsigned N = numFields(Op);
+      const FieldKind *FK = fieldKinds(Op);
+      for (unsigned I = 0; I != N; ++I) {
+        OS << (I ? "," : " ");
+        int64_t V = getField(In, I);
+        if (FK[I] == FieldKind::Reg)
+          OS << Reg(static_cast<unsigned>(V));
+        else
+          OS << V;
+      }
+    }
+    break;
+  }
+  return OS.str();
+}
+
+std::string vm::printFunction(const VMFunction &F, const VMProgram *P) {
+  std::ostringstream OS;
+  OS << "func " << F.Name << " frame " << F.FrameSize << '\n';
+  // Labels at each instruction index.
+  std::multimap<uint32_t, uint32_t> LabelsAt;
+  for (uint32_t L = 0; L != F.LabelPos.size(); ++L)
+    LabelsAt.insert({F.LabelPos[L], L});
+  for (uint32_t I = 0; I <= F.Code.size(); ++I) {
+    auto [B, E] = LabelsAt.equal_range(I);
+    for (auto It = B; It != E; ++It)
+      OS << "$L" << It->second << ":\n";
+    if (I < F.Code.size())
+      OS << "  " << printInstr(F.Code[I], P) << '\n';
+  }
+  OS << "endfunc\n";
+  return OS.str();
+}
+
+std::string vm::printProgram(const VMProgram &P) {
+  std::ostringstream OS;
+  for (const VMGlobal &G : P.Globals) {
+    OS << "global " << G.Name << " size " << G.Size << " init ";
+    if (G.Init.empty()) {
+      OS << '-';
+    } else {
+      static const char *Hex = "0123456789abcdef";
+      for (uint8_t B : G.Init)
+        OS << Hex[B >> 4] << Hex[B & 15];
+    }
+    OS << '\n';
+  }
+  for (const VMFunction &F : P.Functions)
+    OS << printFunction(F, &P);
+  if (!P.Functions.empty())
+    OS << "entry " << P.Functions[P.Entry].Name << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One-pass tokenizer + two-pass symbol resolution assembler.
+class Assembler {
+public:
+  Assembler(const std::string &Text, VMProgram &Out, std::string &Error)
+      : S(Text.c_str()), Out(Out), Error(Error) {}
+
+  bool run() {
+    Out = VMProgram();
+    while (!atEnd()) {
+      skipWs();
+      if (atEnd())
+        break;
+      if (tryWord("global")) {
+        if (!parseGlobal())
+          return false;
+        continue;
+      }
+      if (tryWord("func")) {
+        if (!parseFunc())
+          return false;
+        continue;
+      }
+      if (tryWord("entry")) {
+        EntryName = parseName();
+        continue;
+      }
+      return fail("unexpected input at top level");
+    }
+    // Resolve calls and the entry point.
+    for (auto &[FnIdx, InstrIdx, Name] : CallFixups) {
+      int32_t T = Out.findFunction(Name);
+      if (T < 0)
+        return fail("call to undefined function '" + Name + "'");
+      Out.Functions[FnIdx].Code[InstrIdx].Target =
+          static_cast<uint32_t>(T);
+    }
+    if (!EntryName.empty()) {
+      int32_t E = Out.findFunction(EntryName);
+      if (E < 0)
+        return fail("entry function '" + EntryName + "' not found");
+      Out.Entry = static_cast<uint32_t>(E);
+    }
+    // Lay out globals.
+    uint32_t Addr = Out.GlobalBase;
+    for (VMGlobal &G : Out.Globals) {
+      Addr = (Addr + 3) & ~3u;
+      G.Addr = Addr;
+      Addr += G.Size;
+    }
+    Out.GlobalEnd = Addr;
+    // Resolve global-address loads: "li rd,&name".
+    for (auto &[FnIdx, InstrIdx, Name] : AddrFixups) {
+      const VMGlobal *G = Out.findGlobal(Name);
+      if (!G)
+        return fail("address of undefined global '" + Name + "'");
+      Out.Functions[FnIdx].Code[InstrIdx].Imm =
+          static_cast<int32_t>(G->Addr);
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return *S == 0;
+  }
+
+  void skipWs() {
+    for (;;) {
+      while (*S && std::isspace(static_cast<unsigned char>(*S)))
+        ++S;
+      if (*S == ';' || *S == '#') { // Comment to end of line.
+        while (*S && *S != '\n')
+          ++S;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool tryWord(const char *W) {
+    skipWs();
+    size_t N = std::strlen(W);
+    if (std::strncmp(S, W, N) != 0)
+      return false;
+    char After = S[N];
+    if (After && (std::isalnum(static_cast<unsigned char>(After)) ||
+                  After == '_' || After == '.'))
+      return false;
+    S += N;
+    return true;
+  }
+
+  std::string parseName() {
+    skipWs();
+    std::string Out;
+    while (*S && (std::isalnum(static_cast<unsigned char>(*S)) ||
+                  *S == '_' || *S == '$' || *S == '.'))
+      Out.push_back(*S++);
+    return Out;
+  }
+
+  int64_t parseInt() {
+    skipWs();
+    bool Neg = *S == '-';
+    if (Neg)
+      ++S;
+    int64_t V = 0;
+    if (S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
+      S += 2;
+      while (std::isxdigit(static_cast<unsigned char>(*S))) {
+        char C = *S++;
+        int Nib = C <= '9' ? C - '0' : (std::tolower(C) - 'a' + 10);
+        V = V * 16 + Nib;
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(*S)))
+        V = V * 10 + (*S++ - '0');
+    }
+    return Neg ? -V : V;
+  }
+
+  bool parseGlobal() {
+    VMGlobal G;
+    G.Name = parseName();
+    if (!tryWord("size"))
+      return fail("expected 'size' in global");
+    G.Size = static_cast<uint32_t>(parseInt());
+    if (tryWord("init")) {
+      skipWs();
+      if (*S == '-') {
+        ++S;
+      } else {
+        while (std::isxdigit(static_cast<unsigned char>(S[0])) &&
+               std::isxdigit(static_cast<unsigned char>(S[1]))) {
+          auto Hex = [](char C) {
+            return C <= '9' ? C - '0' : (std::tolower(C) - 'a' + 10);
+          };
+          G.Init.push_back(
+              static_cast<uint8_t>(Hex(S[0]) * 16 + Hex(S[1])));
+          S += 2;
+        }
+      }
+    }
+    Out.Globals.push_back(std::move(G));
+    return true;
+  }
+
+  int parseReg() {
+    std::string N = parseName();
+    for (unsigned I = 0; I != 16; ++I)
+      if (N == regName(I))
+        return static_cast<int>(I);
+    fail("bad register '" + N + "'");
+    return -1;
+  }
+
+  bool expectChar(char C) {
+    skipWs();
+    if (*S != C)
+      return fail(std::string("expected '") + C + "'");
+    ++S;
+    return true;
+  }
+
+  uint32_t labelIndex(VMFunction &F, const std::string &Name) {
+    auto It = LabelIds.find(Name);
+    if (It != LabelIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(F.LabelPos.size());
+    F.LabelPos.push_back(~0u);
+    LabelIds[Name] = Id;
+    return Id;
+  }
+
+  bool parseFunc() {
+    VMFunction F;
+    F.Name = parseName();
+    if (tryWord("frame"))
+      F.FrameSize = static_cast<uint32_t>(parseInt());
+    LabelIds.clear();
+    uint32_t FnIdx = static_cast<uint32_t>(Out.Functions.size());
+
+    while (!tryWord("endfunc")) {
+      skipWs();
+      if (*S == 0)
+        return fail("unterminated function " + F.Name);
+      if (*S == '$') {
+        // Label definition: $name:
+        std::string L = parseName();
+        if (!expectChar(':'))
+          return false;
+        uint32_t Id = labelIndex(F, L);
+        if (F.LabelPos[Id] != ~0u)
+          return fail("label " + L + " redefined");
+        F.LabelPos[Id] = static_cast<uint32_t>(F.Code.size());
+        continue;
+      }
+      if (!parseInstr(F, FnIdx))
+        return false;
+    }
+    for (uint32_t Pos : F.LabelPos)
+      if (Pos == ~0u)
+        return fail("undefined label in " + F.Name);
+    Out.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseInstr(VMFunction &F, uint32_t FnIdx) {
+    std::string Mn = parseName();
+    int OpIdx = -1;
+    for (unsigned I = 0; I != static_cast<unsigned>(VMOp::NumOps); ++I)
+      if (Mn == opMnemonic(static_cast<VMOp>(I))) {
+        OpIdx = static_cast<int>(I);
+        break;
+      }
+    Instr In;
+    // Same-mnemonic immediate forms: the RI ALU opcodes share mnemonics
+    // with their RR counterparts in print (addi.i is distinct), so no
+    // disambiguation is needed here; but branches share "ble.i" between
+    // register and immediate forms and are resolved by operand shape.
+    if (OpIdx < 0)
+      return fail("unknown mnemonic '" + Mn + "'");
+    In.Op = static_cast<VMOp>(OpIdx);
+
+    switch (In.Op) {
+    case VMOp::LD_B: case VMOp::LD_BU: case VMOp::LD_H: case VMOp::LD_HU:
+    case VMOp::LD_W: case VMOp::ST_B: case VMOp::ST_H: case VMOp::ST_W: {
+      int Rd = parseReg();
+      if (Rd < 0 || !expectChar(','))
+        return false;
+      In.Rd = static_cast<uint8_t>(Rd);
+      In.Imm = static_cast<int32_t>(parseInt());
+      if (!expectChar('('))
+        return false;
+      int Rs = parseReg();
+      if (Rs < 0 || !expectChar(')'))
+        return false;
+      In.Rs1 = static_cast<uint8_t>(Rs);
+      break;
+    }
+    case VMOp::SPILL: case VMOp::RELOAD: {
+      int Rd = parseReg();
+      if (Rd < 0 || !expectChar(','))
+        return false;
+      In.Rd = static_cast<uint8_t>(Rd);
+      In.Imm = static_cast<int32_t>(parseInt());
+      if (!expectChar('('))
+        return false;
+      parseReg(); // sp, fixed.
+      if (!expectChar(')'))
+        return false;
+      break;
+    }
+    case VMOp::ENTER: case VMOp::EXIT:
+      parseReg();
+      expectChar(',');
+      parseReg();
+      expectChar(',');
+      In.Imm = static_cast<int32_t>(parseInt());
+      break;
+    case VMOp::EPI:
+      break;
+    case VMOp::SYS:
+      In.Imm = static_cast<int32_t>(parseInt());
+      break;
+    case VMOp::JMP: {
+      std::string L = parseName();
+      In.Target = labelIndex(F, L);
+      break;
+    }
+    case VMOp::CALL: {
+      std::string Name = parseName();
+      CallFixups.push_back({FnIdx, static_cast<uint32_t>(F.Code.size()),
+                            Name});
+      break;
+    }
+    case VMOp::RJR: {
+      int Rd = parseReg();
+      if (Rd < 0)
+        return false;
+      In.Rd = static_cast<uint8_t>(Rd);
+      break;
+    }
+    case VMOp::LI: {
+      int Rd = parseReg();
+      if (Rd < 0 || !expectChar(','))
+        return false;
+      In.Rd = static_cast<uint8_t>(Rd);
+      skipWs();
+      if (*S == '&') {
+        ++S;
+        std::string GName = parseName();
+        AddrFixups.push_back({FnIdx, static_cast<uint32_t>(F.Code.size()),
+                              GName});
+      } else {
+        In.Imm = static_cast<int32_t>(parseInt());
+      }
+      break;
+    }
+    default: {
+      if (isBranch(In.Op)) {
+        int Rs1 = parseReg();
+        if (Rs1 < 0 || !expectChar(','))
+          return false;
+        In.Rs1 = static_cast<uint8_t>(Rs1);
+        skipWs();
+        if (*S == '$') {
+          return fail("branch needs two comparands");
+        }
+        if (std::isdigit(static_cast<unsigned char>(*S)) || *S == '-') {
+          // Immediate comparand: switch to the immediate opcode.
+          if (!isBranchImm(In.Op)) {
+            unsigned Delta = static_cast<unsigned>(VMOp::BEQI) -
+                             static_cast<unsigned>(VMOp::BEQ);
+            In.Op = static_cast<VMOp>(static_cast<unsigned>(In.Op) + Delta);
+          }
+          In.Imm = static_cast<int32_t>(parseInt());
+        } else {
+          int Rs2 = parseReg();
+          if (Rs2 < 0)
+            return false;
+          if (isBranchImm(In.Op))
+            return fail("immediate branch with register comparand");
+          In.Rs2 = static_cast<uint8_t>(Rs2);
+        }
+        if (!expectChar(','))
+          return false;
+        std::string L = parseName();
+        In.Target = labelIndex(F, L);
+        break;
+      }
+      // Generic field-driven parse (RRR, RRI, RR forms). The paper's
+      // assembly uses one mnemonic for both register and immediate ALU
+      // forms (add.i n0,n4,-1); switch opcodes by operand shape.
+      unsigned N = numFields(In.Op);
+      const FieldKind *FK = fieldKinds(In.Op);
+      for (unsigned I = 0; I != N; ++I) {
+        if (I && !expectChar(','))
+          return false;
+        skipWs();
+        bool Numeric = std::isdigit(static_cast<unsigned char>(*S)) ||
+                       *S == '-';
+        if (FK[I] == FieldKind::Reg && Numeric && I == N - 1) {
+          VMOp ImmOp;
+          bool Negate = false;
+          switch (In.Op) {
+          case VMOp::ADD: ImmOp = VMOp::ADDI; break;
+          case VMOp::SUB: ImmOp = VMOp::ADDI; Negate = true; break;
+          case VMOp::MUL: ImmOp = VMOp::MULI; break;
+          case VMOp::AND: ImmOp = VMOp::ANDI; break;
+          case VMOp::OR: ImmOp = VMOp::ORI; break;
+          case VMOp::XOR: ImmOp = VMOp::XORI; break;
+          case VMOp::SLL: ImmOp = VMOp::SLLI; break;
+          case VMOp::SRL: ImmOp = VMOp::SRLI; break;
+          case VMOp::SRA: ImmOp = VMOp::SRAI; break;
+          default:
+            return fail("immediate operand for a register field");
+          }
+          In.Op = ImmOp;
+          int64_t V = parseInt();
+          setField(In, I, Negate ? -V : V);
+          continue;
+        }
+        if (FK[I] == FieldKind::Reg) {
+          int R = parseReg();
+          if (R < 0)
+            return false;
+          setField(In, I, R);
+        } else {
+          setField(In, I, parseInt());
+        }
+      }
+      break;
+    }
+    }
+    F.Code.push_back(In);
+    return true;
+  }
+
+  const char *S;
+  VMProgram &Out;
+  std::string &Error;
+  std::map<std::string, uint32_t> LabelIds;
+  std::vector<std::tuple<uint32_t, uint32_t, std::string>> CallFixups;
+  std::vector<std::tuple<uint32_t, uint32_t, std::string>> AddrFixups;
+  std::string EntryName;
+};
+
+} // namespace
+
+bool vm::parseProgram(const std::string &Text, VMProgram &Out,
+                      std::string &Error) {
+  Error.clear();
+  Assembler A(Text, Out, Error);
+  if (A.run())
+    return true;
+  if (Error.empty())
+    Error = "assembly parse error";
+  return false;
+}

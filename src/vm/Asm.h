@@ -1,0 +1,43 @@
+//===- vm/Asm.h - VM assembler / disassembler -------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual assembly in the paper's notation (ld.iw n0,4(sp); mov.i n4,n0;
+/// ble.i n4,0,$L56; spill.i ra,20(sp); ...) with a program-level
+/// assembler for tests and a disassembler for debugging and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_VM_ASM_H
+#define CCOMP_VM_ASM_H
+
+#include "vm/Program.h"
+
+#include <string>
+
+namespace ccomp {
+namespace vm {
+
+/// Prints one instruction (no newline). Branch targets appear as "$Ln",
+/// call targets as function names resolved through \p P (or "#idx" when
+/// \p P is null).
+std::string printInstr(const Instr &In, const VMProgram *P = nullptr);
+
+/// Prints a whole function with labels interleaved.
+std::string printFunction(const VMFunction &F, const VMProgram *P = nullptr);
+
+/// Prints a whole program (functions, globals, entry).
+std::string printProgram(const VMProgram &P);
+
+/// Parses the printProgram format. Returns false and sets \p Error on
+/// malformed input.
+bool parseProgram(const std::string &Text, VMProgram &Out,
+                  std::string &Error);
+
+} // namespace vm
+} // namespace ccomp
+
+#endif // CCOMP_VM_ASM_H

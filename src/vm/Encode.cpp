@@ -1,0 +1,350 @@
+//===- vm/Encode.cpp - Fixed-width native encoding ---------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Word layout (little-endian):
+//   byte 0: opcode
+//   byte 1: (A << 4) | B   -- two register nibbles (or flags, see below)
+//   bytes 2-3: 16-bit payload (imm16 / label / function index / rs2)
+// A second 4-byte word carries a full 32-bit immediate when the payload
+// cannot: payload == 0x8000 marks the extension for imm-payload formats;
+// immediate compare-and-branch uses bit 0 of nibble B as the marker (the
+// label occupies the payload).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Encode.h"
+
+#include "support/ByteIO.h"
+#include "support/Support.h"
+
+using namespace ccomp;
+using namespace ccomp::vm;
+
+namespace {
+
+constexpr uint16_t ExtMarker = 0x8000;
+
+/// Payload classification for an opcode.
+enum class PayloadKind { None, Imm, Label, Func, Rs2 };
+
+PayloadKind payloadKind(VMOp Op) {
+  if (isBranchImm(Op))
+    return PayloadKind::Label; // Imm goes to the extension word.
+  switch (Op) {
+  case VMOp::JMP:
+    return PayloadKind::Label;
+  case VMOp::CALL:
+    return PayloadKind::Func;
+  case VMOp::EPI:
+  case VMOp::RJR:
+  case VMOp::MOV: case VMOp::NEG: case VMOp::NOT: case VMOp::SXTB:
+  case VMOp::SXTH: case VMOp::ZXTB: case VMOp::ZXTH:
+    return PayloadKind::None;
+  case VMOp::ADD: case VMOp::SUB: case VMOp::MUL: case VMOp::DIV:
+  case VMOp::DIVU: case VMOp::REM: case VMOp::REMU: case VMOp::AND:
+  case VMOp::OR: case VMOp::XOR: case VMOp::SLL: case VMOp::SRL:
+  case VMOp::SRA:
+    return PayloadKind::Rs2;
+  default:
+    if (isBranch(Op))
+      return PayloadKind::Label; // Register-register branches.
+    return PayloadKind::Imm;
+  }
+}
+
+bool fitsI16(int32_t V) { return V >= -32768 + 1 && V <= 32767; }
+
+} // namespace
+
+unsigned vm::encodedSize(const Instr &In) {
+  PayloadKind K = payloadKind(In.Op);
+  if (K == PayloadKind::Imm && !fitsI16(In.Imm))
+    return 8;
+  if (isBranchImm(In.Op) && In.Imm != 0)
+    return 8;
+  return 4;
+}
+
+std::vector<uint8_t> vm::encodeFunction(const VMFunction &F) {
+  std::vector<uint8_t> Out;
+  auto Word = [&Out](uint8_t B0, uint8_t B1, uint16_t P) {
+    Out.push_back(B0);
+    Out.push_back(B1);
+    Out.push_back(static_cast<uint8_t>(P));
+    Out.push_back(static_cast<uint8_t>(P >> 8));
+  };
+  auto ExtWord = [&Out](int32_t V) {
+    uint32_t U = static_cast<uint32_t>(V);
+    Out.push_back(static_cast<uint8_t>(U));
+    Out.push_back(static_cast<uint8_t>(U >> 8));
+    Out.push_back(static_cast<uint8_t>(U >> 16));
+    Out.push_back(static_cast<uint8_t>(U >> 24));
+  };
+
+  for (const Instr &In : F.Code) {
+    uint8_t Op = static_cast<uint8_t>(In.Op);
+    switch (payloadKind(In.Op)) {
+    case PayloadKind::None:
+      Word(Op, static_cast<uint8_t>((In.Rd << 4) | In.Rs1), 0);
+      break;
+    case PayloadKind::Rs2:
+      Word(Op, static_cast<uint8_t>((In.Rd << 4) | In.Rs1), In.Rs2);
+      break;
+    case PayloadKind::Func:
+      Word(Op, 0, static_cast<uint16_t>(In.Target));
+      break;
+    case PayloadKind::Label:
+      if (isBranchImm(In.Op)) {
+        bool Ext = In.Imm != 0;
+        Word(Op, static_cast<uint8_t>((In.Rs1 << 4) | (Ext ? 1 : 0)),
+             static_cast<uint16_t>(In.Target));
+        if (Ext)
+          ExtWord(In.Imm);
+      } else if (In.Op == VMOp::JMP) {
+        Word(Op, 0, static_cast<uint16_t>(In.Target));
+      } else {
+        // Register-register branch.
+        Word(Op, static_cast<uint8_t>((In.Rs1 << 4) | In.Rs2),
+             static_cast<uint16_t>(In.Target));
+      }
+      break;
+    case PayloadKind::Imm:
+      if (fitsI16(In.Imm)) {
+        Word(Op, static_cast<uint8_t>((In.Rd << 4) | In.Rs1),
+             static_cast<uint16_t>(In.Imm));
+      } else {
+        Word(Op, static_cast<uint8_t>((In.Rd << 4) | In.Rs1), ExtMarker);
+        ExtWord(In.Imm);
+      }
+      break;
+    }
+  }
+  return Out;
+}
+
+std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
+  std::vector<Instr> Out;
+  size_t Pos = 0;
+  auto ReadExt = [&]() {
+    if (Pos + 4 > Bytes.size())
+      reportFatal("vm decode: truncated extension word");
+    uint32_t V = Bytes[Pos] | (Bytes[Pos + 1] << 8) |
+                 (Bytes[Pos + 2] << 16) |
+                 (static_cast<uint32_t>(Bytes[Pos + 3]) << 24);
+    Pos += 4;
+    return static_cast<int32_t>(V);
+  };
+  while (Pos + 4 <= Bytes.size()) {
+    Instr In;
+    In.Op = static_cast<VMOp>(Bytes[Pos]);
+    if (In.Op >= VMOp::NumOps)
+      reportFatal("vm decode: bad opcode");
+    uint8_t Regs = Bytes[Pos + 1];
+    uint16_t P = static_cast<uint16_t>(Bytes[Pos + 2] |
+                                       (Bytes[Pos + 3] << 8));
+    Pos += 4;
+    switch (payloadKind(In.Op)) {
+    case PayloadKind::None:
+      In.Rd = Regs >> 4;
+      In.Rs1 = Regs & 15;
+      break;
+    case PayloadKind::Rs2:
+      In.Rd = Regs >> 4;
+      In.Rs1 = Regs & 15;
+      In.Rs2 = static_cast<uint8_t>(P & 15);
+      break;
+    case PayloadKind::Func:
+      In.Target = P;
+      break;
+    case PayloadKind::Label:
+      if (isBranchImm(In.Op)) {
+        In.Rs1 = Regs >> 4;
+        In.Target = P;
+        if (Regs & 1)
+          In.Imm = ReadExt();
+      } else if (In.Op == VMOp::JMP) {
+        In.Target = P;
+      } else {
+        In.Rs1 = Regs >> 4;
+        In.Rs2 = Regs & 15;
+        In.Target = P;
+      }
+      break;
+    case PayloadKind::Imm:
+      In.Rd = Regs >> 4;
+      In.Rs1 = Regs & 15;
+      if (P == ExtMarker)
+        In.Imm = ReadExt();
+      else
+        In.Imm = static_cast<int16_t>(P);
+      break;
+    }
+    Out.push_back(In);
+  }
+  return Out;
+}
+
+std::vector<uint8_t> vm::encodeProgram(const VMProgram &P) {
+  std::vector<uint8_t> Out;
+  for (const VMFunction &F : P.Functions) {
+    std::vector<uint8_t> B = encodeFunction(F);
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  return Out;
+}
+
+CodeLayout vm::nativeLayout(const VMProgram &P) {
+  CodeLayout L;
+  uint32_t Base = 0;
+  for (const VMFunction &F : P.Functions) {
+    L.FuncBase.push_back(Base);
+    std::vector<uint32_t> Offs;
+    uint32_t Off = 0;
+    for (const Instr &In : F.Code) {
+      Offs.push_back(Off);
+      Off += encodedSize(In);
+    }
+    L.InstrOff.push_back(std::move(Offs));
+    Base += Off;
+  }
+  L.TotalBytes = Base;
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// Compact (CISC-class) encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Zig-zag LEB128 byte length of a value.
+unsigned varLen(int64_t V) {
+  uint64_t Z = (static_cast<uint64_t>(V) << 1) ^
+               static_cast<uint64_t>(V >> 63);
+  unsigned N = 1;
+  while (Z >= 0x80) {
+    Z >>= 7;
+    ++N;
+  }
+  return N;
+}
+
+} // namespace
+
+unsigned vm::encodedSizeCompact(const Instr &In) {
+  unsigned Bytes = 1; // Opcode.
+  unsigned Nibbles = 0;
+  unsigned NF = numFields(In.Op);
+  const FieldKind *FK = fieldKinds(In.Op);
+  for (unsigned F = 0; F != NF; ++F) {
+    switch (FK[F]) {
+    case FieldKind::Reg:
+      ++Nibbles;
+      break;
+    case FieldKind::Imm:
+    case FieldKind::Label:
+    case FieldKind::Func:
+      Bytes += varLen(getField(In, F));
+      break;
+    case FieldKind::None:
+      break;
+    }
+  }
+  return Bytes + (Nibbles + 1) / 2;
+}
+
+std::vector<uint8_t> vm::encodeFunctionCompact(const VMFunction &F) {
+  ByteWriter W;
+  for (const Instr &In : F.Code) {
+    W.writeU8(static_cast<uint8_t>(In.Op));
+    unsigned NF = numFields(In.Op);
+    const FieldKind *FK = fieldKinds(In.Op);
+    // Register nibbles first (packed), then varint fields.
+    uint8_t Pending = 0;
+    bool Have = false;
+    for (unsigned Fi = 0; Fi != NF; ++Fi) {
+      if (FK[Fi] != FieldKind::Reg)
+        continue;
+      uint8_t R = static_cast<uint8_t>(getField(In, Fi)) & 15;
+      if (Have) {
+        W.writeU8(static_cast<uint8_t>(Pending | (R << 4)));
+        Have = false;
+      } else {
+        Pending = R;
+        Have = true;
+      }
+    }
+    if (Have)
+      W.writeU8(Pending);
+    for (unsigned Fi = 0; Fi != NF; ++Fi)
+      if (FK[Fi] == FieldKind::Imm || FK[Fi] == FieldKind::Label ||
+          FK[Fi] == FieldKind::Func)
+        W.writeVarS(getField(In, Fi));
+  }
+  return W.take();
+}
+
+std::vector<Instr>
+vm::decodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  std::vector<Instr> Out;
+  while (!R.atEnd()) {
+    Instr In;
+    In.Op = static_cast<VMOp>(R.readU8());
+    if (In.Op >= VMOp::NumOps)
+      reportFatal("compact decode: bad opcode");
+    unsigned NF = numFields(In.Op);
+    const FieldKind *FK = fieldKinds(In.Op);
+    unsigned Regs = 0;
+    for (unsigned Fi = 0; Fi != NF; ++Fi)
+      if (FK[Fi] == FieldKind::Reg)
+        ++Regs;
+    std::vector<uint8_t> Nib;
+    for (unsigned I = 0; I < Regs; I += 2) {
+      uint8_t B = R.readU8();
+      Nib.push_back(B & 15);
+      if (I + 1 < Regs)
+        Nib.push_back(B >> 4);
+    }
+    unsigned NibI = 0;
+    for (unsigned Fi = 0; Fi != NF; ++Fi)
+      if (FK[Fi] == FieldKind::Reg)
+        setField(In, Fi, Nib[NibI++]);
+    for (unsigned Fi = 0; Fi != NF; ++Fi)
+      if (FK[Fi] == FieldKind::Imm || FK[Fi] == FieldKind::Label ||
+          FK[Fi] == FieldKind::Func)
+        setField(In, Fi, R.readVarS());
+    Out.push_back(In);
+  }
+  return Out;
+}
+
+std::vector<uint8_t> vm::encodeProgramCompact(const VMProgram &P) {
+  std::vector<uint8_t> Out;
+  for (const VMFunction &F : P.Functions) {
+    std::vector<uint8_t> B = encodeFunctionCompact(F);
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  return Out;
+}
+
+CodeLayout vm::compactLayout(const VMProgram &P) {
+  CodeLayout L;
+  uint32_t Base = 0;
+  for (const VMFunction &F : P.Functions) {
+    L.FuncBase.push_back(Base);
+    std::vector<uint32_t> Offs;
+    uint32_t Off = 0;
+    for (const Instr &In : F.Code) {
+      Offs.push_back(Off);
+      Off += encodedSizeCompact(In);
+    }
+    L.InstrOff.push_back(std::move(Offs));
+    Base += Off;
+  }
+  L.TotalBytes = Base;
+  return L;
+}

@@ -1,0 +1,74 @@
+//===- vm/Encode.h - Fixed-width native encoding ----------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "conventional code" encoding: fixed 4-byte instruction words (with
+/// a second word for immediates that do not fit in 16 bits, mirroring
+/// SPARC's sethi pairs). This is the uncompressed size baseline standing
+/// in for the paper's SPARC/Pentium executables, and the byte stream the
+/// "gzipped native" baseline compresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_VM_ENCODE_H
+#define CCOMP_VM_ENCODE_H
+
+#include "vm/Machine.h"
+#include "vm/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+namespace vm {
+
+/// Encodes one function's code.
+std::vector<uint8_t> encodeFunction(const VMFunction &F);
+
+/// Decodes a function body previously produced by encodeFunction. Label
+/// positions are not part of the encoding; pass the original count so the
+/// caller can re-attach them.
+std::vector<Instr> decodeFunction(const std::vector<uint8_t> &Bytes);
+
+/// Concatenated encoding of every function (the program's code segment).
+std::vector<uint8_t> encodeProgram(const VMProgram &P);
+
+/// Byte size of the encoded form of \p In (4 or 8).
+unsigned encodedSize(const Instr &In);
+
+/// Builds the CodeLayout of the fixed-width encoding, for working-set
+/// measurements of "native" code.
+CodeLayout nativeLayout(const VMProgram &P);
+
+//===----------------------------------------------------------------------===//
+// Compact (CISC-class) encoding
+//===----------------------------------------------------------------------===//
+//
+// The paper's BRISC table normalizes against Pentium executables, whose
+// variable-length encoding averages ~3 bytes per instruction. This
+// encoding is that stand-in: opcode byte, register nibbles packed in
+// pairs, immediates/labels as zig-zag varints.
+
+/// Byte size of \p In under the compact encoding.
+unsigned encodedSizeCompact(const Instr &In);
+
+/// Compact encoding of one function's code.
+std::vector<uint8_t> encodeFunctionCompact(const VMFunction &F);
+
+/// Decodes a compact function body (round-trip check).
+std::vector<Instr> decodeFunctionCompact(const std::vector<uint8_t> &Bytes);
+
+/// Compact encoding of the whole program's code segment.
+std::vector<uint8_t> encodeProgramCompact(const VMProgram &P);
+
+/// CodeLayout of the compact encoding (working-set measurements against
+/// the CISC-class baseline).
+CodeLayout compactLayout(const VMProgram &P);
+
+} // namespace vm
+} // namespace ccomp
+
+#endif // CCOMP_VM_ENCODE_H

@@ -1,0 +1,164 @@
+//===- vm/Machine.h - VM state and interpreter ------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine: registers, flat little-endian memory, system
+/// calls, and the reference interpreter. The BRISC in-place interpreter
+/// and the threaded-code backend reuse Machine for all architectural
+/// state and for the data-instruction semantics, so all three execution
+/// engines share one definition of the ISA's behaviour.
+///
+/// Code addresses (the values in ra) are synthetic: bit 31 set,
+/// bits 30..16 = function index, bits 15..0 = instruction index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_VM_MACHINE_H
+#define CCOMP_VM_MACHINE_H
+
+#include "vm/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace vm {
+
+/// Optional mapping from (function, instruction) to code byte offsets in
+/// some concrete encoding, used for working-set / paging measurements.
+struct CodeLayout {
+  std::vector<uint32_t> FuncBase;              ///< Per-function byte base.
+  std::vector<std::vector<uint32_t>> InstrOff; ///< Per-instr offset in fn.
+  uint32_t TotalBytes = 0;
+};
+
+/// Interpreter limits and instrumentation switches.
+struct RunOptions {
+  uint64_t MaxSteps = 4ull << 30;
+  size_t MemBytes = 8u << 20;
+  const CodeLayout *Layout = nullptr; ///< Enable page tracking when set.
+  uint32_t PageSize = 4096;
+  size_t MaxPageTrace = 1u << 22;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool Ok = false;          ///< False on trap or step-limit exhaustion.
+  int32_t ExitCode = 0;
+  uint64_t Steps = 0;
+  std::string Trap;         ///< Diagnostic when !Ok.
+  std::string Output;       ///< Bytes written by Put* system calls.
+  uint64_t PagesTouched = 0;          ///< Distinct code pages executed.
+  std::vector<uint32_t> PageTrace;    ///< Run-length page reference string.
+};
+
+/// VM architectural state plus the reference interpreter.
+class Machine {
+public:
+  explicit Machine(const VMProgram &P, RunOptions Opts = RunOptions());
+
+  /// Interprets from the entry function until exit/trap/step limit.
+  RunResult run();
+
+  //===--------------------------------------------------------------------===
+  // Building blocks shared with the BRISC interpreter and the threaded
+  // backend. These manipulate this Machine's state directly.
+  //===--------------------------------------------------------------------===
+
+  /// Executes a non-control-flow instruction (ALU, loads/stores, LI,
+  /// ENTER/EXIT/SPILL/RELOAD, MCPY/MSET). Returns false if \p In is a
+  /// control instruction the caller must handle.
+  bool dataStep(const Instr &In);
+
+  /// Evaluates a compare-and-branch condition.
+  bool branchTaken(const Instr &In) const;
+
+  /// Executes SYS \p Id. Sets Halted on Sys::Exit.
+  void doSys(int32_t Id);
+
+  /// Synthetic code addresses.
+  static uint32_t encodeRet(uint32_t Func, uint32_t Idx) {
+    return 0x80000000u | (Func << 16) | Idx;
+  }
+  static uint32_t retFunc(uint32_t RA) { return (RA >> 16) & 0x7FFF; }
+  static uint32_t retIdx(uint32_t RA) { return RA & 0xFFFF; }
+  static constexpr uint32_t HaltRA = 0xFFFFFFFFu;
+
+  /// Halts as if the program returned from its entry function: the exit
+  /// status is n0. Used by the alternate execution engines when control
+  /// returns through the sentinel ra value.
+  void haltWithN0() {
+    Halted = true;
+    Exit = static_cast<int32_t>(R[N0]);
+  }
+
+  void trap(const std::string &Msg) {
+    if (Trapped)
+      return;
+    Trapped = true;
+    TrapMsg = Msg;
+  }
+
+  bool halted() const { return Halted || Trapped; }
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return TrapMsg; }
+  int32_t exitCode() const { return Exit; }
+  const std::string &output() const { return Out; }
+
+  uint32_t reg(unsigned I) const { return R[I]; }
+  void setReg(unsigned I, uint32_t V) {
+    R[I] = V;
+    R[ZR] = 0;
+  }
+
+  const VMProgram &program() const { return Prog; }
+  const RunOptions &options() const { return Opts; }
+
+  /// Records execution of code byte range for instruction \p Idx of
+  /// function \p Fn (no-op unless a layout is configured).
+  void touchCode(uint32_t Fn, uint32_t Idx);
+
+  uint64_t pagesTouched() const;
+  const std::vector<uint32_t> &pageTrace() const { return PageTrace; }
+
+  /// Executes the reloads/exit/return of EPI using \p Meta; returns the
+  /// new ra value to jump through.
+  uint32_t execEpi(const FuncMeta &Meta);
+
+  // Memory access (bounds-checked; traps on violation).
+  uint32_t load(uint32_t Addr, unsigned Size, bool SignExtend);
+  void store(uint32_t Addr, unsigned Size, uint32_t V);
+
+private:
+  void resetState();
+
+  const VMProgram &Prog;
+  RunOptions Opts;
+
+  uint32_t R[16] = {0};
+  std::vector<uint8_t> Mem;
+  uint32_t HeapPtr = 0;
+
+  bool Halted = false;
+  bool Trapped = false;
+  int32_t Exit = 0;
+  std::string TrapMsg;
+  std::string Out;
+
+  // Page tracking.
+  std::vector<uint8_t> PageSeen;
+  std::vector<uint32_t> PageTrace;
+  uint32_t LastPage = ~0u;
+};
+
+/// Convenience: build a Machine, run, return the result.
+RunResult runProgram(const VMProgram &P, RunOptions Opts = RunOptions());
+
+} // namespace vm
+} // namespace ccomp
+
+#endif // CCOMP_VM_MACHINE_H

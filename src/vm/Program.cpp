@@ -1,0 +1,64 @@
+//===- vm/Program.cpp - Linked VM programs ----------------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Program.h"
+
+#include <sstream>
+
+using namespace ccomp;
+using namespace ccomp::vm;
+
+FuncMeta vm::deriveMeta(const VMFunction &F) {
+  FuncMeta Meta;
+  size_t I = 0;
+  if (I < F.Code.size() && F.Code[I].Op == VMOp::ENTER) {
+    Meta.FrameSize = static_cast<uint32_t>(F.Code[I].Imm);
+    ++I;
+  }
+  while (I < F.Code.size() && F.Code[I].Op == VMOp::SPILL) {
+    Meta.Saves.push_back({F.Code[I].Rd, F.Code[I].Imm});
+    ++I;
+  }
+  return Meta;
+}
+
+uint64_t vm::countInstrs(const VMProgram &P) {
+  uint64_t N = 0;
+  for (const VMFunction &F : P.Functions)
+    N += F.Code.size();
+  return N;
+}
+
+std::string vm::verify(const VMProgram &P) {
+  std::ostringstream Err;
+  for (const VMFunction &F : P.Functions) {
+    for (size_t I = 0; I != F.Code.size(); ++I) {
+      const Instr &In = F.Code[I];
+      if (In.Op >= VMOp::NumOps) {
+        Err << F.Name << ": bad opcode at " << I;
+        return Err.str();
+      }
+      if (In.Rd > 15 || In.Rs1 > 15 || In.Rs2 > 15) {
+        Err << F.Name << ": bad register at " << I;
+        return Err.str();
+      }
+      if (isBranch(In.Op) && In.Target >= F.LabelPos.size()) {
+        Err << F.Name << ": branch to unknown label at " << I;
+        return Err.str();
+      }
+      if (In.Op == VMOp::CALL && In.Target >= P.Functions.size()) {
+        Err << F.Name << ": call to unknown function at " << I;
+        return Err.str();
+      }
+    }
+    for (uint32_t L : F.LabelPos)
+      if (L > F.Code.size()) {
+        Err << F.Name << ": label position out of range";
+        return Err.str();
+      }
+  }
+  return std::string();
+}

@@ -1,0 +1,91 @@
+//===- vm/Program.h - Linked VM programs ------------------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fully linked VM executables: functions with resolved label tables,
+/// call targets as function indices, and global data laid out at absolute
+/// addresses. This is the input representation of the BRISC compressor
+/// ("the Omniware system compresses fully linked executable programs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_VM_PROGRAM_H
+#define CCOMP_VM_PROGRAM_H
+
+#include "vm/ISA.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace vm {
+
+/// One function's code. Branch targets are label indices resolved through
+/// LabelPos.
+struct VMFunction {
+  std::string Name;
+  uint32_t FrameSize = 0; ///< Bytes subtracted by the prologue's ENTER.
+  std::vector<Instr> Code;
+  std::vector<uint32_t> LabelPos; ///< Label index -> instruction index.
+};
+
+/// A global data object placed at an absolute address.
+struct VMGlobal {
+  std::string Name;
+  uint32_t Addr = 0;
+  uint32_t Size = 0;
+  std::vector<uint8_t> Init; ///< Empty = zero-initialized.
+};
+
+/// Prologue summary used to execute the EPI macro-instruction: which
+/// registers the prologue spilled (and where), and the frame size.
+struct FuncMeta {
+  uint32_t FrameSize = 0;
+  struct Save {
+    uint8_t Reg;
+    int32_t Off;
+  };
+  std::vector<Save> Saves;
+};
+
+/// A linked executable.
+struct VMProgram {
+  std::vector<VMFunction> Functions;
+  std::vector<VMGlobal> Globals;
+  uint32_t Entry = 0;       ///< Index of the start function (main).
+  uint32_t GlobalBase = 0x100;
+  uint32_t GlobalEnd = 0x100; ///< First free address after globals.
+
+  int32_t findFunction(const std::string &Name) const {
+    for (uint32_t I = 0; I != Functions.size(); ++I)
+      if (Functions[I].Name == Name)
+        return static_cast<int32_t>(I);
+    return -1;
+  }
+
+  const VMGlobal *findGlobal(const std::string &Name) const {
+    for (const VMGlobal &G : Globals)
+      if (G.Name == Name)
+        return &G;
+    return nullptr;
+  }
+};
+
+/// Derives the EPI metadata of \p F by scanning its prologue
+/// (ENTER followed by SPILLs).
+FuncMeta deriveMeta(const VMFunction &F);
+
+/// Total instruction count of a program.
+uint64_t countInstrs(const VMProgram &P);
+
+/// Validates label/function/register ranges; returns "" or a diagnostic.
+std::string verify(const VMProgram &P);
+
+} // namespace vm
+} // namespace ccomp
+
+#endif // CCOMP_VM_PROGRAM_H

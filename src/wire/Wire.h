@@ -1,0 +1,70 @@
+//===- wire/Wire.h - The wire-format code compressor ------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3's wire format: compile to trees, patternize out all
+/// literals, form one stream of tree patterns and one literal stream per
+/// operator class, move-to-front code each stream, Huffman-code the MTF
+/// indices, and flate the streams in isolation. The decompressor
+/// reconstructs a module whose canonical text equals the original's.
+///
+/// Pipeline levels expose the paper's design-space ablations:
+///   Naive      - serialize + flate (the "just gzip it" baseline)
+///   Streams    - split per-operator streams, flate each
+///   StreamsMTF - + move-to-front coding
+///   Full       - + Huffman coding of MTF indices (the paper's format)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_WIRE_WIRE_H
+#define CCOMP_WIRE_WIRE_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace wire {
+
+/// Which stages of the wire pipeline to run (ablation knob).
+enum class Pipeline : uint8_t {
+  Naive = 0,
+  Streams = 1,
+  StreamsMTF = 2,
+  Full = 3,
+};
+
+/// Per-stream size accounting for the experiment harness.
+struct StreamStat {
+  std::string Name;
+  size_t RawBytes = 0;        ///< Serialized stream before flate.
+  size_t CompressedBytes = 0; ///< After flate.
+};
+
+struct Stats {
+  std::vector<StreamStat> Streams;
+  size_t TotalBytes = 0;
+  size_t PatternCount = 0; ///< Distinct tree patterns in the dictionary.
+  size_t TreeCount = 0;    ///< Statement trees compressed.
+};
+
+/// Compresses \p M into a self-contained wire file.
+std::vector<uint8_t> compress(const ir::Module &M,
+                              Pipeline P = Pipeline::Full,
+                              Stats *Out = nullptr);
+
+/// Decompresses a wire file. Returns nullptr and sets \p Error on a
+/// malformed container.
+std::unique_ptr<ir::Module> decompress(const std::vector<uint8_t> &Bytes,
+                                       std::string &Error);
+
+} // namespace wire
+} // namespace ccomp
+
+#endif // CCOMP_WIRE_WIRE_H

@@ -1,0 +1,217 @@
+//===- tests/test_codegen.cpp - IR -> VM code generation tests -----------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "vm/Asm.h"
+#include "vm/Encode.h"
+
+using namespace ccomp;
+using namespace ccomp::test;
+using vm::VMOp;
+
+namespace {
+
+/// Returns the generated code of function \p Name.
+const vm::VMFunction &functionOf(const vm::VMProgram &P,
+                                 const std::string &Name) {
+  int32_t I = P.findFunction(Name);
+  EXPECT_GE(I, 0) << Name;
+  return P.Functions[static_cast<size_t>(I)];
+}
+
+unsigned countOp(const vm::VMFunction &F, VMOp Op) {
+  unsigned N = 0;
+  for (const vm::Instr &In : F.Code)
+    N += In.Op == Op;
+  return N;
+}
+
+} // namespace
+
+TEST(Codegen, PrologueEpilogueShape) {
+  // The paper's section-4 example shape: enter; spill...; body;
+  // reload...; exit; rjr ra.
+  vm::VMProgram P = buildVM(
+      "int pepper(int i, int j) { return i + j; }\n"
+      "int salt(int j, int i) {\n"
+      "  if (j > 0) { pepper(i, j); j--; }\n"
+      "  return j;\n"
+      "}\n"
+      "int main(void) { return salt(5, 9); }");
+  const vm::VMFunction &Salt = functionOf(P, "salt");
+  ASSERT_GT(Salt.Code.size(), 6u);
+  EXPECT_EQ(Salt.Code[0].Op, VMOp::ENTER);
+  EXPECT_EQ(Salt.Code[1].Op, VMOp::SPILL);
+  EXPECT_EQ(Salt.Code.back().Op, VMOp::RJR);
+  EXPECT_EQ(Salt.Code.back().Rd, vm::RA);
+  EXPECT_EQ(Salt.Code[Salt.Code.size() - 2].Op, VMOp::EXIT);
+  EXPECT_GT(countOp(Salt, VMOp::RELOAD), 0u);
+  // salt calls pepper, so ra must be among the spills.
+  bool SpillsRA = false;
+  for (const vm::Instr &In : Salt.Code)
+    if (In.Op == VMOp::SPILL && In.Rd == vm::RA)
+      SpillsRA = true;
+  EXPECT_TRUE(SpillsRA);
+  // The enter/exit frame sizes agree.
+  EXPECT_EQ(Salt.Code[0].Imm,
+            Salt.Code[Salt.Code.size() - 2].Imm);
+}
+
+TEST(Codegen, LeafFunctionSkipsRaSpill) {
+  vm::VMProgram P = buildVM("int leaf(int a) { return a * 2; }\n"
+                            "int main(void) { return leaf(21); }");
+  const vm::VMFunction &Leaf = functionOf(P, "leaf");
+  for (const vm::Instr &In : Leaf.Code)
+    if (In.Op == VMOp::SPILL)
+      EXPECT_NE(In.Rd, vm::RA);
+}
+
+TEST(Codegen, ImmediateSelection) {
+  vm::VMProgram P = buildVM(
+      "int f(int x) { return x + 3 - 5 * x / 1; }\n"
+      "int main(void) { return f(2); }");
+  const vm::VMFunction &F = functionOf(P, "f");
+  EXPECT_GT(countOp(F, VMOp::ADDI), 0u); // x + 3 and the -5 fold.
+}
+
+TEST(Codegen, StrengthReduction) {
+  vm::VMProgram P = buildVM(
+      "unsigned f(unsigned x) { return x * 8 + x / 4 + x % 16; }\n"
+      "int main(void) { return (int)f(100); }");
+  const vm::VMFunction &F = functionOf(P, "f");
+  EXPECT_GT(countOp(F, VMOp::SLLI), 0u); // * 8.
+  EXPECT_GT(countOp(F, VMOp::SRLI), 0u); // / 4 unsigned.
+  EXPECT_GT(countOp(F, VMOp::ANDI), 0u); // % 16 unsigned.
+  EXPECT_EQ(countOp(F, VMOp::MUL), 0u);
+  EXPECT_EQ(countOp(F, VMOp::DIVU), 0u);
+}
+
+TEST(Codegen, UnsignedSubwordLoadsSelected) {
+  vm::VMProgram P = buildVM(
+      "unsigned char b[4];\n"
+      "unsigned short h[4];\n"
+      "int f(void) { return b[1] + h[1]; }\n"
+      "int main(void) { return f(); }");
+  const vm::VMFunction &F = functionOf(P, "f");
+  EXPECT_GT(countOp(F, VMOp::LD_BU), 0u);
+  EXPECT_GT(countOp(F, VMOp::LD_HU), 0u);
+  EXPECT_EQ(countOp(F, VMOp::ZXTB), 0u); // Folded into the load.
+}
+
+TEST(Codegen, GlobalsUseZeroRegisterDisplacement) {
+  vm::VMProgram P = buildVM("int g;\n"
+                            "int f(void) { return g; }\n"
+                            "int main(void) { return f(); }");
+  const vm::VMFunction &F = functionOf(P, "f");
+  bool ZrBase = false;
+  for (const vm::Instr &In : F.Code)
+    if (In.Op == VMOp::LD_W && In.Rs1 == vm::ZR)
+      ZrBase = true;
+  EXPECT_TRUE(ZrBase);
+}
+
+TEST(Codegen, DetunedNoImmediatesHasNoImmediateForms) {
+  codegen::Options Opts;
+  Opts.NoImmediates = true;
+  vm::VMProgram P = buildVM(syntheticSource(20), Opts);
+  for (const vm::VMFunction &F : P.Functions)
+    for (const vm::Instr &In : F.Code)
+      EXPECT_FALSE(vm::isImmediateForm(In.Op))
+          << F.Name << ": " << vm::printInstr(In);
+}
+
+TEST(Codegen, DetunedNoRegDispHasZeroDisplacements) {
+  codegen::Options Opts;
+  Opts.NoRegDisp = true;
+  vm::VMProgram P = buildVM(syntheticSource(20), Opts);
+  for (const vm::VMFunction &F : P.Functions)
+    for (const vm::Instr &In : F.Code) {
+      switch (In.Op) {
+      case VMOp::LD_B: case VMOp::LD_BU: case VMOp::LD_H:
+      case VMOp::LD_HU: case VMOp::LD_W: case VMOp::ST_B:
+      case VMOp::ST_H: case VMOp::ST_W:
+        EXPECT_EQ(In.Imm, 0) << F.Name << ": " << vm::printInstr(In);
+        break;
+      default:
+        break;
+      }
+    }
+}
+
+TEST(Codegen, RuntimeBuiltinsBecomeSyscalls) {
+  vm::VMProgram P = buildVM("int main(void) {\n"
+                            "  print_int(1);\n"
+                            "  print_char('\\n');\n"
+                            "  int *p = alloc(8);\n"
+                            "  p[0] = 3;\n"
+                            "  return p[0];\n"
+                            "}");
+  const vm::VMFunction &Main = functionOf(P, "main");
+  EXPECT_GE(countOp(Main, VMOp::SYS), 3u);
+  EXPECT_EQ(countOp(Main, VMOp::CALL), 0u);
+}
+
+TEST(Codegen, StructCopyUsesMcpy) {
+  vm::VMProgram P = buildVM(
+      "struct Big { int a[8]; };\n"
+      "struct Big x, y;\n"
+      "int main(void) { x = y; return 0; }");
+  const vm::VMFunction &Main = functionOf(P, "main");
+  EXPECT_EQ(countOp(Main, VMOp::MCPY), 1u);
+}
+
+TEST(Codegen, UndefinedSymbolReported) {
+  minic::CompileResult CR =
+      minic::compile("int main(void) { return mystery(); }");
+  ASSERT_TRUE(CR.ok()); // Implicit declaration is legal old C...
+  codegen::Result R = codegen::generate(*CR.M);
+  EXPECT_FALSE(R.ok()); // ...but linking it is not.
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: every (program, machine variant) pair must agree with
+// the baseline machine.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct VariantCase {
+  const char *Name;
+  bool NoImm;
+  bool NoDisp;
+};
+
+class DetuneSweep
+    : public ::testing::TestWithParam<std::tuple<corpus::Program,
+                                                 VariantCase>> {};
+
+} // namespace
+
+TEST_P(DetuneSweep, VariantAgreesWithBaseline) {
+  const auto &[Prog, Var] = GetParam();
+  vm::RunResult Base = runC(Prog.Source);
+  codegen::Options Opts;
+  Opts.NoImmediates = Var.NoImm;
+  Opts.NoRegDisp = Var.NoDisp;
+  vm::RunResult R = runC(Prog.Source, Opts);
+  EXPECT_EQ(R.ExitCode, Base.ExitCode) << Prog.Name << " " << Var.Name;
+  EXPECT_EQ(R.Output, Base.Output) << Prog.Name << " " << Var.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DetuneSweep,
+    ::testing::Combine(
+        ::testing::ValuesIn(corpus::programs()),
+        ::testing::Values(VariantCase{"noimm", true, false},
+                          VariantCase{"nodisp", false, true},
+                          VariantCase{"minimal", true, true})),
+    [](const ::testing::TestParamInfo<
+        std::tuple<corpus::Program, VariantCase>> &Info) {
+      return std::string(std::get<0>(Info.param).Name) + "_" +
+             std::get<1>(Info.param).Name;
+    });

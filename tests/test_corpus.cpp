@@ -1,0 +1,132 @@
+//===- tests/test_corpus.cpp - Corpus differential tests ----------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every corpus program must produce identical output and exit status
+// under all execution engines: the VM interpreter on decoded code, the
+// in-place BRISC interpreter, and the threaded-code ("native") backend —
+// both generated directly and generated from BRISC (the JIT path). The
+// wire format must round-trip each program's IR to identical text.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "corpus/Corpus.h"
+#include "ir/Text.h"
+#include "native/Threaded.h"
+#include "vm/Encode.h"
+#include "wire/Wire.h"
+
+using namespace ccomp;
+using namespace ccomp::test;
+
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<corpus::Program> {};
+
+} // namespace
+
+TEST_P(CorpusTest, CompilesAndRuns) {
+  const corpus::Program &P = GetParam();
+  vm::RunResult R = runC(P.Source);
+  EXPECT_TRUE(R.Ok) << P.Name << ": " << R.Trap;
+  EXPECT_FALSE(R.Output.empty()) << P.Name << " printed nothing";
+}
+
+TEST_P(CorpusTest, EnginesAgree) {
+  const corpus::Program &P = GetParam();
+  vm::VMProgram VP = buildVM(P.Source);
+  vm::RunResult VM = vm::runProgram(VP);
+  ASSERT_TRUE(VM.Ok) << P.Name << ": " << VM.Trap;
+
+  brisc::BriscProgram B = brisc::compress(VP);
+  vm::RunResult BI = brisc::interpret(B);
+  ASSERT_TRUE(BI.Ok) << P.Name << " (brisc interp): " << BI.Trap;
+  EXPECT_EQ(BI.ExitCode, VM.ExitCode) << P.Name;
+  EXPECT_EQ(BI.Output, VM.Output) << P.Name;
+
+  native::NProgram N = native::generate(VP);
+  vm::RunResult NR = native::run(N);
+  ASSERT_TRUE(NR.Ok) << P.Name << " (native): " << NR.Trap;
+  EXPECT_EQ(NR.ExitCode, VM.ExitCode) << P.Name;
+  EXPECT_EQ(NR.Output, VM.Output) << P.Name;
+
+  native::NProgram NJ = native::generateFromBrisc(B);
+  vm::RunResult JR = native::run(NJ);
+  ASSERT_TRUE(JR.Ok) << P.Name << " (jit): " << JR.Trap;
+  EXPECT_EQ(JR.ExitCode, VM.ExitCode) << P.Name;
+  EXPECT_EQ(JR.Output, VM.Output) << P.Name;
+}
+
+TEST_P(CorpusTest, WireRoundTrip) {
+  const corpus::Program &P = GetParam();
+  std::unique_ptr<ir::Module> M = compileC(P.Source);
+  ASSERT_TRUE(M);
+  std::string Before = ir::printModule(*M);
+  std::vector<uint8_t> Z = wire::compress(*M);
+  std::string Error;
+  std::unique_ptr<ir::Module> Back = wire::decompress(Z, Error);
+  ASSERT_TRUE(Back) << P.Name << ": " << Error;
+  EXPECT_EQ(ir::printModule(*Back), Before) << P.Name;
+}
+
+TEST_P(CorpusTest, BriscImageRoundTrip) {
+  const corpus::Program &P = GetParam();
+  vm::VMProgram VP = buildVM(P.Source);
+  brisc::BriscProgram B = brisc::compress(VP);
+  std::vector<uint8_t> Image = B.serialize(/*IncludeData=*/true);
+  brisc::BriscProgram B2 = brisc::BriscProgram::deserialize(Image);
+  vm::RunResult R1 = brisc::interpret(B);
+  vm::RunResult R2 = brisc::interpret(B2);
+  ASSERT_TRUE(R1.Ok && R2.Ok) << P.Name;
+  EXPECT_EQ(R1.Output, R2.Output) << P.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusTest, ::testing::ValuesIn(corpus::programs()),
+    [](const ::testing::TestParamInfo<corpus::Program> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Synthetic generator
+//===----------------------------------------------------------------------===//
+
+TEST(Synth, Deterministic) {
+  EXPECT_EQ(corpus::synthesize(50, 7), corpus::synthesize(50, 7));
+  EXPECT_NE(corpus::synthesize(50, 7), corpus::synthesize(50, 8));
+}
+
+TEST(Synth, CompilesAndRunsAcrossSeeds) {
+  for (uint64_t Seed : {1ull, 99ull, 31337ull}) {
+    std::string Src = corpus::synthesize(40, Seed);
+    vm::VMProgram P = buildVM(Src);
+    vm::RunResult R = vm::runProgram(P);
+    ASSERT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Trap;
+  }
+}
+
+TEST(Synth, EnginesAgreeOnSynthetic) {
+  std::string Src = corpus::synthesize(80, 5);
+  vm::VMProgram P = buildVM(Src);
+  vm::RunResult VM = vm::runProgram(P);
+  ASSERT_TRUE(VM.Ok) << VM.Trap;
+  brisc::BriscProgram B = brisc::compress(P);
+  vm::RunResult BI = brisc::interpret(B);
+  ASSERT_TRUE(BI.Ok) << BI.Trap;
+  EXPECT_EQ(BI.Output, VM.Output);
+  vm::RunResult NR = native::run(native::generate(P));
+  ASSERT_TRUE(NR.Ok) << NR.Trap;
+  EXPECT_EQ(NR.Output, VM.Output);
+}
+
+TEST(Synth, SizeClassesScale) {
+  std::string Wep = corpus::sizeClassSource("wep");
+  std::string Icc = corpus::sizeClassSource("icc");
+  EXPECT_LT(Wep.size(), Icc.size());
+}

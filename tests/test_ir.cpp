@@ -1,0 +1,170 @@
+//===- tests/test_ir.cpp - Tree IR, text form, linker --------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Link.h"
+#include "ir/Text.h"
+
+using namespace ccomp;
+using namespace ccomp::ir;
+using namespace ccomp::test;
+
+TEST(IR, OpcodeTables) {
+  for (unsigned I = 0; I != unsigned(Op::NumOps); ++I) {
+    Op O = static_cast<Op>(I);
+    EXPECT_NE(opName(O), nullptr);
+    EXPECT_LE(numKids(O), 2u);
+    if (hasLiteral(O))
+      EXPECT_NE(litClass(O), LitClass::None);
+  }
+  EXPECT_EQ(litClass(Op::CNST), LitClass::Const);
+  EXPECT_EQ(litClass(Op::ADDRL), LitClass::Local);
+  EXPECT_EQ(litClass(Op::ADDRG), LitClass::Global);
+  EXPECT_EQ(litClass(Op::JUMP), LitClass::Label);
+  EXPECT_EQ(litClass(Op::ADD), LitClass::None);
+}
+
+TEST(IR, PaperTreeNotation) {
+  // Build ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTI8[1])) and
+  // check it prints exactly as in the paper (modulo our CNSTI8 spelling
+  // of width-flagged constants).
+  Module M;
+  Function *F = M.addFunction("f");
+  Tree *Addr1 = F->newTree(Op::ADDRL, TypeSuffix::P, 72);
+  Tree *Load = F->newTree(Op::INDIR, TypeSuffix::I, 0, Addr1);
+  Tree *One = F->newTree(Op::CNST, TypeSuffix::I, 1);
+  Tree *Sub = F->newTree(Op::SUB, TypeSuffix::I, 0, Load, One);
+  Tree *Addr2 = F->newTree(Op::ADDRL, TypeSuffix::P, 72);
+  Tree *Asgn = F->newTree(Op::ASGN, TypeSuffix::I, 0, Addr2, Sub);
+  EXPECT_EQ(printTree(M, Asgn),
+            "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTI8[1]))");
+}
+
+TEST(IR, WidthFlagsFollowLiteralMagnitude) {
+  Module M;
+  Function *F = M.addFunction("f");
+  EXPECT_EQ(printTree(M, F->newTree(Op::CNST, TypeSuffix::I, 5)),
+            "CNSTI8[5]");
+  EXPECT_EQ(printTree(M, F->newTree(Op::CNST, TypeSuffix::I, 300)),
+            "CNSTI16[300]");
+  EXPECT_EQ(printTree(M, F->newTree(Op::CNST, TypeSuffix::I, 100000)),
+            "CNSTI[100000]");
+  EXPECT_EQ(printTree(M, F->newTree(Op::CNST, TypeSuffix::I, -128)),
+            "CNSTI8[-128]");
+}
+
+TEST(IR, VerifyCatchesBadKidCounts) {
+  Module M;
+  Function *F = M.addFunction("f");
+  Tree *Bad = F->newTree(Op::ADD, TypeSuffix::I, 0,
+                         F->newTree(Op::CNST, TypeSuffix::I, 1));
+  F->Forest.push_back(Bad);
+  EXPECT_FALSE(verify(M).empty());
+}
+
+TEST(IR, VerifyCatchesBadLabels) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->NumLabels = 2;
+  F->Forest.push_back(F->newTree(Op::JUMP, TypeSuffix::V, 7));
+  EXPECT_FALSE(verify(M).empty());
+}
+
+TEST(IR, VerifyCatchesBadSymbols) {
+  Module M;
+  Function *F = M.addFunction("f");
+  F->Forest.push_back(F->newTree(Op::ADDRG, TypeSuffix::P, 99));
+  EXPECT_FALSE(verify(M).empty());
+}
+
+TEST(IR, CountNodes) {
+  std::unique_ptr<Module> M =
+      compileC("int main(void) { return 1 + 2 + 3; }");
+  ASSERT_TRUE(M);
+  EXPECT_GT(countNodes(*M), 0u);
+}
+
+TEST(IRText, ParserRejectsGarbage) {
+  std::string Error;
+  EXPECT_EQ(parseModule("not a module", Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_EQ(parseModule("module\nfunc f frame 0 params 0 labels 0 slots\n"
+                        "  BOGUS[1]\nendfunc\nendmodule\n",
+                        Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(IRText, SymbolsAndGlobalsRoundTrip) {
+  std::unique_ptr<Module> M = compileC(
+      "int g = 77;\nchar msg[] = \"hi\";\n"
+      "int f(int a) { return a + g + msg[0]; }\n"
+      "int main(void) { return f(1); }");
+  ASSERT_TRUE(M);
+  std::string T = printModule(*M);
+  std::string Error;
+  std::unique_ptr<Module> M2 = parseModule(T, Error);
+  ASSERT_TRUE(M2) << Error;
+  EXPECT_EQ(M2->Symbols.size(), M->Symbols.size());
+  EXPECT_EQ(M2->Globals.size(), M->Globals.size());
+  EXPECT_EQ(M2->Globals[0].Init, M->Globals[0].Init);
+  EXPECT_EQ(printModule(*M2), T);
+}
+
+//===----------------------------------------------------------------------===//
+// Linker
+//===----------------------------------------------------------------------===//
+
+TEST(Link, TwoUnitsRunTogether) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(compileC("int g = 1;\n"
+                           "int main(void) { print_str(\"A\"); "
+                           "return g + 9; }"));
+  Units.push_back(compileC("int g = 2;\n" // Same name, different unit.
+                           "int main(void) { print_str(\"B\"); "
+                           "return g + 20; }"));
+  ASSERT_TRUE(Units[0] && Units[1]);
+  std::unique_ptr<Module> Linked = linkModules(std::move(Units));
+  codegen::Result CG = codegen::generate(*Linked);
+  ASSERT_TRUE(CG.ok()) << CG.Error;
+  vm::RunResult R = vm::runProgram(CG.P);
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.Output, "AB");
+  EXPECT_EQ(R.ExitCode, (10 + 22) & 255);
+}
+
+TEST(Link, RuntimeSymbolsStayShared) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(compileC("int main(void) { print_int(1); return 0; }"));
+  Units.push_back(compileC("int main(void) { print_int(2); return 0; }"));
+  std::unique_ptr<Module> Linked = linkModules(std::move(Units));
+  // Exactly one print_int symbol must remain.
+  unsigned Count = 0;
+  for (const Symbol &S : Linked->Symbols)
+    if (S.Name == "print_int")
+      ++Count;
+  EXPECT_EQ(Count, 1u);
+  codegen::Result CG = codegen::generate(*Linked);
+  ASSERT_TRUE(CG.ok()) << CG.Error;
+  vm::RunResult R = vm::runProgram(CG.P);
+  EXPECT_EQ(R.Output, "12");
+}
+
+TEST(Link, LinkedSuiteTextRoundTrips) {
+  std::vector<std::unique_ptr<Module>> Units;
+  Units.push_back(compileC("int main(void) { return 1; }"));
+  Units.push_back(
+      compileC("int sq(int x) { return x * x; }\n"
+               "int main(void) { return sq(3); }"));
+  std::unique_ptr<Module> Linked = linkModules(std::move(Units));
+  std::string T = printModule(*Linked);
+  std::string Error;
+  std::unique_ptr<Module> Back = parseModule(T, Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(printModule(*Back), T);
+}

@@ -1,0 +1,385 @@
+//===- tests/test_minic.cpp - Front-end unit tests -----------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "minic/Lexer.h"
+
+using namespace ccomp;
+using namespace ccomp::minic;
+using namespace ccomp::test;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenSequence) {
+  Lexer L("int x = 42; /* c */ x += 0x1F; // line\n\"s\\n\" 'a' '\\n'");
+  EXPECT_EQ(L.kind(), Tok::KwInt);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::Ident);
+  EXPECT_EQ(L.text(), "x");
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::Assign);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::IntConst);
+  EXPECT_EQ(L.intValue(), 42);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::Semi);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::Ident);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::PlusAssign);
+  L.next();
+  EXPECT_EQ(L.intValue(), 0x1F);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::Semi);
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::StrConst);
+  EXPECT_EQ(L.strValue(), "s\n");
+  L.next();
+  EXPECT_EQ(L.intValue(), 'a');
+  L.next();
+  EXPECT_EQ(L.intValue(), '\n');
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::End);
+}
+
+TEST(Lexer, AdjacentStringsConcatenate) {
+  Lexer L("\"ab\" \"cd\" \"ef\"");
+  EXPECT_EQ(L.kind(), Tok::StrConst);
+  EXPECT_EQ(L.strValue(), "abcdef");
+  L.next();
+  EXPECT_EQ(L.kind(), Tok::End);
+}
+
+TEST(Lexer, ThreeCharOperators) {
+  Lexer L("a <<= 1; b >>= 2;");
+  L.next(); // a -> <<=
+  EXPECT_EQ(L.kind(), Tok::ShlAssign);
+  L.next(); // 1
+  L.next(); // ;
+  L.next(); // b
+  L.next(); // >>=
+  EXPECT_EQ(L.kind(), Tok::ShrAssign);
+}
+
+TEST(Lexer, SaveRestore) {
+  Lexer L("a b c");
+  Lexer::State S = L.save();
+  L.next();
+  L.next();
+  EXPECT_EQ(L.text(), "c");
+  L.restore(S);
+  EXPECT_EQ(L.text(), "a");
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics: bad programs are rejected with a line-numbered message.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string errorOf(const std::string &Src) {
+  minic::CompileResult R = minic::compile(Src);
+  EXPECT_FALSE(R.ok()) << "expected a compile error";
+  return R.Error;
+}
+
+} // namespace
+
+TEST(Diagnostics, UndeclaredIdentifier) {
+  std::string E = errorOf("int main(void) { return nope; }");
+  EXPECT_NE(E.find("undeclared"), std::string::npos);
+  EXPECT_NE(E.find("line 1"), std::string::npos);
+}
+
+TEST(Diagnostics, AssignToRValue) {
+  EXPECT_NE(errorOf("int main(void) { 1 = 2; return 0; }")
+                .find("lvalue"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, BreakOutsideLoop) {
+  EXPECT_NE(errorOf("int main(void) { break; }").find("break"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, CaseOutsideSwitch) {
+  EXPECT_NE(errorOf("int main(void) { case 1: return 0; }").find("case"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, UndefinedGotoLabel) {
+  EXPECT_NE(errorOf("int main(void) { goto nowhere; }").find("nowhere"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, UnknownStructMember) {
+  EXPECT_NE(errorOf("struct S { int a; };\n"
+                    "int main(void) { struct S s; return s.b; }")
+                .find("member"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, StructParameterRejected) {
+  EXPECT_NE(errorOf("struct S { int a; };\n"
+                    "int f(struct S s) { return 0; }\n"
+                    "int main(void) { return 0; }")
+                .find("struct parameters"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, VoidValueUse) {
+  EXPECT_FALSE(
+      minic::compile("void f(void) {}\n"
+                     "int main(void) { return f() + 1; }")
+          .ok());
+}
+
+TEST(Diagnostics, DerefNonPointer) {
+  EXPECT_NE(errorOf("int main(void) { int x; return *x; }")
+                .find("pointer"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, ReturnValueFromVoid) {
+  EXPECT_FALSE(minic::compile("void f(void) { return 3; }\n"
+                              "int main(void) { return 0; }")
+                   .ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Semantics through execution
+//===----------------------------------------------------------------------===//
+
+TEST(Semantics, OperatorPrecedence) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  if (2 + 3 * 4 != 14) return 1;\n"
+      "  if ((2 + 3) * 4 != 20) return 2;\n"
+      "  if (10 - 4 - 3 != 3) return 3;\n"       // Left assoc.
+      "  if (1 << 2 + 1 != 8) return 4;\n"       // Shift below add.
+      "  if ((7 & 3 | 4) != 7) return 5;\n"
+      "  if ((1 | 2 ^ 2) != 1) return 6;\n"
+      "  if (-2 * -3 != 6) return 7;\n"
+      "  if (~0 != -1) return 8;\n"
+      "  if (!(0) != 1) return 9;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, SignedDivisionTruncatesTowardZero) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  if (-7 / 2 != -3) return 1;\n"
+                         "  if (-7 % 2 != -1) return 2;\n"
+                         "  if (7 / -2 != -3) return 3;\n"
+                         "  if (7 % -2 != 1) return 4;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, IntegerOverflowWraps) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  int big = 2147483647;\n"
+      "  big = big + 1;\n"
+      "  if (big != -2147483648) return 1;\n"
+      "  unsigned u = 0;\n"
+      "  u = u - 1;\n"
+      "  if (u != 0xffffffffu) return 2;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, CharSignedness) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  char c = -1;\n"
+                         "  unsigned char u = -1;\n"
+                         "  if (c != -1) return 1;\n"
+                         "  if (u != 255) return 2;\n"
+                         "  if ((c & 0xff) != 255) return 3;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, PostAndPreIncrementValues) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int i = 5;\n"
+                         "  if (i++ != 5) return 1;\n"
+                         "  if (i != 6) return 2;\n"
+                         "  if (++i != 7) return 3;\n"
+                         "  int a[3];\n"
+                         "  a[0] = 10; a[1] = 20; a[2] = 30;\n"
+                         "  int *p = a;\n"
+                         "  if (*p++ != 10) return 4;\n"
+                         "  if (*p != 20) return 5;\n"
+                         "  if (*++p != 30) return 6;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, SideEffectsInIndicesHappenOnce) {
+  vm::RunResult R = runC("int a[8];\n"
+                         "int idx;\n"
+                         "int next(void) { return idx++; }\n"
+                         "int main(void) {\n"
+                         "  a[next()] += 5;\n" // Index computed once.
+                         "  if (idx != 1) return 1;\n"
+                         "  if (a[0] != 5) return 2;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, NestedCalls) {
+  vm::RunResult R = runC(
+      "int add(int a, int b) { return a + b; }\n"
+      "int twice(int x) { return x * 2; }\n"
+      "int main(void) { return add(twice(add(1, 2)), twice(3)); }");
+  EXPECT_EQ(R.ExitCode, 12);
+}
+
+TEST(Semantics, ConditionalEvaluatesOneArm) {
+  vm::RunResult R = runC("int calls;\n"
+                         "int bump(int v) { calls++; return v; }\n"
+                         "int main(void) {\n"
+                         "  int x = 1 ? bump(10) : bump(20);\n"
+                         "  if (x != 10) return 1;\n"
+                         "  if (calls != 1) return 2;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, SizeofValues) {
+  vm::RunResult R = runC(
+      "struct P { char c; int x; short s; };\n"
+      "int main(void) {\n"
+      "  if (sizeof(char) != 1) return 1;\n"
+      "  if (sizeof(short) != 2) return 2;\n"
+      "  if (sizeof(int) != 4) return 3;\n"
+      "  if (sizeof(int *) != 4) return 4;\n"
+      "  if (sizeof(struct P) != 12) return 5;\n"
+      "  int a[10];\n"
+      "  if (sizeof a != 40) return 6;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, GlobalInitializers) {
+  vm::RunResult R = runC(
+      "int a = 5 * 4 + 2;\n"
+      "int b[4] = {1, 2, 3, 4};\n"
+      "char s[] = \"xyz\";\n"
+      "short h = -7;\n"
+      "unsigned char uc = 200;\n"
+      "enum { K = 11 };\n"
+      "int k = K + 1;\n"
+      "int main(void) {\n"
+      "  if (a != 22) return 1;\n"
+      "  if (b[0] + b[3] != 5) return 2;\n"
+      "  if (s[2] != 'z' || s[3] != 0) return 3;\n"
+      "  if (h != -7) return 4;\n"
+      "  if (uc != 200) return 5;\n"
+      "  if (k != 12) return 6;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, WhileWithAssignCondition) {
+  vm::RunResult R = runC("char src[] = \"count\";\n"
+                         "int main(void) {\n"
+                         "  char *p = src;\n"
+                         "  int n = 0;\n"
+                         "  char c;\n"
+                         "  while ((c = *p++)) n++;\n"
+                         "  return n;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(Semantics, MultiDimensionalArrays) {
+  vm::RunResult R = runC("int g[3][4];\n"
+                         "int main(void) {\n"
+                         "  int i, j;\n"
+                         "  for (i = 0; i < 3; i++)\n"
+                         "    for (j = 0; j < 4; j++)\n"
+                         "      g[i][j] = i * 10 + j;\n"
+                         "  return g[2][3];\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 23);
+}
+
+TEST(Semantics, DoWhileRunsOnce) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int n = 0;\n"
+                         "  do { n++; } while (0);\n"
+                         "  return n;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(Semantics, ContinueInLoops) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int i, s = 0;\n"
+                         "  for (i = 0; i < 10; i++) {\n"
+                         "    if (i % 2) continue;\n"
+                         "    s += i;\n"
+                         "  }\n"
+                         "  return s;\n" // 0+2+4+6+8.
+                         "}");
+  EXPECT_EQ(R.ExitCode, 20);
+}
+
+TEST(Semantics, ComplexConditions) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  int a = 3, b = 7, c = 0;\n"
+      "  if (a < b && b < 10 || c) c = 1; else c = 2;\n"
+      "  if (c != 1) return 1;\n"
+      "  if (!(a == 3) || (b != 7 && a)) return 2;\n"
+      "  int d = (a > 1) + (b > 1) * 2;\n"
+      "  if (d != 3) return 3;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, CastsTruncate) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int big = 0x12345;\n"
+                         "  if ((char)big != 0x45) return 1;\n"
+                         "  if ((unsigned char)0x1FF != 0xFF) return 2;\n"
+                         "  if ((short)0x18000 != -0x8000) return 3;\n"
+                         "  if ((unsigned short)0x18000 != 0x8000)\n"
+                         "    return 4;\n"
+                         "  return 0;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Semantics, RecursiveStructViaPointer) {
+  vm::RunResult R = runC(
+      "struct N { int v; struct N *next; };\n"
+      "int main(void) {\n"
+      "  struct N a, b, c;\n"
+      "  a.v = 1; b.v = 2; c.v = 3;\n"
+      "  a.next = &b; b.next = &c; c.next = 0;\n"
+      "  int s = 0;\n"
+      "  struct N *p = &a;\n"
+      "  while (p) { s += p->v; p = p->next; }\n"
+      "  return s;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 6);
+}

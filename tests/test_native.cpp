@@ -1,0 +1,125 @@
+//===- tests/test_native.cpp - Threaded-code backend tests ---------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "native/Threaded.h"
+
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::test;
+
+namespace {
+
+const char *WorkProgram = R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main(void) {
+  int s = 0, i;
+  for (i = 0; i < 18; i++) s += fib(i);
+  print_int(s);
+  return s & 255;
+}
+)";
+
+} // namespace
+
+TEST(Native, MatchesVMInterp) {
+  vm::VMProgram P = buildVM(WorkProgram);
+  vm::RunResult VM = vm::runProgram(P);
+  native::NProgram N = native::generate(P);
+  vm::RunResult NR = native::run(N);
+  ASSERT_TRUE(VM.Ok && NR.Ok) << VM.Trap << " / " << NR.Trap;
+  EXPECT_EQ(NR.ExitCode, VM.ExitCode);
+  EXPECT_EQ(NR.Output, VM.Output);
+  EXPECT_EQ(NR.Steps, VM.Steps); // Same instruction stream executed.
+}
+
+TEST(Native, GenStatsPopulated) {
+  vm::VMProgram P = buildVM(WorkProgram);
+  native::GenStats S;
+  native::NProgram N = native::generate(P, &S);
+  EXPECT_EQ(S.InputInstrs, vm::countInstrs(P));
+  EXPECT_EQ(S.OutputBytes, N.codeBytes());
+  EXPECT_GT(S.OutputBytes, 0u);
+}
+
+TEST(Native, JitFromBriscMatches) {
+  vm::VMProgram P = buildVM(WorkProgram);
+  brisc::BriscProgram B = brisc::compress(P);
+  native::GenStats S;
+  native::NProgram N = native::generateFromBrisc(B, &S);
+  EXPECT_GT(S.InputInstrs, 0u);
+  vm::RunResult R1 = vm::runProgram(P);
+  vm::RunResult R2 = native::run(N);
+  ASSERT_TRUE(R2.Ok) << R2.Trap;
+  EXPECT_EQ(R2.ExitCode, R1.ExitCode);
+  EXPECT_EQ(R2.Output, R1.Output);
+}
+
+TEST(Native, StepLimitRespected) {
+  vm::VMProgram P = buildVM("int main(void) { for (;;) ; return 0; }");
+  native::NProgram N = native::generate(P);
+  vm::RunOptions Opts;
+  Opts.MaxSteps = 100000;
+  vm::RunResult R = native::run(N, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Trap.find("step limit"), std::string::npos);
+}
+
+TEST(Native, TrapsPropagate) {
+  vm::VMProgram P = buildVM("int main(void) {\n"
+                            "  int *p = 0;\n"
+                            "  return *p;\n"
+                            "}");
+  native::NProgram N = native::generate(P);
+  vm::RunResult R = native::run(N);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Trap.find("out of range"), std::string::npos);
+}
+
+TEST(Native, SpeedOrderingHolds) {
+  // The performance ordering the paper's measurements rest on:
+  // threaded native is faster than the decoding VM interpreter, which
+  // is faster than in-place BRISC interpretation.
+  vm::VMProgram P = buildVM(WorkProgram);
+  brisc::BriscProgram B = brisc::compress(P);
+  native::NProgram N = native::generate(P);
+
+  auto Time = [](auto &&Fn) {
+    // Warm up once, then take the best of 3.
+    Fn();
+    double Best = 1e9;
+    for (int I = 0; I != 3; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      Fn();
+      auto T1 = std::chrono::steady_clock::now();
+      Best = std::min(Best,
+                      std::chrono::duration<double>(T1 - T0).count());
+    }
+    return Best;
+  };
+
+  double TNative = Time([&] { native::run(N); });
+  double TVm = Time([&] { vm::runProgram(P); });
+  double TBrisc = Time([&] { brisc::interpret(B); });
+  EXPECT_LT(TNative, TVm);
+  EXPECT_LT(TVm, TBrisc);
+}
+
+TEST(Native, CodeBytesScaleWithInstrs) {
+  vm::VMProgram P = buildVM(WorkProgram);
+  native::NProgram N = native::generate(P);
+  EXPECT_EQ(N.codeBytes(), vm::countInstrs(P) * sizeof(native::NInstr));
+}
+
+TEST(Native, EmptyProgramRejected) {
+  native::NProgram N;
+  vm::RunResult R = native::run(N);
+  EXPECT_FALSE(R.Ok);
+}

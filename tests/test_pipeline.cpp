@@ -1,0 +1,313 @@
+//===- tests/test_pipeline.cpp - minic -> codegen -> VM smoke tests ----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ccomp;
+using namespace ccomp::test;
+
+TEST(Pipeline, ReturnConstant) {
+  vm::RunResult R = runC("int main(void) { return 42; }");
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Pipeline, Arithmetic) {
+  vm::RunResult R = runC(
+      "int main(void) { int a = 6; int b = 7; return a * b; }");
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Pipeline, IfElse) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int j = 3;\n"
+                         "  if (j > 0) j = j - 1; else j = 100;\n"
+                         "  return j;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(Pipeline, WhileLoopSum) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int i = 0, s = 0;\n"
+                         "  while (i < 10) { s += i; i++; }\n"
+                         "  return s;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 45);
+}
+
+TEST(Pipeline, ForLoopFactorial) {
+  vm::RunResult R = runC("int main(void) {\n"
+                         "  int f = 1;\n"
+                         "  for (int i = 1; i <= 6; i++) f *= i;\n"
+                         "  return f;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 720);
+}
+
+TEST(Pipeline, FunctionCall) {
+  vm::RunResult R = runC("int add(int a, int b) { return a + b; }\n"
+                         "int main(void) { return add(40, 2); }");
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Pipeline, PaperExample) {
+  // The paper's running example (section 3); pepper is given a body.
+  vm::RunResult R = runC(
+      "int pepper(int i, int j) { return i + j; }\n"
+      "int salt(int j, int i) {\n"
+      "  if (j > 0) {\n"
+      "    pepper(i, j);\n"
+      "    j--;\n"
+      "  }\n"
+      "  return j;\n"
+      "}\n"
+      "int main(void) { return salt(5, 9); }");
+  EXPECT_EQ(R.ExitCode, 4);
+}
+
+TEST(Pipeline, Recursion) {
+  vm::RunResult R = runC(
+      "int fib(int n) { if (n < 2) return n; return fib(n-1)+fib(n-2); }\n"
+      "int main(void) { return fib(12); }");
+  EXPECT_EQ(R.ExitCode, 144);
+}
+
+TEST(Pipeline, GlobalsAndPointers) {
+  vm::RunResult R = runC("int g = 10;\n"
+                         "int *p;\n"
+                         "int main(void) {\n"
+                         "  p = &g;\n"
+                         "  *p = *p + 32;\n"
+                         "  return g;\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Pipeline, Arrays) {
+  vm::RunResult R = runC("int a[10];\n"
+                         "int main(void) {\n"
+                         "  int i;\n"
+                         "  for (i = 0; i < 10; i++) a[i] = i * i;\n"
+                         "  return a[7];\n"
+                         "}");
+  EXPECT_EQ(R.ExitCode, 49);
+}
+
+TEST(Pipeline, CharShortTypes) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  char c = 200;\n"       // Becomes -56 as signed char.
+      "  unsigned char u = 200;\n"
+      "  short s = 40000;\n"    // Wraps to -25536.
+      "  unsigned short w = 40000;\n"
+      "  if (c != -56) return 1;\n"
+      "  if (u != 200) return 2;\n"
+      "  if (s != -25536) return 3;\n"
+      "  if (w != 40000) return 4;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Pipeline, UnsignedOps) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  unsigned a = 0xFFFFFFF0u;\n"
+      "  unsigned b = 16;\n"
+      "  if (a / b != 0x0FFFFFFF) return 1;\n"
+      "  if (a + b != 0) return 2;\n"
+      "  if (!(a > b)) return 3;\n"
+      "  if ((int)a > (int)b) return 4;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Pipeline, ShortCircuit) {
+  vm::RunResult R = runC(
+      "int calls = 0;\n"
+      "int bump(void) { calls++; return 1; }\n"
+      "int main(void) {\n"
+      "  int x = 0;\n"
+      "  if (x != 0 && bump()) return 1;\n"
+      "  if (calls != 0) return 2;\n"
+      "  if (x == 0 || bump()) { ; } else return 3;\n"
+      "  if (calls != 0) return 4;\n"
+      "  int y = (x == 0) && bump();\n"
+      "  if (y != 1 || calls != 1) return 5;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Pipeline, TernaryAndComma) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  int a = 5;\n"
+      "  int b = a > 3 ? 10 : 20;\n"
+      "  int c;\n"
+      "  for (c = 0, a = 0; a < 4; a++, c += 2) ;\n"
+      "  return b + c;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 18);
+}
+
+TEST(Pipeline, SwitchStatement) {
+  vm::RunResult R = runC(
+      "int classify(int x) {\n"
+      "  switch (x) {\n"
+      "  case 0: return 100;\n"
+      "  case 1:\n"
+      "  case 2: return 200;\n"
+      "  case 3: x += 1; /* fall through */\n"
+      "  case 4: return 300 + x;\n"
+      "  default: return 999;\n"
+      "  }\n"
+      "}\n"
+      "int main(void) {\n"
+      "  if (classify(0) != 100) return 1;\n"
+      "  if (classify(1) != 200) return 2;\n"
+      "  if (classify(2) != 200) return 3;\n"
+      "  if (classify(3) != 304) return 4;\n"
+      "  if (classify(4) != 304) return 5;\n"
+      "  if (classify(77) != 999) return 6;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Pipeline, Structs) {
+  vm::RunResult R = runC(
+      "struct Point { int x; int y; char tag; };\n"
+      "struct Point g;\n"
+      "int main(void) {\n"
+      "  struct Point p;\n"
+      "  p.x = 11; p.y = 31; p.tag = 7;\n"
+      "  g = p;\n"
+      "  struct Point *q = &g;\n"
+      "  return q->x + q->y - q->tag + sizeof(struct Point);\n"
+      "}");
+  // sizeof(Point) = 12 (4+4+1 padded to 12); 11+31-7+12 = 47.
+  EXPECT_EQ(R.ExitCode, 47);
+}
+
+TEST(Pipeline, StringsAndOutput) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  print_str(\"hello \");\n"
+      "  print_int(42);\n"
+      "  print_char('\\n');\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.Output, "hello 42\n");
+}
+
+TEST(Pipeline, AllocHeap) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  int *a = alloc(40);\n"
+      "  int i;\n"
+      "  for (i = 0; i < 10; i++) a[i] = i + 1;\n"
+      "  int s = 0;\n"
+      "  for (i = 0; i < 10; i++) s += a[i];\n"
+      "  return s;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(Pipeline, StackArguments) {
+  vm::RunResult R = runC(
+      "int sum6(int a, int b, int c, int d, int e, int f) {\n"
+      "  return a + b + c + d + e + f;\n"
+      "}\n"
+      "int main(void) { return sum6(1, 2, 3, 4, 5, 6); }");
+  EXPECT_EQ(R.ExitCode, 21);
+}
+
+TEST(Pipeline, PointerArithmetic) {
+  vm::RunResult R = runC(
+      "int a[5] = {1, 2, 3, 4, 5};\n"
+      "int main(void) {\n"
+      "  int *p = a;\n"
+      "  int *q = p + 4;\n"
+      "  if (*q != 5) return 1;\n"
+      "  if (q - p != 4) return 2;\n"
+      "  p++;\n"
+      "  if (*p != 2) return 3;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Pipeline, StringFunctions) {
+  vm::RunResult R = runC(
+      "int slen(char *s) { int n = 0; while (*s++) n++; return n; }\n"
+      "int main(void) {\n"
+      "  char buf[16] = \"compress\";\n"
+      "  return slen(buf);\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 8);
+}
+
+TEST(Pipeline, GotoStatement) {
+  vm::RunResult R = runC(
+      "int main(void) {\n"
+      "  int i = 0, s = 0;\n"
+      "again:\n"
+      "  s += i;\n"
+      "  i++;\n"
+      "  if (i < 5) goto again;\n"
+      "  return s;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 10);
+}
+
+TEST(Pipeline, EnumConstants) {
+  vm::RunResult R = runC(
+      "enum { A, B = 10, C };\n"
+      "int main(void) { return A + B + C; }");
+  EXPECT_EQ(R.ExitCode, 21);
+}
+
+TEST(Pipeline, DeepExpression) {
+  // Forces the evaluation stack past eight registers (spill path).
+  vm::RunResult R = runC(
+      "int f(int x) { return x; }\n"
+      "int main(void) {\n"
+      "  int a = 1;\n"
+      "  int r = (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + a\n"
+      "      * 2))))))))));\n"
+      "  return r;\n"
+      "}");
+  EXPECT_EQ(R.ExitCode, 12);
+}
+
+TEST(Pipeline, DetunedVariantsAgree) {
+  const char *Src =
+      "int fib(int n) { if (n < 2) return n; return fib(n-1)+fib(n-2); }\n"
+      "int a[8];\n"
+      "int main(void) {\n"
+      "  int i, s = 0;\n"
+      "  for (i = 0; i < 8; i++) a[i] = fib(i);\n"
+      "  for (i = 0; i < 8; i++) s += a[i];\n"
+      "  return s;\n"
+      "}";
+  vm::RunResult Base = runC(Src);
+  codegen::Options NoImm;
+  NoImm.NoImmediates = true;
+  codegen::Options NoDisp;
+  NoDisp.NoRegDisp = true;
+  codegen::Options Neither;
+  Neither.NoImmediates = true;
+  Neither.NoRegDisp = true;
+  vm::RunResult R1 = runC(Src, NoImm);
+  vm::RunResult R2 = runC(Src, NoDisp);
+  vm::RunResult R3 = runC(Src, Neither);
+  EXPECT_EQ(Base.ExitCode, 33);
+  EXPECT_EQ(R1.ExitCode, 33);
+  EXPECT_EQ(R2.ExitCode, 33);
+  EXPECT_EQ(R3.ExitCode, 33);
+}

@@ -1,0 +1,198 @@
+//===- tests/test_props.cpp - Parameterized property sweeps --------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-cutting invariants checked over families of randomized inputs:
+// compression round-trips, engine agreement on synthetic programs, and
+// the BRISC width-class laws.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "brisc/Brisc.h"
+#include "brisc/Interp.h"
+#include "brisc/Pattern.h"
+#include "corpus/Corpus.h"
+#include "flate/Flate.h"
+#include "ir/Text.h"
+#include "native/Threaded.h"
+#include "support/PRNG.h"
+#include "vm/Encode.h"
+#include "wire/Wire.h"
+
+using namespace ccomp;
+using namespace ccomp::test;
+
+//===----------------------------------------------------------------------===//
+// Synthetic-program sweep: every engine agrees, every compressor
+// round-trips, across generator seeds.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(SeedSweep, EnginesAgree) {
+  std::string Src = corpus::synthesize(30, GetParam());
+  vm::VMProgram P = buildVM(Src);
+  vm::RunResult VM = vm::runProgram(P);
+  ASSERT_TRUE(VM.Ok) << VM.Trap;
+
+  brisc::BriscProgram B = brisc::compress(P);
+  vm::RunResult BR = brisc::interpret(B);
+  ASSERT_TRUE(BR.Ok) << BR.Trap;
+  EXPECT_EQ(BR.Output, VM.Output);
+  EXPECT_EQ(BR.ExitCode, VM.ExitCode);
+
+  vm::RunResult NR = native::run(native::generateFromBrisc(B));
+  ASSERT_TRUE(NR.Ok) << NR.Trap;
+  EXPECT_EQ(NR.Output, VM.Output);
+}
+
+TEST_P(SeedSweep, WireRoundTripsExactly) {
+  std::string Src = corpus::synthesize(30, GetParam());
+  std::unique_ptr<ir::Module> M = compileC(Src);
+  ASSERT_TRUE(M);
+  std::string Before = ir::printModule(*M);
+  for (wire::Pipeline P :
+       {wire::Pipeline::Naive, wire::Pipeline::Streams,
+        wire::Pipeline::StreamsMTF, wire::Pipeline::Full}) {
+    std::vector<uint8_t> Z = wire::compress(*M, P);
+    std::string Error;
+    std::unique_ptr<ir::Module> Back = wire::decompress(Z, Error);
+    ASSERT_TRUE(Back) << Error;
+    EXPECT_EQ(ir::printModule(*Back), Before)
+        << "pipeline " << unsigned(P);
+  }
+}
+
+TEST_P(SeedSweep, NativeEncodingsRoundTrip) {
+  std::string Src = corpus::synthesize(30, GetParam());
+  vm::VMProgram P = buildVM(Src);
+  for (const vm::VMFunction &F : P.Functions) {
+    std::vector<vm::Instr> Fixed =
+        vm::decodeFunction(vm::encodeFunction(F));
+    ASSERT_EQ(Fixed.size(), F.Code.size()) << F.Name;
+    for (size_t I = 0; I != Fixed.size(); ++I)
+      EXPECT_EQ(Fixed[I], F.Code[I]) << F.Name << " " << I;
+    std::vector<vm::Instr> Compact =
+        vm::decodeFunctionCompact(vm::encodeFunctionCompact(F));
+    ASSERT_EQ(Compact.size(), F.Code.size()) << F.Name;
+    for (size_t I = 0; I != Compact.size(); ++I)
+      EXPECT_EQ(Compact[I], F.Code[I]) << F.Name << " " << I;
+  }
+}
+
+TEST_P(SeedSweep, BriscImageRoundTrips) {
+  std::string Src = corpus::synthesize(30, GetParam());
+  vm::VMProgram P = buildVM(Src);
+  brisc::BriscProgram B = brisc::compress(P);
+  std::vector<uint8_t> Img = B.serialize(/*IncludeData=*/true);
+  brisc::BriscProgram B2 = brisc::BriscProgram::deserialize(Img);
+  EXPECT_EQ(B2.serialize(true), Img);
+  vm::RunResult R1 = brisc::interpret(B);
+  vm::RunResult R2 = brisc::interpret(B2);
+  EXPECT_EQ(R1.Output, R2.Output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(2ull, 3ull, 5ull, 8ull, 13ull,
+                                           21ull, 34ull, 55ull));
+
+//===----------------------------------------------------------------------===//
+// BRISC width classes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class WidthSweep : public ::testing::TestWithParam<brisc::Width> {};
+
+} // namespace
+
+TEST_P(WidthSweep, FitsWidthIsConsistentWithPacking) {
+  brisc::Width W = GetParam();
+  // Values representable under W must survive pack -> unpack through a
+  // one-field SPILL pattern (reg specialized, imm at width W).
+  brisc::Pattern P = brisc::Pattern::base(vm::VMOp::SPILL);
+  P.Elems[0].SpecMask = 1; // Specialize the register field.
+  P.Elems[0].SpecVals[0] = vm::N4;
+  P.Elems[0].Widths[1] = W;
+  ASSERT_TRUE(P.wellFormed());
+
+  PRNG Rng(static_cast<uint64_t>(W) + 100);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    int64_t V = static_cast<int32_t>(Rng.next());
+    if (Rng.chance(1, 2))
+      V = (V % 600) * (Rng.chance(1, 2) ? 4 : 1);
+    vm::Instr In;
+    In.Op = vm::VMOp::SPILL;
+    In.Rd = vm::N4;
+    In.Imm = static_cast<int32_t>(V);
+    bool Fits = brisc::fitsWidth(W, V);
+    EXPECT_EQ(P.matches(&In, 1), Fits) << V;
+    if (!Fits)
+      continue;
+    ByteWriter Wtr;
+    brisc::packOperands(P, &In, Wtr);
+    EXPECT_EQ(Wtr.size(), P.operandBytes());
+    std::vector<vm::Instr> Out;
+    size_t Used =
+        brisc::unpackOperands(P, Wtr.bytes().data(), Wtr.size(), Out);
+    EXPECT_EQ(Used, Wtr.size());
+    ASSERT_EQ(Out.size(), 1u);
+    EXPECT_EQ(Out[0], In) << "width " << unsigned(W) << " value " << V;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, WidthSweep,
+    ::testing::Values(brisc::Width::Nib, brisc::Width::NibX4,
+                      brisc::Width::B1, brisc::Width::B1X4,
+                      brisc::Width::B2, brisc::Width::B4));
+
+//===----------------------------------------------------------------------===//
+// Flate: structured-buffer sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FlateSweep : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(FlateSweep, RoundTripsStructuredBuffers) {
+  PRNG Rng(GetParam());
+  std::vector<uint8_t> In;
+  size_t N = 1000 + Rng.below(80000);
+  // Alternate runs, motifs, and noise.
+  std::vector<uint8_t> Motif;
+  for (int I = 0; I != 24; ++I)
+    Motif.push_back(static_cast<uint8_t>(Rng.next()));
+  while (In.size() < N) {
+    switch (Rng.below(3)) {
+    case 0:
+      In.insert(In.end(), Motif.begin(), Motif.end());
+      break;
+    case 1:
+      In.insert(In.end(), 1 + Rng.below(60),
+                static_cast<uint8_t>(Rng.next()));
+      break;
+    default:
+      for (unsigned I = 0, E = 1 + Rng.below(40); I != E; ++I)
+        In.push_back(static_cast<uint8_t>(Rng.next()));
+      break;
+    }
+  }
+  std::vector<uint8_t> Z = flate::compress(In);
+  EXPECT_EQ(flate::decompress(Z), In);
+  // Structured data must actually compress.
+  EXPECT_LT(Z.size(), In.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, FlateSweep,
+                         ::testing::Range(1u, 13u));

@@ -1,0 +1,175 @@
+//===- tests/test_support.cpp - Bit I/O, Huffman, MTF, varints ---------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitStream.h"
+#include "support/ByteIO.h"
+#include "support/Huffman.h"
+#include "support/MTF.h"
+#include "support/PRNG.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccomp;
+
+TEST(BitStream, RoundTripFixedPatterns) {
+  BitWriter W;
+  W.writeBits(0b101, 3);
+  W.writeBits(0xFFFF, 16);
+  W.writeBits(0, 1);
+  W.writeBits(0x12345678, 32);
+  std::vector<uint8_t> B = W.finish();
+  BitReader R(B);
+  EXPECT_EQ(R.readBits(3), 0b101u);
+  EXPECT_EQ(R.readBits(16), 0xFFFFu);
+  EXPECT_EQ(R.readBits(1), 0u);
+  EXPECT_EQ(R.readBits(32), 0x12345678u);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  PRNG Rng(7);
+  std::vector<std::pair<uint32_t, unsigned>> Items;
+  BitWriter W;
+  for (int I = 0; I != 10000; ++I) {
+    unsigned N = 1 + Rng.below(32);
+    uint32_t V = static_cast<uint32_t>(Rng.next()) &
+                 (N >= 32 ? 0xFFFFFFFFu : ((1u << N) - 1));
+    Items.push_back({V, N});
+    W.writeBits(V, N);
+  }
+  std::vector<uint8_t> B = W.finish();
+  BitReader R(B);
+  for (auto [V, N] : Items)
+    ASSERT_EQ(R.readBits(N), V);
+}
+
+TEST(ByteIO, VarIntRoundTrip) {
+  ByteWriter W;
+  std::vector<int64_t> Signed = {0, 1, -1, 63, -64, 64, -65, 1 << 20,
+                                 -(1 << 20), INT64_MAX, INT64_MIN};
+  for (int64_t V : Signed)
+    W.writeVarS(V);
+  std::vector<uint64_t> Unsigned = {0, 127, 128, 1u << 14, UINT64_MAX};
+  for (uint64_t V : Unsigned)
+    W.writeVarU(V);
+  W.writeStr("hello world");
+  ByteReader R(W.bytes());
+  for (int64_t V : Signed)
+    EXPECT_EQ(R.readVarS(), V);
+  for (uint64_t V : Unsigned)
+    EXPECT_EQ(R.readVarU(), V);
+  EXPECT_EQ(R.readStr(), "hello world");
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(Huffman, SingleSymbol) {
+  std::vector<uint64_t> Freq = {0, 10, 0};
+  std::vector<uint8_t> Lens = buildHuffmanLengths(Freq);
+  EXPECT_EQ(Lens[1], 1);
+  HuffmanCode Code(Lens);
+  BitWriter W;
+  for (int I = 0; I != 5; ++I)
+    Code.encode(W, 1);
+  std::vector<uint8_t> B = W.finish();
+  BitReader R(B);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Code.decode(R), 1u);
+}
+
+TEST(Huffman, SkewedFrequenciesGiveShortCodes) {
+  std::vector<uint64_t> Freq = {1000, 10, 10, 1};
+  std::vector<uint8_t> Lens = buildHuffmanLengths(Freq);
+  EXPECT_LE(Lens[0], Lens[1]);
+  EXPECT_LE(Lens[1], Lens[3]);
+}
+
+TEST(Huffman, RandomRoundTrip) {
+  PRNG Rng(99);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    unsigned Alphabet = 2 + Rng.below(300);
+    std::vector<uint64_t> Freq(Alphabet, 0);
+    std::vector<unsigned> Data;
+    for (int I = 0; I != 2000; ++I) {
+      // Zipf-ish skew.
+      unsigned S = static_cast<unsigned>(Rng.below(Alphabet));
+      S = S * S / Alphabet;
+      Data.push_back(S);
+      ++Freq[S];
+    }
+    HuffmanCode Code(buildHuffmanLengths(Freq, 15));
+    BitWriter W;
+    for (unsigned S : Data)
+      Code.encode(W, S);
+    std::vector<uint8_t> B = W.finish();
+    BitReader R(B);
+    for (unsigned S : Data)
+      ASSERT_EQ(Code.decode(R), S);
+  }
+}
+
+TEST(Huffman, LengthLimitRespected) {
+  // Fibonacci-like frequencies force deep trees; the limiter must cap
+  // them at the requested depth while staying decodable.
+  std::vector<uint64_t> Freq;
+  uint64_t A = 1, B = 1;
+  for (int I = 0; I != 40; ++I) {
+    Freq.push_back(A);
+    uint64_t T = A + B;
+    A = B;
+    B = T;
+  }
+  std::vector<uint8_t> Lens = buildHuffmanLengths(Freq, 12);
+  for (uint8_t L : Lens)
+    EXPECT_LE(L, 12);
+  EXPECT_TRUE(HuffmanCode::isValidLengthSet(Lens));
+}
+
+TEST(MTF, PaperExample) {
+  // The ADDRLP stream example from section 3: [72 72 68 72 68 68 68 68]
+  // MTF-codes to [0 1 0 2 2 1 1 1].
+  std::vector<uint64_t> Stream = {72, 72, 68, 72, 68, 68, 68, 68};
+  std::vector<uint32_t> Expect = {0, 1, 0, 2, 2, 1, 1, 1};
+  MTFEncoder Enc;
+  for (size_t I = 0; I != Stream.size(); ++I) {
+    MTFToken T = Enc.encode(Stream[I]);
+    EXPECT_EQ(T.Index, Expect[I]) << "position " << I;
+  }
+}
+
+TEST(MTF, RoundTrip) {
+  PRNG Rng(3);
+  MTFEncoder Enc;
+  MTFDecoder Dec;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t V = Rng.below(50); // Small alphabet forces table reuse.
+    MTFToken T = Enc.encode(V);
+    EXPECT_EQ(Dec.decode(T.Index, T.NewSymbol), V);
+  }
+}
+
+TEST(MTF, LocalityYieldsSmallIndices) {
+  // A stream with high locality should produce mostly tiny indices.
+  MTFEncoder Enc;
+  uint64_t Sum = 0;
+  unsigned N = 0;
+  for (int Rep = 0; Rep != 100; ++Rep)
+    for (uint64_t V : {5, 5, 5, 9, 5, 9, 9, 5}) {
+      Sum += Enc.encode(V).Index;
+      ++N;
+    }
+  EXPECT_LT(Sum / double(N), 2.0);
+}
+
+TEST(PRNG, Deterministic) {
+  PRNG A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  PRNG C(43);
+  bool Different = false;
+  PRNG A2(42);
+  for (int I = 0; I != 10; ++I)
+    Different |= A2.next() != C.next();
+  EXPECT_TRUE(Different);
+}

@@ -1,0 +1,488 @@
+//===- tests/test_vm.cpp - VM ISA, encodings, assembler, machine --------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Asm.h"
+#include "vm/Encode.h"
+#include "vm/ISA.h"
+#include "vm/Machine.h"
+#include "support/PRNG.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccomp;
+using namespace ccomp::vm;
+
+namespace {
+
+/// Builds a random-but-valid instruction of opcode \p Op.
+Instr randomInstr(VMOp Op, PRNG &Rng, unsigned NumLabels,
+                  unsigned NumFuncs) {
+  Instr In;
+  In.Op = Op;
+  unsigned NF = numFields(Op);
+  const FieldKind *FK = fieldKinds(Op);
+  for (unsigned F = 0; F != NF; ++F) {
+    switch (FK[F]) {
+    case FieldKind::Reg:
+      setField(In, F, Rng.below(16));
+      break;
+    case FieldKind::Imm: {
+      // Mixed magnitudes, including the int16 boundary cases.
+      static const int64_t Interesting[] = {0, 1, -1, 4, 127, -128,
+                                            32767, -32767, -32768,
+                                            65536, -400000, INT32_MAX,
+                                            INT32_MIN};
+      if (Rng.chance(1, 2))
+        setField(In, F, Interesting[Rng.below(13)]);
+      else
+        setField(In, F, static_cast<int32_t>(Rng.next()));
+      break;
+    }
+    case FieldKind::Label:
+      setField(In, F, Rng.below(NumLabels));
+      break;
+    case FieldKind::Func:
+      setField(In, F, Rng.below(NumFuncs));
+      break;
+    case FieldKind::None:
+      break;
+    }
+  }
+  return In;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Field descriptors
+//===----------------------------------------------------------------------===//
+
+TEST(ISA, FieldAccessorsRoundTrip) {
+  PRNG Rng(17);
+  for (unsigned OpI = 0; OpI != unsigned(VMOp::NumOps); ++OpI) {
+    VMOp Op = static_cast<VMOp>(OpI);
+    unsigned NF = numFields(Op);
+    for (int Trial = 0; Trial != 20; ++Trial) {
+      Instr In;
+      In.Op = Op;
+      std::vector<int64_t> Vals;
+      const FieldKind *FK = fieldKinds(Op);
+      for (unsigned F = 0; F != NF; ++F) {
+        int64_t V = FK[F] == FieldKind::Reg
+                        ? static_cast<int64_t>(Rng.below(16))
+                        : static_cast<int64_t>(Rng.below(30000));
+        Vals.push_back(V);
+        setField(In, F, V);
+      }
+      for (unsigned F = 0; F != NF; ++F)
+        EXPECT_EQ(getField(In, F), Vals[F])
+            << opMnemonic(Op) << " field " << F;
+    }
+  }
+}
+
+TEST(ISA, BranchFieldsUseRs1Rs2) {
+  Instr In;
+  In.Op = VMOp::BLEI;
+  setField(In, 0, N4);
+  setField(In, 1, 0);
+  setField(In, 2, 5);
+  EXPECT_EQ(In.Rs1, N4);
+  EXPECT_EQ(In.Imm, 0);
+  EXPECT_EQ(In.Target, 5u);
+  EXPECT_EQ(In.Rd, 0); // Branches have no destination register.
+}
+
+TEST(ISA, EveryOpcodeHasMnemonicAndFields) {
+  for (unsigned OpI = 0; OpI != unsigned(VMOp::NumOps); ++OpI) {
+    VMOp Op = static_cast<VMOp>(OpI);
+    EXPECT_NE(opMnemonic(Op), nullptr);
+    EXPECT_LE(numFields(Op), MaxFields);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Encodings
+//===----------------------------------------------------------------------===//
+
+TEST(Encode, FixedWidthRoundTripAllOpcodes) {
+  PRNG Rng(23);
+  VMFunction F;
+  F.Name = "t";
+  for (unsigned OpI = 0; OpI != unsigned(VMOp::NumOps); ++OpI)
+    for (int Trial = 0; Trial != 40; ++Trial)
+      F.Code.push_back(
+          randomInstr(static_cast<VMOp>(OpI), Rng, 1000, 1000));
+  std::vector<uint8_t> Bytes = encodeFunction(F);
+  std::vector<Instr> Back = decodeFunction(Bytes);
+  ASSERT_EQ(Back.size(), F.Code.size());
+  for (size_t I = 0; I != Back.size(); ++I)
+    EXPECT_EQ(Back[I], F.Code[I]) << "instr " << I << " "
+                                  << printInstr(F.Code[I]);
+}
+
+TEST(Encode, CompactRoundTripAllOpcodes) {
+  PRNG Rng(29);
+  VMFunction F;
+  F.Name = "t";
+  for (unsigned OpI = 0; OpI != unsigned(VMOp::NumOps); ++OpI)
+    for (int Trial = 0; Trial != 40; ++Trial)
+      F.Code.push_back(
+          randomInstr(static_cast<VMOp>(OpI), Rng, 1000, 1000));
+  std::vector<uint8_t> Bytes = encodeFunctionCompact(F);
+  std::vector<Instr> Back = decodeFunctionCompact(Bytes);
+  ASSERT_EQ(Back.size(), F.Code.size());
+  for (size_t I = 0; I != Back.size(); ++I)
+    EXPECT_EQ(Back[I], F.Code[I]) << "instr " << I;
+}
+
+TEST(Encode, SizesMatchEncodings) {
+  PRNG Rng(31);
+  for (unsigned OpI = 0; OpI != unsigned(VMOp::NumOps); ++OpI) {
+    for (int Trial = 0; Trial != 20; ++Trial) {
+      VMFunction F;
+      F.Code.push_back(
+          randomInstr(static_cast<VMOp>(OpI), Rng, 100, 100));
+      EXPECT_EQ(encodeFunction(F).size(), encodedSize(F.Code[0]));
+      EXPECT_EQ(encodeFunctionCompact(F).size(),
+                encodedSizeCompact(F.Code[0]));
+    }
+  }
+}
+
+TEST(Encode, CompactDenserThanFixedOnTypicalCode) {
+  // Typical code: small immediates, frequent loads/stores.
+  VMFunction F;
+  PRNG Rng(37);
+  for (int I = 0; I != 1000; ++I) {
+    Instr In;
+    In.Op = Rng.chance(1, 2) ? VMOp::LD_W : VMOp::ADDI;
+    In.Rd = static_cast<uint8_t>(Rng.below(16));
+    In.Rs1 = SP;
+    In.Imm = static_cast<int32_t>(4 * Rng.below(16));
+    F.Code.push_back(In);
+  }
+  EXPECT_LT(encodeFunctionCompact(F).size(), encodeFunction(F).size());
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler
+//===----------------------------------------------------------------------===//
+
+TEST(Asm, PaperExampleRoundTrip) {
+  // The paper's compiled salt() (section 4), verbatim shape.
+  const char *Text = R"(
+func salt frame 24
+  enter sp,sp,24
+  spill.i n4,16(sp)
+  spill.i ra,20(sp)
+  mov.i n4,n0
+  mov.i n2,n1
+  ble.i n4,0,$L56
+  mov.i n1,n4
+  mov.i n0,n2
+  call pepper
+$L56:
+  add.i n0,n4,-1
+  reload.i n4,16(sp)
+  reload.i ra,20(sp)
+  exit sp,sp,24
+  rjr ra
+endfunc
+func pepper frame 0
+  li n0,0
+  rjr ra
+endfunc
+entry salt
+)";
+  VMProgram P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(Text, P, Error)) << Error;
+  ASSERT_EQ(P.Functions.size(), 2u);
+  const VMFunction &Salt = P.Functions[0];
+  EXPECT_EQ(Salt.Code.size(), 14u);
+  EXPECT_EQ(Salt.Code[0].Op, VMOp::ENTER);
+  EXPECT_EQ(Salt.Code[0].Imm, 24);
+  EXPECT_EQ(Salt.Code[5].Op, VMOp::BLEI); // ble.i with imm comparand.
+  EXPECT_EQ(Salt.Code[5].Imm, 0);
+  EXPECT_EQ(Salt.Code[8].Op, VMOp::CALL);
+  EXPECT_EQ(Salt.Code[8].Target, 1u);
+
+  // Print -> parse -> print is stable.
+  std::string Printed = printProgram(P);
+  VMProgram P2;
+  ASSERT_TRUE(parseProgram(Printed, P2, Error)) << Error;
+  EXPECT_EQ(printProgram(P2), Printed);
+}
+
+TEST(Asm, ImmediateBranchMnemonicSelection) {
+  VMProgram P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram("func f frame 0\n"
+                           "$top:\n"
+                           "  beq.i n0,n1,$top\n"
+                           "  beq.i n0,7,$top\n"
+                           "  rjr ra\n"
+                           "endfunc\nentry f\n",
+                           P, Error))
+      << Error;
+  EXPECT_EQ(P.Functions[0].Code[0].Op, VMOp::BEQ);
+  EXPECT_EQ(P.Functions[0].Code[1].Op, VMOp::BEQI);
+  EXPECT_EQ(P.Functions[0].Code[1].Imm, 7);
+}
+
+TEST(Asm, ErrorsAreReported) {
+  VMProgram P;
+  std::string Error;
+  EXPECT_FALSE(parseProgram("func f frame 0\n  bogus.op n0\nendfunc\n",
+                            P, Error));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(parseProgram("func f frame 0\n  jmp $missing\nendfunc\n",
+                            P, Error));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(parseProgram("func f frame 0\n  call nowhere\n"
+                            "  rjr ra\nendfunc\n",
+                            P, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Machine semantics (assembly-level)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RunResult runAsm(const std::string &Text) {
+  VMProgram P;
+  std::string Error;
+  EXPECT_TRUE(parseProgram(Text, P, Error)) << Error;
+  return runProgram(P);
+}
+
+} // namespace
+
+TEST(Machine, ArithmeticSemantics) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n0,7
+  li n1,-3
+  mul.i n2,n0,n1
+  addi.i n2,n2,1
+  neg.i n2,n2
+  sys 1
+  mov.i n0,n2
+  rjr ra
+endfunc
+entry main
+)");
+  // n2 = -(7 * -3 + 1) = 20... but sys 1 prints n0 (7).
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.Output, "7");
+  EXPECT_EQ(R.ExitCode, 20);
+}
+
+TEST(Machine, DivisionTrapsOnZero) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n0,1
+  li n1,0
+  div.i n2,n0,n1
+  rjr ra
+endfunc
+entry main
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Trap.find("division"), std::string::npos);
+}
+
+TEST(Machine, DivisionTrapsOnIntMinOverflow) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n0,-2147483648
+  li n1,-1
+  div.i n2,n0,n1
+  rjr ra
+endfunc
+entry main
+)");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Machine, ZeroRegisterReadsZero) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li zr,123
+  mov.i n0,zr
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(Machine, MemoryBoundsTrap) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n1,8
+  ld.iw n0,0(n1)
+  rjr ra
+endfunc
+entry main
+)");
+  EXPECT_FALSE(R.Ok); // Address 8 is in the guard region.
+}
+
+TEST(Machine, McpyAndMsetSemantics) {
+  RunResult R = runAsm(R"(
+global buf size 64 init -
+func main frame 0
+  li n0,&buf
+  li n1,65
+  mset n0,n1,8
+  li n2,&buf
+  addi.i n2,n2,32
+  mcpy n2,n0,8
+  ld.ibu n0,0(n2)
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.ExitCode, 65);
+}
+
+TEST(Machine, SubWordLoadsExtendCorrectly) {
+  RunResult R = runAsm(R"(
+global bytes size 4 init f0ff0000
+func main frame 0
+  li n1,&bytes
+  ld.ib n2,0(n1)
+  ld.ibu n3,0(n1)
+  ld.ih n4,0(n1)
+  ld.ihu n5,0(n1)
+  add.i n0,n2,n3
+  add.i n0,n0,n4
+  add.i n0,n0,n5
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  // -16 + 240 + -16 + 65520 = 65728; exit truncates to int32 then the
+  // harness returns it unchanged.
+  EXPECT_EQ(R.ExitCode, 65728);
+}
+
+TEST(Machine, EpiRestoresAndReturns) {
+  RunResult R = runAsm(R"(
+func helper frame 16
+  enter sp,sp,16
+  spill.i n4,0(sp)
+  spill.i n5,4(sp)
+  li n4,1
+  li n5,2
+  li n0,42
+  epi
+endfunc
+func main frame 8
+  enter sp,sp,8
+  spill.i ra,0(sp)
+  li n4,100
+  li n5,200
+  call helper
+  add.i n0,n0,n4
+  add.i n0,n0,n5
+  reload.i ra,0(sp)
+  exit sp,sp,8
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  // helper's epi restores n4/n5 to 100/200: 42 + 100 + 200 = 342.
+  EXPECT_EQ(R.ExitCode, 342);
+}
+
+TEST(Machine, StepLimitTrapsInfiniteLoop) {
+  VMProgram P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram("func main frame 0\n$top:\n  jmp $top\n"
+                           "endfunc\nentry main\n",
+                           P, Error));
+  RunOptions Opts;
+  Opts.MaxSteps = 10000;
+  RunResult R = runProgram(P, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Trap.find("step limit"), std::string::npos);
+}
+
+TEST(Machine, ShiftsMaskTo5Bits) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n0,1
+  li n1,33
+  sll.i n0,n0,n1
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.ExitCode, 2); // 33 & 31 == 1.
+}
+
+TEST(Machine, UnsignedComparisons) {
+  RunResult R = runAsm(R"(
+func main frame 0
+  li n1,-1
+  li n2,1
+  li n0,0
+  blt.u n1,n2,$less
+  li n0,1
+$less:
+  rjr ra
+endfunc
+entry main
+)");
+  ASSERT_TRUE(R.Ok) << R.Trap;
+  EXPECT_EQ(R.ExitCode, 1); // 0xFFFFFFFF is not < 1 unsigned.
+}
+
+TEST(Machine, ProgramVerifyCatchesBadTargets) {
+  VMFunction F;
+  F.Name = "f";
+  Instr In;
+  In.Op = VMOp::JMP;
+  In.Target = 7; // No such label.
+  F.Code.push_back(In);
+  VMProgram P;
+  P.Functions.push_back(F);
+  EXPECT_FALSE(verify(P).empty());
+}
+
+TEST(Machine, DeriveMetaFindsPrologue) {
+  VMProgram P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(R"(
+func f frame 24
+  enter sp,sp,24
+  spill.i n4,8(sp)
+  spill.i ra,12(sp)
+  li n0,0
+  rjr ra
+endfunc
+entry f
+)",
+                           P, Error))
+      << Error;
+  FuncMeta M = deriveMeta(P.Functions[0]);
+  EXPECT_EQ(M.FrameSize, 24u);
+  ASSERT_EQ(M.Saves.size(), 2u);
+  EXPECT_EQ(M.Saves[0].Reg, N4);
+  EXPECT_EQ(M.Saves[1].Reg, RA);
+}
