@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_ablation.dir/bench_wire_ablation.cpp.o"
+  "CMakeFiles/bench_wire_ablation.dir/bench_wire_ablation.cpp.o.d"
+  "bench_wire_ablation"
+  "bench_wire_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

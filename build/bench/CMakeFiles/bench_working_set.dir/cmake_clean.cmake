@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_working_set.dir/bench_working_set.cpp.o"
+  "CMakeFiles/bench_working_set.dir/bench_working_set.cpp.o.d"
+  "bench_working_set"
+  "bench_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_tool.dir/compressor_tool.cpp.o"
+  "CMakeFiles/compressor_tool.dir/compressor_tool.cpp.o.d"
+  "compressor_tool"
+  "compressor_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_paging.dir/embedded_paging.cpp.o"
+  "CMakeFiles/embedded_paging.dir/embedded_paging.cpp.o.d"
+  "embedded_paging"
+  "embedded_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/brisc/Compress.cpp" "src/brisc/CMakeFiles/ccomp_brisc.dir/Compress.cpp.o" "gcc" "src/brisc/CMakeFiles/ccomp_brisc.dir/Compress.cpp.o.d"
+  "/root/repo/src/brisc/CostModel.cpp" "src/brisc/CMakeFiles/ccomp_brisc.dir/CostModel.cpp.o" "gcc" "src/brisc/CMakeFiles/ccomp_brisc.dir/CostModel.cpp.o.d"
+  "/root/repo/src/brisc/File.cpp" "src/brisc/CMakeFiles/ccomp_brisc.dir/File.cpp.o" "gcc" "src/brisc/CMakeFiles/ccomp_brisc.dir/File.cpp.o.d"
+  "/root/repo/src/brisc/Interp.cpp" "src/brisc/CMakeFiles/ccomp_brisc.dir/Interp.cpp.o" "gcc" "src/brisc/CMakeFiles/ccomp_brisc.dir/Interp.cpp.o.d"
+  "/root/repo/src/brisc/Pattern.cpp" "src/brisc/CMakeFiles/ccomp_brisc.dir/Pattern.cpp.o" "gcc" "src/brisc/CMakeFiles/ccomp_brisc.dir/Pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ccomp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

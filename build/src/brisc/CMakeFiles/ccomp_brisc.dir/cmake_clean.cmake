@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_brisc.dir/Compress.cpp.o"
+  "CMakeFiles/ccomp_brisc.dir/Compress.cpp.o.d"
+  "CMakeFiles/ccomp_brisc.dir/CostModel.cpp.o"
+  "CMakeFiles/ccomp_brisc.dir/CostModel.cpp.o.d"
+  "CMakeFiles/ccomp_brisc.dir/File.cpp.o"
+  "CMakeFiles/ccomp_brisc.dir/File.cpp.o.d"
+  "CMakeFiles/ccomp_brisc.dir/Interp.cpp.o"
+  "CMakeFiles/ccomp_brisc.dir/Interp.cpp.o.d"
+  "CMakeFiles/ccomp_brisc.dir/Pattern.cpp.o"
+  "CMakeFiles/ccomp_brisc.dir/Pattern.cpp.o.d"
+  "libccomp_brisc.a"
+  "libccomp_brisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_brisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

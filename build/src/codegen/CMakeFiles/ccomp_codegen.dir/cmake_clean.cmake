@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/ccomp_codegen.dir/Codegen.cpp.o.d"
+  "libccomp_codegen.a"
+  "libccomp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

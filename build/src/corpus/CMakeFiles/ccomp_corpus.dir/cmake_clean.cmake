@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_corpus.dir/Programs.cpp.o"
+  "CMakeFiles/ccomp_corpus.dir/Programs.cpp.o.d"
+  "CMakeFiles/ccomp_corpus.dir/Synth.cpp.o"
+  "CMakeFiles/ccomp_corpus.dir/Synth.cpp.o.d"
+  "libccomp_corpus.a"
+  "libccomp_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

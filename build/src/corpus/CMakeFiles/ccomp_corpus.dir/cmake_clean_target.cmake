@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccomp_corpus.a"
+)

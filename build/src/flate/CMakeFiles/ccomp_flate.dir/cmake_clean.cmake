@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_flate.dir/Flate.cpp.o"
+  "CMakeFiles/ccomp_flate.dir/Flate.cpp.o.d"
+  "libccomp_flate.a"
+  "libccomp_flate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_flate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

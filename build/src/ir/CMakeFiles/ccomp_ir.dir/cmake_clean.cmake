@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_ir.dir/IR.cpp.o"
+  "CMakeFiles/ccomp_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/ccomp_ir.dir/Link.cpp.o"
+  "CMakeFiles/ccomp_ir.dir/Link.cpp.o.d"
+  "CMakeFiles/ccomp_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/ccomp_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/ccomp_ir.dir/Text.cpp.o"
+  "CMakeFiles/ccomp_ir.dir/Text.cpp.o.d"
+  "libccomp_ir.a"
+  "libccomp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

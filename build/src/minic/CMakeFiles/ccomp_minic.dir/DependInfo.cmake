@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/Compile.cpp" "src/minic/CMakeFiles/ccomp_minic.dir/Compile.cpp.o" "gcc" "src/minic/CMakeFiles/ccomp_minic.dir/Compile.cpp.o.d"
+  "/root/repo/src/minic/Lexer.cpp" "src/minic/CMakeFiles/ccomp_minic.dir/Lexer.cpp.o" "gcc" "src/minic/CMakeFiles/ccomp_minic.dir/Lexer.cpp.o.d"
+  "/root/repo/src/minic/Types.cpp" "src/minic/CMakeFiles/ccomp_minic.dir/Types.cpp.o" "gcc" "src/minic/CMakeFiles/ccomp_minic.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ccomp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

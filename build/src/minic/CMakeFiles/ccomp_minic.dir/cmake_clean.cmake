@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_minic.dir/Compile.cpp.o"
+  "CMakeFiles/ccomp_minic.dir/Compile.cpp.o.d"
+  "CMakeFiles/ccomp_minic.dir/Lexer.cpp.o"
+  "CMakeFiles/ccomp_minic.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ccomp_minic.dir/Types.cpp.o"
+  "CMakeFiles/ccomp_minic.dir/Types.cpp.o.d"
+  "libccomp_minic.a"
+  "libccomp_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

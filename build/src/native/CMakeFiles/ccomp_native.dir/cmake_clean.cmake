@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_native.dir/Threaded.cpp.o"
+  "CMakeFiles/ccomp_native.dir/Threaded.cpp.o.d"
+  "libccomp_native.a"
+  "libccomp_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_sim.dir/Paging.cpp.o"
+  "CMakeFiles/ccomp_sim.dir/Paging.cpp.o.d"
+  "libccomp_sim.a"
+  "libccomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

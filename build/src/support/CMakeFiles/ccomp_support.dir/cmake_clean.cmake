@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_support.dir/Huffman.cpp.o"
+  "CMakeFiles/ccomp_support.dir/Huffman.cpp.o.d"
+  "libccomp_support.a"
+  "libccomp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

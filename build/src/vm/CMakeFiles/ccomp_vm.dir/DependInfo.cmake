@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Asm.cpp" "src/vm/CMakeFiles/ccomp_vm.dir/Asm.cpp.o" "gcc" "src/vm/CMakeFiles/ccomp_vm.dir/Asm.cpp.o.d"
+  "/root/repo/src/vm/Encode.cpp" "src/vm/CMakeFiles/ccomp_vm.dir/Encode.cpp.o" "gcc" "src/vm/CMakeFiles/ccomp_vm.dir/Encode.cpp.o.d"
+  "/root/repo/src/vm/ISA.cpp" "src/vm/CMakeFiles/ccomp_vm.dir/ISA.cpp.o" "gcc" "src/vm/CMakeFiles/ccomp_vm.dir/ISA.cpp.o.d"
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/ccomp_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/ccomp_vm.dir/Machine.cpp.o.d"
+  "/root/repo/src/vm/Program.cpp" "src/vm/CMakeFiles/ccomp_vm.dir/Program.cpp.o" "gcc" "src/vm/CMakeFiles/ccomp_vm.dir/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

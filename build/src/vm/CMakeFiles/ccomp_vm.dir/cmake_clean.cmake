@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_vm.dir/Asm.cpp.o"
+  "CMakeFiles/ccomp_vm.dir/Asm.cpp.o.d"
+  "CMakeFiles/ccomp_vm.dir/Encode.cpp.o"
+  "CMakeFiles/ccomp_vm.dir/Encode.cpp.o.d"
+  "CMakeFiles/ccomp_vm.dir/ISA.cpp.o"
+  "CMakeFiles/ccomp_vm.dir/ISA.cpp.o.d"
+  "CMakeFiles/ccomp_vm.dir/Machine.cpp.o"
+  "CMakeFiles/ccomp_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/ccomp_vm.dir/Program.cpp.o"
+  "CMakeFiles/ccomp_vm.dir/Program.cpp.o.d"
+  "libccomp_vm.a"
+  "libccomp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

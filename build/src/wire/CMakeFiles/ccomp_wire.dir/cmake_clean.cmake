@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccomp_wire.dir/Wire.cpp.o"
+  "CMakeFiles/ccomp_wire.dir/Wire.cpp.o.d"
+  "libccomp_wire.a"
+  "libccomp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccomp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

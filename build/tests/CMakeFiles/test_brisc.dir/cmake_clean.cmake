@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brisc.dir/test_brisc.cpp.o"
+  "CMakeFiles/test_brisc.dir/test_brisc.cpp.o.d"
+  "test_brisc"
+  "test_brisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

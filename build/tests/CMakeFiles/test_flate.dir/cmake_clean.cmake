@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flate.dir/test_flate.cpp.o"
+  "CMakeFiles/test_flate.dir/test_flate.cpp.o.d"
+  "test_flate"
+  "test_flate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native.dir/test_native.cpp.o"
+  "CMakeFiles/test_native.dir/test_native.cpp.o.d"
+  "test_native"
+  "test_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

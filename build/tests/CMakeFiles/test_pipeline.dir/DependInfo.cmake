@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/ccomp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/ccomp_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/brisc/CMakeFiles/ccomp_brisc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/ccomp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ccomp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/ccomp_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ccomp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccomp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/ccomp_flate.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccomp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_flate "/root/repo/build/tests/test_flate")
+set_tests_properties(test_flate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_wire "/root/repo/build/tests/test_wire")
+set_tests_properties(test_wire PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_brisc "/root/repo/build/tests/test_brisc")
+set_tests_properties(test_brisc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_corpus "/root/repo/build/tests/test_corpus")
+set_tests_properties(test_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vm "/root/repo/build/tests/test_vm")
+set_tests_properties(test_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_minic "/root/repo/build/tests/test_minic")
+set_tests_properties(test_minic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_native "/root/repo/build/tests/test_native")
+set_tests_properties(test_native PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_codegen "/root/repo/build/tests/test_codegen")
+set_tests_properties(test_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_props "/root/repo/build/tests/test_props")
+set_tests_properties(test_props PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;ccomp_test;/root/repo/tests/CMakeLists.txt;0;")
