@@ -76,8 +76,15 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot read %s\n", Input);
       return 1;
     }
-    brisc::BriscProgram B = brisc::BriscProgram::deserialize(Bytes);
-    vm::RunResult R = brisc::interpret(B);
+    // The image is of unknown provenance: parse recoverably rather than
+    // aborting on corruption.
+    Result<brisc::BriscProgram> B = brisc::BriscProgram::parse(Bytes);
+    if (!B.ok()) {
+      std::fprintf(stderr, "%s: corrupt BRISC image: %s\n", Input,
+                   B.error().message().c_str());
+      return 1;
+    }
+    vm::RunResult R = brisc::interpret(B.value());
     std::fputs(R.Output.c_str(), stdout);
     if (!R.Ok) {
       std::fprintf(stderr, "trap: %s\n", R.Trap.c_str());

@@ -24,6 +24,7 @@
 #define CCOMP_BRISC_BRISC_H
 
 #include "brisc/Pattern.h"
+#include "support/Error.h"
 #include "vm/Machine.h"
 #include "vm/Program.h"
 
@@ -72,7 +73,13 @@ struct BriscProgram {
   /// segment the paper's size tables measure.
   std::vector<uint8_t> serialize(bool IncludeData) const;
 
-  /// Parses a serialized image. Fatal on corrupt input.
+  /// Parses a serialized image of unknown provenance. Corrupt input
+  /// (truncated, bit-flipped, inflated length fields) yields a typed
+  /// DecodeError; no input crashes, hangs, or reads out of bounds.
+  static Result<BriscProgram> parse(const std::vector<uint8_t> &Bytes);
+
+  /// Thin aborting wrapper over parse() for internal callers that only
+  /// feed images this library produced itself: corrupt input is fatal.
   static BriscProgram deserialize(const std::vector<uint8_t> &Bytes);
 
   /// Code-segment byte size (dictionary + tables + code + block maps).
@@ -112,8 +119,14 @@ BriscProgram compress(const vm::VMProgram &P,
                       CompressStats *Stats = nullptr);
 
 /// The loader: expands BRISC back into a decoded VM program (the first
-/// half of just-in-time native code generation). The result executes
-/// identically to the compressor's input.
+/// half of just-in-time native code generation). For a program produced
+/// by compress() the result executes identically to the compressor's
+/// input; for a parsed image of unknown provenance malformed code bytes
+/// yield a typed DecodeError.
+Result<vm::VMProgram> tryDecodeToVM(const BriscProgram &B);
+
+/// Thin aborting wrapper over tryDecodeToVM() for internal callers
+/// holding programs the compressor built in-process.
 vm::VMProgram decodeToVM(const BriscProgram &B);
 
 /// Code layout of the serialized image, for working-set measurements of

@@ -7,6 +7,7 @@
 #include "brisc/Brisc.h"
 
 #include "support/ByteIO.h"
+#include "support/Error.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -76,18 +77,24 @@ std::vector<uint8_t> BriscProgram::serialize(bool IncludeData) const {
   return W.take();
 }
 
-BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
+namespace {
+
+BriscProgram parseOrThrow(const std::vector<uint8_t> &Bytes) {
   BriscProgram B;
   ByteReader R(Bytes);
   if (R.readU32() != Magic)
-    reportFatal("brisc: bad magic");
+    decodeFail("brisc: bad magic");
   bool HasData = R.readU8() != 0;
 
   for (unsigned I = 0; I != NumBase; ++I)
     B.Pats.push_back(Pattern::base(static_cast<VMOp>(I)));
   size_t NumAdded = R.readVarU();
-  for (size_t I = 0; I != NumAdded; ++I)
-    B.Pats.push_back(Pattern::deserialize(R));
+  for (size_t I = 0; I != NumAdded; ++I) {
+    Pattern P = Pattern::deserialize(R);
+    if (!P.wellFormed())
+      decodeFail("brisc: malformed pattern in dictionary");
+    B.Pats.push_back(std::move(P));
+  }
 
   B.Successors.resize(B.Pats.size() + 1);
   for (std::vector<uint32_t> &L : B.Successors) {
@@ -96,7 +103,7 @@ BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
     for (size_t I = 0; I != N; ++I) {
       Prev += R.readVarS();
       if (Prev < 0 || static_cast<size_t>(Prev) >= B.Pats.size())
-        reportFatal("brisc: bad successor id");
+        decodeFail("brisc: bad successor id");
       L.push_back(static_cast<uint32_t>(Prev));
     }
   }
@@ -108,6 +115,8 @@ BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
     size_t Len = R.readVarU();
     F.Code = R.readBytes(Len);
     size_t NBB = R.readVarU();
+    if (NBB > F.Code.size() + 1)
+      decodeFail("brisc: more block starts than code bytes");
     uint32_t Prev = 0;
     for (size_t K = 0; K != NBB; ++K) {
       Prev += static_cast<uint32_t>(R.readVarU());
@@ -136,11 +145,27 @@ BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
   return B;
 }
 
+} // namespace
+
+Result<BriscProgram>
+BriscProgram::parse(const std::vector<uint8_t> &Bytes) {
+  return tryDecode([&] { return parseOrThrow(Bytes); });
+}
+
+BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
+  Result<BriscProgram> R = parse(Bytes);
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
+}
+
 //===----------------------------------------------------------------------===//
 // Loader (BRISC -> decoded VM program)
 //===----------------------------------------------------------------------===//
 
-vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
+namespace {
+
+vm::VMProgram decodeToVMOrThrow(const BriscProgram &B) {
   vm::VMProgram P;
   uint32_t BBCtx = B.bbStartContext();
 
@@ -163,18 +188,18 @@ vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
       uint32_t PatId;
       if (OpByte == 255) {
         if (Off + 3 > BF.Code.size())
-          reportFatal("brisc: truncated escape opcode");
+          decodeFail("brisc: truncated escape opcode");
         PatId = static_cast<uint32_t>(BF.Code[Off + 1] |
                                       (BF.Code[Off + 2] << 8));
         OpLen = 3;
       } else {
         if (Ctx >= B.Successors.size() ||
             OpByte >= B.Successors[Ctx].size())
-          reportFatal("brisc: opcode byte out of context range");
+          decodeFail("brisc: opcode byte out of context range");
         PatId = B.Successors[Ctx][OpByte];
       }
       if (PatId >= B.Pats.size())
-        reportFatal("brisc: bad pattern id");
+        decodeFail("brisc: bad pattern id");
       const Pattern &Pat = B.Pats[PatId];
       size_t Used = unpackOperands(Pat, BF.Code.data() + Off + OpLen,
                                    BF.Code.size() - (Off + OpLen), F.Code);
@@ -187,7 +212,7 @@ vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
     F.LabelPos.clear();
     for (uint32_t BBOff : BF.BBOffsets) {
       if (BBOff >= InstrAtOff.size() || InstrAtOff[BBOff] == ~0u)
-        reportFatal("brisc: block offset not at a slot boundary");
+        decodeFail("brisc: block offset not at a slot boundary");
       F.LabelPos.push_back(InstrAtOff[BBOff]);
     }
     for (Instr &In : F.Code) {
@@ -197,7 +222,7 @@ vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
       auto It = std::lower_bound(BF.BBOffsets.begin(), BF.BBOffsets.end(),
                                  TOff);
       if (It == BF.BBOffsets.end() || *It != TOff)
-        reportFatal("brisc: branch to a non-block offset");
+        decodeFail("brisc: branch to a non-block offset");
       In.Target = static_cast<uint32_t>(It - BF.BBOffsets.begin());
     }
     if (!F.Code.empty() && F.Code[0].Op == VMOp::ENTER)
@@ -210,6 +235,19 @@ vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
   P.GlobalBase = B.GlobalBase;
   P.GlobalEnd = B.GlobalEnd;
   return P;
+}
+
+} // namespace
+
+Result<vm::VMProgram> brisc::tryDecodeToVM(const BriscProgram &B) {
+  return tryDecode([&] { return decodeToVMOrThrow(B); });
+}
+
+vm::VMProgram brisc::decodeToVM(const BriscProgram &B) {
+  Result<vm::VMProgram> R = tryDecodeToVM(B);
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
 }
 
 BriscLayout brisc::layoutOf(const BriscProgram &B) {

@@ -6,6 +6,7 @@
 
 #include "brisc/Pattern.h"
 
+#include "support/Error.h"
 #include "support/Support.h"
 #include "vm/Asm.h"
 
@@ -178,7 +179,7 @@ Pattern Pattern::deserialize(ByteReader &R) {
     SpecInstr E;
     E.Op = static_cast<VMOp>(R.readU8());
     if (E.Op >= VMOp::NumOps)
-      reportFatal("brisc: bad opcode in dictionary");
+      decodeFail("brisc: bad opcode in dictionary");
     E.SpecMask = R.readU8();
     unsigned NF = vm::numFields(E.Op);
     unsigned WCount = 0;
@@ -190,7 +191,7 @@ Pattern Pattern::deserialize(ByteReader &R) {
         WPacked = R.readU8();
       E.Widths[F] = static_cast<Width>((WPacked >> (4 * (WCount & 1))) & 15);
       if (E.Widths[F] > Width::B4)
-        reportFatal("brisc: bad width in dictionary");
+        decodeFail("brisc: bad width in dictionary");
       ++WCount;
     }
     for (unsigned F = 0; F != NF; ++F)
@@ -333,7 +334,7 @@ public:
 private:
   uint8_t next() {
     if (Pos >= N)
-      reportFatal("brisc: truncated operand bytes");
+      decodeFail("brisc: truncated operand bytes");
     return Bytes[Pos++];
   }
 

@@ -83,6 +83,7 @@ struct Pattern {
   std::string key() const;
 
   void serialize(ByteWriter &W) const;
+  /// Throws DecodeError on a corrupt dictionary entry.
   static Pattern deserialize(ByteReader &R);
 
   /// Builds the base (fully unspecified) pattern of \p Op, with default
@@ -99,7 +100,8 @@ struct Pattern {
 void packOperands(const Pattern &P, const vm::Instr *Seq, ByteWriter &W);
 
 /// Unpacks operands and reconstructs the concrete instruction sequence.
-/// Returns the number of bytes consumed.
+/// Returns the number of bytes consumed. Throws DecodeError on
+/// truncated operand bytes.
 size_t unpackOperands(const Pattern &P, const uint8_t *Bytes, size_t N,
                       std::vector<vm::Instr> &Out);
 

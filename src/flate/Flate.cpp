@@ -221,7 +221,7 @@ std::vector<uint8_t> readLengths(BitReader &BR, unsigned Count) {
     if (V == 15) {
       unsigned Run = BR.readBits(6) + 1;
       if (I + Run > Count)
-        reportFatal("flate: zero run past end of length table");
+        decodeFail("flate: zero run past end of length table");
       I += Run;
       continue;
     }
@@ -311,13 +311,24 @@ std::vector<uint8_t> flate::compress(const std::vector<uint8_t> &Input,
   return Frame.take();
 }
 
-std::vector<uint8_t> flate::decompress(const std::vector<uint8_t> &Input) {
+namespace {
+
+std::vector<uint8_t> decompressOrThrow(const std::vector<uint8_t> &Input) {
   ByteReader Frame(Input);
   size_t OrigSize = Frame.readVarU();
   std::vector<uint8_t> Out;
-  Out.reserve(OrigSize);
-  if (OrigSize == 0)
+  // The size prefix is untrusted: a corrupt frame can claim multi-GB
+  // output. A literal needs >= 1 bit and a match emits <= MaxMatch bytes
+  // from a handful of bits, so genuine output is bounded by a small
+  // multiple of the remaining input; clamp the up-front reservation to
+  // that (the vector still grows on demand, reserve is an optimization).
+  size_t MaxPlausible = Frame.remaining() * (8 * MaxMatch) + 64;
+  Out.reserve(std::min(OrigSize, MaxPlausible));
+  if (OrigSize == 0) {
+    if (!Frame.atEnd())
+      decodeFail("flate: trailing bytes after empty frame");
     return Out;
+  }
 
   BitReader BR(Input.data() + Frame.pos(), Input.size() - Frame.pos());
   bool Final = false;
@@ -326,24 +337,30 @@ std::vector<uint8_t> flate::decompress(const std::vector<uint8_t> &Input) {
     unsigned Type = BR.readBits(2);
     if (Type == 0) {
       unsigned Len = BR.readBits(17);
+      if (Out.size() + Len > OrigSize)
+        decodeFail("flate: output exceeds declared size");
       for (unsigned I = 0; I != Len; ++I)
         Out.push_back(static_cast<uint8_t>(BR.readBits(8)));
       continue;
     }
     if (Type != 1)
-      reportFatal("flate: unknown block type");
+      decodeFail("flate: unknown block type");
     std::vector<uint8_t> LitLens = readLengths(BR, NumLitLenSyms);
     std::vector<uint8_t> DistLens = readLengths(BR, NumDistSyms);
     if (!HuffmanCode::isValidLengthSet(LitLens) ||
         !HuffmanCode::isValidLengthSet(DistLens))
-      reportFatal("flate: corrupt code length table");
+      decodeFail("flate: corrupt code length table");
     HuffmanCode LitHC(std::move(LitLens));
     HuffmanCode DistHC(std::move(DistLens));
     for (;;) {
       unsigned Sym = LitHC.decode(BR);
       if (Sym == EOB)
         break;
+      if (Sym >= NumLitLenSyms)
+        decodeFail("flate: literal/length symbol out of range");
       if (Sym < 256) {
+        if (Out.size() >= OrigSize)
+          decodeFail("flate: output exceeds declared size");
         Out.push_back(static_cast<uint8_t>(Sym));
         continue;
       }
@@ -353,13 +370,29 @@ std::vector<uint8_t> flate::decompress(const std::vector<uint8_t> &Input) {
       const DistCode &DC = DistCodes[DSym];
       unsigned Dist = DC.Base + (DC.Extra ? BR.readBits(DC.Extra) : 0);
       if (Dist > Out.size())
-        reportFatal("flate: match distance before start of output");
+        decodeFail("flate: match distance before start of output");
+      if (Out.size() + Len > OrigSize)
+        decodeFail("flate: output exceeds declared size");
       size_t From = Out.size() - Dist;
       for (unsigned I = 0; I != Len; ++I)
         Out.push_back(Out[From + I]); // Byte-at-a-time: overlaps are legal.
     }
   }
   if (Out.size() != OrigSize)
-    reportFatal("flate: decompressed size mismatch");
+    decodeFail("flate: decompressed size mismatch");
   return Out;
+}
+
+} // namespace
+
+Result<std::vector<uint8_t>>
+flate::tryDecompress(const std::vector<uint8_t> &Input) {
+  return tryDecode([&] { return decompressOrThrow(Input); });
+}
+
+std::vector<uint8_t> flate::decompress(const std::vector<uint8_t> &Input) {
+  Result<std::vector<uint8_t>> R = tryDecompress(Input);
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
 }

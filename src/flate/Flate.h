@@ -20,6 +20,8 @@
 #ifndef CCOMP_FLATE_FLATE_H
 #define CCOMP_FLATE_FLATE_H
 
+#include "support/Error.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -42,8 +44,14 @@ struct Options {
 std::vector<uint8_t> compress(const std::vector<uint8_t> &Input,
                               const Options &Opts = Options());
 
-/// Decompresses a buffer produced by compress(). Corrupt input is a fatal
-/// error (this project only feeds it buffers it produced itself).
+/// Decompresses a buffer of unknown provenance. Corrupt input (truncated,
+/// bit-flipped, inflated length fields) yields a typed DecodeError; no
+/// input crashes, hangs, or reads out of bounds.
+Result<std::vector<uint8_t>> tryDecompress(const std::vector<uint8_t> &Input);
+
+/// Thin aborting wrapper over tryDecompress() for internal callers that
+/// only feed buffers this library produced itself: corrupt input is a
+/// fatal error.
 std::vector<uint8_t> decompress(const std::vector<uint8_t> &Input);
 
 /// Convenience: compressed size in bytes.

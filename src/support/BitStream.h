@@ -14,6 +14,7 @@
 #ifndef CCOMP_SUPPORT_BITSTREAM_H
 #define CCOMP_SUPPORT_BITSTREAM_H
 
+#include "support/Error.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -26,8 +27,11 @@ namespace ccomp {
 class BitWriter {
 public:
   /// Writes the low \p NBits bits of \p V, least significant bit first.
+  /// NBits > 32 is a caller bug; it is diagnosed in every build type
+  /// (an assert alone would silently truncate in NDEBUG builds).
   void writeBits(uint32_t V, unsigned NBits) {
-    assert(NBits <= 32 && "bit count out of range");
+    if (NBits > 32)
+      reportFatal("BitWriter: bit count out of range");
     Acc |= static_cast<uint64_t>(V & bitMask(NBits)) << NAcc;
     NAcc += NBits;
     while (NAcc >= 8) {
@@ -69,7 +73,9 @@ private:
   unsigned NAcc = 0;
 };
 
-/// Sequential LSB-first bit source. Reading past the end is a fatal error.
+/// Sequential LSB-first bit source. Reading past the end throws
+/// DecodeError (truncated stream); decode entry points catch at the
+/// frame boundary and return a typed error.
 class BitReader {
 public:
   BitReader(const uint8_t *Data, size_t N) : Data(Data), NBytes(N) {}
@@ -77,10 +83,11 @@ public:
       : Data(V.data()), NBytes(V.size()) {}
 
   uint32_t readBits(unsigned NBits) {
-    assert(NBits <= 32 && "bit count out of range");
+    if (NBits > 32)
+      reportFatal("BitReader: bit count out of range"); // Caller bug.
     while (NAcc < NBits) {
       if (Pos >= NBytes)
-        reportFatal("BitReader: read past end of stream");
+        decodeFail("BitReader: read past end of stream");
       Acc |= static_cast<uint64_t>(Data[Pos++]) << NAcc;
       NAcc += 8;
     }

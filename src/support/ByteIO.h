@@ -14,6 +14,7 @@
 #ifndef CCOMP_SUPPORT_BYTEIO_H
 #define CCOMP_SUPPORT_BYTEIO_H
 
+#include "support/Error.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -81,8 +82,9 @@ private:
   std::vector<uint8_t> Bytes;
 };
 
-/// Sequential little-endian byte source. Reads past the end are a fatal
-/// error (corrupt container), not UB.
+/// Sequential little-endian byte source. Reads past the end throw
+/// DecodeError (corrupt container), never UB: decode entry points catch
+/// at the frame boundary and return a typed error.
 class ByteReader {
 public:
   ByteReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
@@ -91,7 +93,7 @@ public:
 
   uint8_t readU8() {
     if (Pos >= N)
-      reportFatal("ByteReader: read past end of buffer");
+      decodeFail("ByteReader: read past end of buffer");
     return Data[Pos++];
   }
 
@@ -120,7 +122,7 @@ public:
         return V;
       Shift += 7;
       if (Shift >= 64)
-        reportFatal("ByteReader: malformed varint");
+        decodeFail("ByteReader: malformed varint");
     }
   }
 
@@ -130,17 +132,19 @@ public:
   }
 
   std::string readStr() {
+    // Compare against remaining() rather than `Pos + Len > N`: a corrupt
+    // 64-bit length can make Pos + Len wrap around and pass that check.
     size_t Len = readVarU();
-    if (Pos + Len > N)
-      reportFatal("ByteReader: string past end of buffer");
+    if (Len > N - Pos)
+      decodeFail("ByteReader: string past end of buffer");
     std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
     Pos += Len;
     return S;
   }
 
   std::vector<uint8_t> readBytes(size_t Len) {
-    if (Pos + Len > N)
-      reportFatal("ByteReader: bytes past end of buffer");
+    if (Len > N - Pos)
+      decodeFail("ByteReader: bytes past end of buffer");
     std::vector<uint8_t> Out(Data + Pos, Data + Pos + Len);
     Pos += Len;
     return Out;

@@ -1,0 +1,112 @@
+//===- support/Error.h - Recoverable decode errors -------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-error layer for every decode path. Wire files and
+/// BRISC images are *delivery* formats: the bytes arrive over a network
+/// or from disk, so a truncated or bit-flipped buffer must surface as a
+/// typed error the caller can handle, never as a process abort.
+///
+/// The model:
+///   - Low-level readers (ByteReader, BitReader, MTFDecoder, Huffman
+///     decode, BRISC operand unpacking) throw DecodeError on malformed
+///     input.
+///   - Public decode entry points catch at the frame boundary and return
+///     Result<T> (flate::tryDecompress, wire::decompress,
+///     brisc::BriscProgram::parse, brisc::tryDecodeToVM,
+///     vm::tryDecodeFunction*).
+///   - Thin aborting wrappers (flate::decompress, BriscProgram::
+///     deserialize, ...) keep the old convenience contract for internal
+///     callers that only ever feed buffers the library produced itself.
+///
+/// reportFatal remains reserved for invariant violations that indicate a
+/// bug in this library, not bad input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_ERROR_H
+#define CCOMP_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <exception>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ccomp {
+
+/// A recoverable "this buffer is malformed" error. Thrown by the
+/// low-level readers; stored inside Result<T> once a decode entry point
+/// has caught it.
+class DecodeError : public std::exception {
+public:
+  explicit DecodeError(std::string Msg) : Msg(std::move(Msg)) {}
+
+  const char *what() const noexcept override { return Msg.c_str(); }
+  const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+};
+
+/// Throws a DecodeError. Kept out-of-line from call sites as a function
+/// so checks read as a single line.
+[[noreturn]] inline void decodeFail(const std::string &Msg) {
+  throw DecodeError(Msg);
+}
+
+/// Either a decoded value or a DecodeError.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T V) : Val(std::move(V)) {}
+  /*implicit*/ Result(DecodeError E) : Err(std::move(E)) {}
+
+  bool ok() const { return Val.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "Result::value() on an error");
+    return *Val;
+  }
+  const T &value() const {
+    assert(ok() && "Result::value() on an error");
+    return *Val;
+  }
+  T take() {
+    assert(ok() && "Result::take() on an error");
+    return std::move(*Val);
+  }
+
+  const DecodeError &error() const {
+    assert(!ok() && "Result::error() on a value");
+    return *Err;
+  }
+
+private:
+  std::optional<T> Val;
+  std::optional<DecodeError> Err;
+};
+
+/// Runs \p Fn, converting an escaping DecodeError (and allocation
+/// failures from absurd corrupt length fields) into an error Result.
+template <typename Fn> auto tryDecode(Fn &&F) -> Result<decltype(F())> {
+  using T = decltype(F());
+  try {
+    return Result<T>(F());
+  } catch (const DecodeError &E) {
+    return Result<T>(E);
+  } catch (const std::bad_alloc &) {
+    return Result<T>(DecodeError("decode: allocation failed"));
+  } catch (const std::length_error &) {
+    return Result<T>(DecodeError("decode: length overflow"));
+  }
+}
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_ERROR_H

@@ -1,0 +1,135 @@
+//===- support/FaultInject.cpp - Deterministic corruption harness --------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ccomp;
+
+const char *ccomp::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::BitFlip:
+    return "bit-flip";
+  case FaultKind::ByteSet:
+    return "byte-set";
+  case FaultKind::Truncate:
+    return "truncate";
+  case FaultKind::InsertGarbage:
+    return "insert-garbage";
+  case FaultKind::InflateLength:
+    return "inflate-length";
+  case FaultKind::ZeroRun:
+    return "zero-run";
+  }
+  return "unknown";
+}
+
+std::string Fault::str() const {
+  std::ostringstream OS;
+  OS << faultKindName(Kind) << " offset=" << Offset << " count=" << Count
+     << " seed=" << Seed;
+  return OS.str();
+}
+
+std::vector<uint8_t> ccomp::applyFault(const std::vector<uint8_t> &Buf,
+                                       const Fault &F) {
+  std::vector<uint8_t> Out = Buf;
+  if (Out.empty())
+    return Out;
+  PRNG Rng(F.Seed);
+  switch (F.Kind) {
+  case FaultKind::BitFlip: {
+    size_t NBits = Out.size() * 8;
+    for (size_t I = 0; I != F.Count; ++I) {
+      size_t Bit = (F.Offset + Rng.next()) % NBits;
+      Out[Bit / 8] ^= static_cast<uint8_t>(1u << (Bit % 8));
+    }
+    break;
+  }
+  case FaultKind::ByteSet:
+    for (size_t I = 0; I != F.Count; ++I)
+      Out[(F.Offset + Rng.next()) % Out.size()] =
+          static_cast<uint8_t>(Rng.next());
+    break;
+  case FaultKind::Truncate:
+    Out.resize(std::min(Out.size(), F.Count));
+    break;
+  case FaultKind::InsertGarbage: {
+    std::vector<uint8_t> Garbage(F.Count);
+    for (uint8_t &B : Garbage)
+      B = static_cast<uint8_t>(Rng.next());
+    size_t At = F.Offset % (Out.size() + 1);
+    Out.insert(Out.begin() + At, Garbage.begin(), Garbage.end());
+    break;
+  }
+  case FaultKind::InflateLength: {
+    // 0xFF runs keep varint continuation bits set, turning any length or
+    // count field they land on into an (almost) maximal value — the
+    // "claims 4 GiB, delivers 12 bytes" class of corruption.
+    size_t At = F.Offset % Out.size();
+    for (size_t I = 0; I != F.Count && At + I < Out.size(); ++I)
+      Out[At + I] = 0xFF;
+    break;
+  }
+  case FaultKind::ZeroRun: {
+    size_t At = F.Offset % Out.size();
+    for (size_t I = 0; I != F.Count && At + I < Out.size(); ++I)
+      Out[At + I] = 0;
+    break;
+  }
+  }
+  return Out;
+}
+
+Fault FaultInjector::plan(size_t Size) {
+  Fault F;
+  constexpr unsigned NumKinds = 6;
+  F.Kind = static_cast<FaultKind>(NextKind % NumKinds);
+  NextKind = (NextKind + 1) % NumKinds;
+  F.Seed = Rng.next();
+  F.Offset = Size ? Rng.below(Size * 8) : 0;
+  switch (F.Kind) {
+  case FaultKind::BitFlip:
+    F.Count = 1 + Rng.below(8);
+    break;
+  case FaultKind::ByteSet:
+    F.Count = 1 + Rng.below(4);
+    break;
+  case FaultKind::Truncate:
+    // Keep a random prefix; biasing toward near-full lengths exercises
+    // the deepest decode states.
+    F.Count = Size ? Rng.below(Size) : 0;
+    if (Size > 4 && Rng.chance(1, 2))
+      F.Count = Size - 1 - Rng.below(Size / 4 + 1);
+    break;
+  case FaultKind::InsertGarbage:
+    F.Count = 1 + Rng.below(8);
+    break;
+  case FaultKind::InflateLength:
+  case FaultKind::ZeroRun:
+    F.Count = 1 + Rng.below(10);
+    break;
+  }
+  return F;
+}
+
+size_t ccomp::corruptionSweep(
+    const std::vector<uint8_t> &Valid, uint64_t Seed, unsigned Rounds,
+    const std::function<bool(const std::vector<uint8_t> &)> &Decode,
+    Fault *LastFault) {
+  FaultInjector FI(Seed);
+  size_t Rejected = 0;
+  for (unsigned I = 0; I != Rounds; ++I) {
+    Fault F = FI.plan(Valid.size());
+    if (LastFault)
+      *LastFault = F;
+    if (!Decode(applyFault(Valid, F)))
+      ++Rejected;
+  }
+  return Rejected;
+}

@@ -1,0 +1,100 @@
+//===- support/FaultInject.h - Deterministic corruption harness -*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for the decode paths. Wire
+/// files and BRISC images are delivery formats; this module manufactures
+/// the malformed buffers a production decoder must survive — bit flips,
+/// byte substitutions, truncations, inserted garbage, and inflated
+/// varint length fields — from a seeded PRNG so every failure is
+/// reproducible from its (seed, index) pair.
+///
+/// Usage:
+///   FaultInjector FI(Seed);
+///   for (int I = 0; I != 1000; ++I) {
+///     Fault F = FI.plan(Valid.size());
+///     std::vector<uint8_t> Bad = applyFault(Valid, F);
+///     // decode Bad; assert typed error or clean success, never a crash
+///   }
+///
+/// Extending the harness: add a FaultKind, teach applyFault() the
+/// mutation, and add the kind to FaultInjector::plan()'s draw. Every
+/// decoder test that round-trips through corruptionSweep() picks the new
+/// kind up automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_FAULTINJECT_H
+#define CCOMP_SUPPORT_FAULTINJECT_H
+
+#include "support/PRNG.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+
+/// The corruption classes the harness knows how to inflict.
+enum class FaultKind : uint8_t {
+  BitFlip,       ///< Flip 1..8 random bits.
+  ByteSet,       ///< Overwrite 1..4 random bytes with random values.
+  Truncate,      ///< Drop a random-length tail.
+  InsertGarbage, ///< Splice 1..8 random bytes at a random offset.
+  InflateLength, ///< Overwrite a run with 0xFF: varints become maximal.
+  ZeroRun,       ///< Overwrite a random run with zero bytes.
+};
+
+const char *faultKindName(FaultKind K);
+
+/// One planned corruption, fully determined by its fields (so a failing
+/// case can be replayed without the PRNG).
+struct Fault {
+  FaultKind Kind = FaultKind::BitFlip;
+  size_t Offset = 0; ///< Primary position (bit index for BitFlip).
+  size_t Count = 1;  ///< Bits flipped / bytes written / bytes kept.
+  uint64_t Seed = 0; ///< Per-fault value stream for random bytes.
+
+  /// Human-readable form for failure messages.
+  std::string str() const;
+};
+
+/// Returns a corrupted copy of \p Buf with \p F applied. \p Buf is not
+/// modified; an empty buffer passes through untouched.
+std::vector<uint8_t> applyFault(const std::vector<uint8_t> &Buf,
+                                const Fault &F);
+
+/// Draws reproducible corruption plans from a seed.
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed) : Rng(Seed) {}
+
+  /// Plans one corruption of a buffer of \p Size bytes, cycling through
+  /// every FaultKind so each class gets coverage.
+  Fault plan(size_t Size);
+
+private:
+  PRNG Rng;
+  unsigned NextKind = 0;
+};
+
+/// Runs \p Rounds corruptions of \p Valid through \p Decode, which must
+/// return true if the corrupted buffer decoded cleanly and false if it
+/// was rejected with a typed error (anything else — abort, hang, OOB —
+/// is exactly what the harness exists to rule out). Returns the number
+/// of corruptions that were rejected; on a decode that neither succeeds
+/// nor rejects, the exception propagates with the Fault recorded in
+/// \p LastFault for reproduction.
+size_t corruptionSweep(const std::vector<uint8_t> &Valid, uint64_t Seed,
+                       unsigned Rounds,
+                       const std::function<bool(const std::vector<uint8_t> &)>
+                           &Decode,
+                       Fault *LastFault = nullptr);
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_FAULTINJECT_H

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Huffman.h"
+#include "support/Error.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -186,7 +187,11 @@ HuffmanCode::HuffmanCode(std::vector<uint8_t> Lens)
 }
 
 void HuffmanCode::encode(BitWriter &BW, unsigned Sym) const {
-  assert(Sym < Lengths.size() && Lengths[Sym] && "symbol has no code");
+  // Encoding a symbol with no code is a caller bug; diagnose it in every
+  // build type (an assert alone would silently emit zero bits in NDEBUG
+  // builds, producing an undecodable stream).
+  if (Sym >= Lengths.size() || !Lengths[Sym])
+    reportFatal("HuffmanCode: encoding a symbol with no code");
   BW.writeCodeMSB(Codes[Sym], Lengths[Sym]);
 }
 
@@ -198,7 +203,7 @@ unsigned HuffmanCode::decode(BitReader &BR) const {
         Code >= FirstCode[L])
       return SortedSyms[FirstIndex[L] + (Code - FirstCode[L])];
   }
-  reportFatal("HuffmanCode: invalid code in stream");
+  decodeFail("HuffmanCode: invalid code in stream");
 }
 
 uint64_t HuffmanCode::costBits(const std::vector<uint64_t> &Freqs) const {

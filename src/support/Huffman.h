@@ -45,10 +45,12 @@ public:
   /// canonical code.
   static bool isValidLengthSet(const std::vector<uint8_t> &Lengths);
 
-  /// Writes the code for \p Sym to \p BW. \p Sym must have a code.
+  /// Writes the code for \p Sym to \p BW. \p Sym must have a code;
+  /// encoding a codeless symbol is a fatal error in every build type.
   void encode(BitWriter &BW, unsigned Sym) const;
 
-  /// Reads one symbol from \p BR.
+  /// Reads one symbol from \p BR. Throws DecodeError on a bit pattern
+  /// that is not a valid code (corrupt stream).
   unsigned decode(BitReader &BR) const;
 
   unsigned numSymbols() const { return Lengths.size(); }

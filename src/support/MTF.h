@@ -16,6 +16,7 @@
 #ifndef CCOMP_SUPPORT_MTF_H
 #define CCOMP_SUPPORT_MTF_H
 
+#include "support/Error.h"
 #include "support/Support.h"
 
 #include <cstdint>
@@ -56,13 +57,14 @@ private:
 class MTFDecoder {
 public:
   /// Decodes one token. \p NewSymbol is consulted only when Index == 0.
+  /// Throws DecodeError on an index past the table (corrupt stream).
   uint64_t decode(uint32_t Index, uint64_t NewSymbol) {
     if (Index == 0) {
       Table.insert(Table.begin(), NewSymbol);
       return NewSymbol;
     }
     if (Index > Table.size())
-      reportFatal("MTFDecoder: index out of range");
+      decodeFail("MTFDecoder: index out of range");
     uint64_t Sym = Table[Index - 1];
     Table.erase(Table.begin() + (Index - 1));
     Table.insert(Table.begin(), Sym);

@@ -125,12 +125,14 @@ std::vector<uint8_t> vm::encodeFunction(const VMFunction &F) {
   return Out;
 }
 
-std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
+namespace {
+
+std::vector<Instr> decodeFunctionOrThrow(const std::vector<uint8_t> &Bytes) {
   std::vector<Instr> Out;
   size_t Pos = 0;
   auto ReadExt = [&]() {
     if (Pos + 4 > Bytes.size())
-      reportFatal("vm decode: truncated extension word");
+      decodeFail("vm decode: truncated extension word");
     uint32_t V = Bytes[Pos] | (Bytes[Pos + 1] << 8) |
                  (Bytes[Pos + 2] << 16) |
                  (static_cast<uint32_t>(Bytes[Pos + 3]) << 24);
@@ -141,7 +143,7 @@ std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
     Instr In;
     In.Op = static_cast<VMOp>(Bytes[Pos]);
     if (In.Op >= VMOp::NumOps)
-      reportFatal("vm decode: bad opcode");
+      decodeFail("vm decode: bad opcode");
     uint8_t Regs = Bytes[Pos + 1];
     uint16_t P = static_cast<uint16_t>(Bytes[Pos + 2] |
                                        (Bytes[Pos + 3] << 8));
@@ -184,7 +186,23 @@ std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
     }
     Out.push_back(In);
   }
+  if (Pos != Bytes.size())
+    decodeFail("vm decode: trailing bytes");
   return Out;
+}
+
+} // namespace
+
+Result<std::vector<Instr>>
+vm::tryDecodeFunction(const std::vector<uint8_t> &Bytes) {
+  return tryDecode([&] { return decodeFunctionOrThrow(Bytes); });
+}
+
+std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
+  Result<std::vector<Instr>> R = tryDecodeFunction(Bytes);
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
 }
 
 std::vector<uint8_t> vm::encodeProgram(const VMProgram &P) {
@@ -287,15 +305,17 @@ std::vector<uint8_t> vm::encodeFunctionCompact(const VMFunction &F) {
   return W.take();
 }
 
+namespace {
+
 std::vector<Instr>
-vm::decodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+decodeFunctionCompactOrThrow(const std::vector<uint8_t> &Bytes) {
   ByteReader R(Bytes);
   std::vector<Instr> Out;
   while (!R.atEnd()) {
     Instr In;
     In.Op = static_cast<VMOp>(R.readU8());
     if (In.Op >= VMOp::NumOps)
-      reportFatal("compact decode: bad opcode");
+      decodeFail("compact decode: bad opcode");
     unsigned NF = numFields(In.Op);
     const FieldKind *FK = fieldKinds(In.Op);
     unsigned Regs = 0;
@@ -320,6 +340,21 @@ vm::decodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
     Out.push_back(In);
   }
   return Out;
+}
+
+} // namespace
+
+Result<std::vector<Instr>>
+vm::tryDecodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+  return tryDecode([&] { return decodeFunctionCompactOrThrow(Bytes); });
+}
+
+std::vector<Instr>
+vm::decodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+  Result<std::vector<Instr>> R = tryDecodeFunctionCompact(Bytes);
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
 }
 
 std::vector<uint8_t> vm::encodeProgramCompact(const VMProgram &P) {

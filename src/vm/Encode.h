@@ -16,6 +16,7 @@
 #ifndef CCOMP_VM_ENCODE_H
 #define CCOMP_VM_ENCODE_H
 
+#include "support/Error.h"
 #include "vm/Machine.h"
 #include "vm/Program.h"
 
@@ -28,9 +29,13 @@ namespace vm {
 /// Encodes one function's code.
 std::vector<uint8_t> encodeFunction(const VMFunction &F);
 
-/// Decodes a function body previously produced by encodeFunction. Label
-/// positions are not part of the encoding; pass the original count so the
-/// caller can re-attach them.
+/// Decodes a function body of unknown provenance. Corrupt bytes yield a
+/// typed DecodeError. Label positions are not part of the encoding; pass
+/// the original count so the caller can re-attach them.
+Result<std::vector<Instr>> tryDecodeFunction(const std::vector<uint8_t> &Bytes);
+
+/// Thin aborting wrapper over tryDecodeFunction() for internal callers
+/// round-tripping buffers produced by encodeFunction.
 std::vector<Instr> decodeFunction(const std::vector<uint8_t> &Bytes);
 
 /// Concatenated encoding of every function (the program's code segment).
@@ -58,7 +63,13 @@ unsigned encodedSizeCompact(const Instr &In);
 /// Compact encoding of one function's code.
 std::vector<uint8_t> encodeFunctionCompact(const VMFunction &F);
 
-/// Decodes a compact function body (round-trip check).
+/// Decodes a compact function body of unknown provenance; corrupt bytes
+/// yield a typed DecodeError.
+Result<std::vector<Instr>>
+tryDecodeFunctionCompact(const std::vector<uint8_t> &Bytes);
+
+/// Thin aborting wrapper over tryDecodeFunctionCompact() (round-trip
+/// check for internally produced buffers).
 std::vector<Instr> decodeFunctionCompact(const std::vector<uint8_t> &Bytes);
 
 /// Compact encoding of the whole program's code segment.

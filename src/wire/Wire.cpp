@@ -26,6 +26,7 @@
 #include "ir/Opcode.h"
 #include "support/BitStream.h"
 #include "support/ByteIO.h"
+#include "support/Error.h"
 #include "support/Huffman.h"
 #include "support/MTF.h"
 #include "support/Support.h"
@@ -78,6 +79,11 @@ std::vector<uint8_t> encodeRaw(const std::vector<uint64_t> &Vals) {
 
 std::vector<uint64_t> decodeRaw(ByteReader &R) {
   size_t N = R.readVarU();
+  // Every value occupies at least one byte, so an element count larger
+  // than the remaining input is corrupt; checking up front stops a
+  // corrupt count from demanding a huge reservation.
+  if (N > R.remaining())
+    decodeFail("wire: raw stream count exceeds input");
   std::vector<uint64_t> Out;
   Out.reserve(N);
   for (size_t I = 0; I != N; ++I)
@@ -109,6 +115,9 @@ std::vector<uint64_t> decodeMTF(ByteReader &R) {
   size_t N = R.readVarU();
   size_t IdxLen = R.readVarU();
   std::vector<uint8_t> IdxBytes = R.readBytes(IdxLen);
+  // Each token takes at least one index byte.
+  if (N > IdxBytes.size())
+    decodeFail("wire: MTF token count exceeds index bytes");
   ByteReader IdxR(IdxBytes);
   std::vector<uint64_t> Out;
   Out.reserve(N);
@@ -202,7 +211,6 @@ std::vector<uint64_t> decodeHuffmanBody(ByteReader &R) {
   for (unsigned I = 0; I != 256; ++I)
     Lens[I] = R.readU8();
   std::vector<uint64_t> Out;
-  Out.reserve(N);
   if (N == 0) {
     // Skip the (empty) payload sections.
     size_t BitLen = R.readVarU();
@@ -212,12 +220,16 @@ std::vector<uint64_t> decodeHuffmanBody(ByteReader &R) {
     return Out;
   }
   if (!HuffmanCode::isValidLengthSet(Lens))
-    reportFatal("wire: corrupt Huffman table");
+    decodeFail("wire: corrupt Huffman table");
   HuffmanCode Code(std::move(Lens));
   size_t BitLen = R.readVarU();
   std::vector<uint8_t> Bits = R.readBytes(BitLen);
   size_t EscLen = R.readVarU();
   std::vector<uint8_t> Esc = R.readBytes(EscLen);
+  // Each token consumes at least one bit of the code section.
+  if (N > Bits.size() * 8)
+    decodeFail("wire: Huffman token count exceeds code bits");
+  Out.reserve(N);
 
   BitReader BR(Bits);
   ByteReader ER(Esc);
@@ -313,13 +325,21 @@ void collectLiterals(const Tree *T,
     collectLiterals(T->Kids[I], Lits);
 }
 
+/// Deepest tree a shape may describe; corrupt shapes past this are
+/// rejected rather than risking unbounded recursion.
+constexpr unsigned MaxTreeDepth = 4096;
+
 /// Rebuilds one tree from shape bytes (prefix order), consuming literals
 /// from the per-op streams.
 const uint8_t *rebuildTree(ir::Function &F, const uint8_t *Shape,
                            const uint8_t *ShapeEnd,
                            std::map<uint8_t, std::vector<uint64_t>> &Lits,
                            std::map<uint8_t, size_t> &LitPos, Tree *&Out,
-                           std::string &Error) {
+                           std::string &Error, unsigned Depth = 0) {
+  if (Depth > MaxTreeDepth) {
+    Error = "shape nesting too deep";
+    return nullptr;
+  }
   if (Shape + 2 > ShapeEnd) {
     Error = "truncated shape";
     return nullptr;
@@ -347,7 +367,8 @@ const uint8_t *rebuildTree(ir::Function &F, const uint8_t *Shape,
     Kids = 0;
   for (unsigned I = 0; I != Kids; ++I) {
     Tree *Kid = nullptr;
-    Shape = rebuildTree(F, Shape, ShapeEnd, Lits, LitPos, Kid, Error);
+    Shape = rebuildTree(F, Shape, ShapeEnd, Lits, LitPos, Kid, Error,
+                        Depth + 1);
     if (!Shape)
       return nullptr;
     T->Kids[I] = Kid;
@@ -455,9 +476,10 @@ std::vector<uint8_t> wire::compress(const ir::Module &M, Pipeline P,
 // Decompression
 //===----------------------------------------------------------------------===//
 
+namespace {
+
 std::unique_ptr<ir::Module>
-wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
-  Error.clear();
+decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
   ByteReader R(Bytes);
   if (R.remaining() < 5 || R.readU32() != Magic) {
     Error = "bad wire magic";
@@ -474,7 +496,12 @@ wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
   for (size_t I = 0; I != NumStreams; ++I) {
     uint8_t Key = R.readU8();
     size_t Len = R.readVarU();
-    Raw[Key] = flate::decompress(R.readBytes(Len));
+    Result<std::vector<uint8_t>> Z = flate::tryDecompress(R.readBytes(Len));
+    if (!Z.ok()) {
+      Error = Z.error().message();
+      return nullptr;
+    }
+    Raw[Key] = Z.take();
   }
 
   auto M = std::make_unique<ir::Module>();
@@ -529,6 +556,11 @@ wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
       ir::Function &F = *M->Functions[FI];
       for (size_t TI = 0; TI != ForestSizes[FI]; ++TI) {
         size_t Nodes = SR.readVarU();
+        // Guard the Nodes * 2 byte count against overflow/inflation.
+        if (Nodes > SR.remaining() / 2) {
+          Error = "corrupt shape size";
+          return nullptr;
+        }
         std::vector<uint8_t> Shape = SR.readBytes(Nodes * 2);
         // Literals were written grouped by op key in prefix-order within
         // each key; reconstruct with the same grouping.
@@ -588,6 +620,10 @@ wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
     size_t N = SR.readVarU();
     for (size_t I = 0; I != N; ++I) {
       size_t Nodes = SR.readVarU();
+      if (Nodes > SR.remaining() / 2) {
+        Error = "corrupt shape size";
+        return nullptr;
+      }
       Shapes.push_back(SR.readBytes(Nodes * 2));
     }
   }
@@ -629,4 +665,24 @@ wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
     }
   }
   return M;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
+  // The readers throw DecodeError on truncated or inflated fields; this
+  // frame boundary converts every such failure into the (nullptr, Error)
+  // contract so no malformed container can abort the process.
+  Error.clear();
+  try {
+    return decompressImpl(Bytes, Error);
+  } catch (const DecodeError &E) {
+    Error = E.message();
+  } catch (const std::bad_alloc &) {
+    Error = "wire: allocation failed";
+  } catch (const std::length_error &) {
+    Error = "wire: length overflow";
+  }
+  return nullptr;
 }

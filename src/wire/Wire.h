@@ -59,8 +59,9 @@ std::vector<uint8_t> compress(const ir::Module &M,
                               Pipeline P = Pipeline::Full,
                               Stats *Out = nullptr);
 
-/// Decompresses a wire file. Returns nullptr and sets \p Error on a
-/// malformed container.
+/// Decompresses a wire file. Malformed input of any kind — truncated,
+/// bit-flipped, inflated length fields — returns nullptr and sets
+/// \p Error; no input aborts the process.
 std::unique_ptr<ir::Module> decompress(const std::vector<uint8_t> &Bytes,
                                        std::string &Error);
 

@@ -252,6 +252,50 @@ TEST(Brisc, DictionaryPatternsWellFormed) {
       EXPECT_LT(Id, B.Pats.size());
 }
 
+TEST(Brisc, TruncationAtEveryEighthYieldsTypedError) {
+  vm::VMProgram P = buildProgram();
+  brisc::BriscProgram B = brisc::compress(P);
+  for (bool IncludeData : {true, false}) {
+    std::vector<uint8_t> Img = B.serialize(IncludeData);
+    ASSERT_GT(Img.size(), 8u);
+    for (unsigned K = 0; K != 8; ++K) {
+      std::vector<uint8_t> Cut(Img.begin(), Img.begin() + Img.size() * K / 8);
+      Result<brisc::BriscProgram> R = brisc::BriscProgram::parse(Cut);
+      EXPECT_FALSE(R.ok()) << "prefix " << K << "/8 parsed"
+                           << (IncludeData ? " (with data)" : "");
+      if (!R.ok())
+        EXPECT_FALSE(R.error().message().empty());
+    }
+  }
+}
+
+TEST(Brisc, VMEncodingTruncationYieldsTypedError) {
+  vm::VMProgram P = buildProgram();
+  const vm::VMFunction &F = P.Functions.front();
+  std::vector<uint8_t> Fixed = vm::encodeFunction(F);
+  std::vector<uint8_t> Compact = vm::encodeFunctionCompact(F);
+  for (unsigned K = 1; K != 8; ++K) {
+    // Fixed-width decode requires whole 4-byte words; chop mid-word.
+    std::vector<uint8_t> CutF(Fixed.begin(),
+                              Fixed.begin() + Fixed.size() * K / 8 + 1);
+    if (CutF.size() % 4 == 0)
+      CutF.pop_back();
+    EXPECT_FALSE(vm::tryDecodeFunction(CutF).ok()) << "fixed " << K << "/8";
+    // The compact stream is self-delimiting with no instruction count,
+    // so a cut on an instruction boundary legitimately decodes to a
+    // shorter function; anything else must be a typed error, and a
+    // clean decode must be a strict prefix of the original.
+    std::vector<uint8_t> CutC(Compact.begin(),
+                              Compact.begin() + Compact.size() * K / 8);
+    Result<std::vector<vm::Instr>> RC = vm::tryDecodeFunctionCompact(CutC);
+    if (RC.ok()) {
+      ASSERT_LT(RC.value().size(), F.Code.size()) << "compact " << K << "/8";
+      for (size_t I = 0; I != RC.value().size(); ++I)
+        EXPECT_EQ(RC.value()[I], F.Code[I]) << "compact " << K << "/8";
+    }
+  }
+}
+
 TEST(Brisc, DetunedProgramsCompressAndRun) {
   codegen::Options NoBoth;
   NoBoth.NoImmediates = true;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "flate/Flate.h"
+#include "support/ByteIO.h"
 #include "support/PRNG.h"
 
 #include "gtest/gtest.h"
@@ -137,6 +138,46 @@ TEST(Flate, RandomizedFuzzRoundTrip) {
                             : static_cast<uint8_t>(Rng.next());
     }
     roundTrip(In);
+  }
+}
+
+TEST(Flate, TruncationAtEveryEighthYieldsTypedError) {
+  std::vector<uint8_t> In;
+  for (int I = 0; I != 20000; ++I)
+    In.push_back(static_cast<uint8_t>(I * 31 + I / 7));
+  std::vector<uint8_t> Z = flate::compress(In);
+  ASSERT_GT(Z.size(), 8u);
+  for (unsigned K = 0; K != 8; ++K) {
+    std::vector<uint8_t> Cut(Z.begin(), Z.begin() + Z.size() * K / 8);
+    Result<std::vector<uint8_t>> R = flate::tryDecompress(Cut);
+    EXPECT_FALSE(R.ok()) << "prefix " << K << "/8 decoded";
+    if (!R.ok())
+      EXPECT_FALSE(R.error().message().empty());
+  }
+}
+
+TEST(Flate, HugeDeclaredSizeRejectedWithoutAllocating) {
+  // Regression: the decoder used to `reserve(OrigSize)` straight from
+  // the frame's unvalidated varint, so a 12-byte input claiming a 1 TiB
+  // output allocated (or died trying) before the first block was read.
+  ByteWriter W;
+  W.writeVarU(1ull << 40); // Declared original size: 1 TiB.
+  W.writeU8(0x00);         // A token of block data, nowhere near enough.
+  W.writeU8(0x00);
+  Result<std::vector<uint8_t>> R = flate::tryDecompress(W.bytes());
+  ASSERT_FALSE(R.ok());
+  EXPECT_FALSE(R.error().message().empty());
+}
+
+TEST(Flate, GarbageInputsYieldTypedErrors) {
+  PRNG Rng(77);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    std::vector<uint8_t> Junk(Rng.below(200));
+    for (uint8_t &B : Junk)
+      B = static_cast<uint8_t>(Rng.next());
+    // Must terminate promptly with either a clean decode or a typed
+    // error; gtest's timeout (and the sanitizers) police the rest.
+    (void)flate::tryDecompress(Junk);
   }
 }
 

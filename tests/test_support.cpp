@@ -6,6 +6,7 @@
 
 #include "support/BitStream.h"
 #include "support/ByteIO.h"
+#include "support/Error.h"
 #include "support/Huffman.h"
 #include "support/MTF.h"
 #include "support/PRNG.h"
@@ -160,6 +161,91 @@ TEST(MTF, LocalityYieldsSmallIndices) {
       ++N;
     }
   EXPECT_LT(Sum / double(N), 2.0);
+}
+
+TEST(ByteIO, ReadPastEndThrowsDecodeError) {
+  std::vector<uint8_t> Buf = {1, 2};
+  ByteReader R(Buf);
+  EXPECT_EQ(R.readU8(), 1u);
+  EXPECT_EQ(R.readU8(), 2u);
+  EXPECT_THROW(R.readU8(), DecodeError);
+}
+
+TEST(ByteIO, ReadStrHugeLengthRejectedWithoutOverflow) {
+  // Regression: a length prefix near UINT64_MAX made the old bounds
+  // check `Pos + Len > N` wrap around and pass, then read out of
+  // bounds. The reader must reject it with a typed error instead.
+  ByteWriter W;
+  W.writeVarU(UINT64_MAX - 2);
+  W.writeU8('x');
+  ByteReader R(W.bytes());
+  EXPECT_THROW(R.readStr(), DecodeError);
+
+  std::vector<uint8_t> One = {'x'};
+  ByteReader R2(One);
+  EXPECT_THROW(R2.readBytes(UINT64_MAX - 2), DecodeError);
+}
+
+TEST(ByteIO, MalformedVarIntRejected) {
+  // Ten continuation bytes exceed the 64-bit varint limit.
+  std::vector<uint8_t> Buf(10, 0xFF);
+  ByteReader R(Buf);
+  EXPECT_THROW(R.readVarU(), DecodeError);
+  // Truncated mid-varint (continuation bit set on the last byte).
+  std::vector<uint8_t> Cut = {0x80};
+  ByteReader R2(Cut);
+  EXPECT_THROW(R2.readVarU(), DecodeError);
+}
+
+TEST(BitStream, ReadPastEndThrowsDecodeError) {
+  BitWriter W;
+  W.writeBits(0x5, 3);
+  std::vector<uint8_t> B = W.finish();
+  BitReader R(B);
+  (void)R.readBits(8); // Padding bits of the final byte are readable.
+  EXPECT_THROW(R.readBits(8), DecodeError);
+}
+
+TEST(BitStreamDeath, WriteBitsCountOutOfRangeAbortsInEveryBuild) {
+  // Regression: in release builds an assert-only check let NBits > 32
+  // silently corrupt the stream (mis-decode, no diagnostic). This must
+  // abort regardless of NDEBUG.
+  BitWriter W;
+  EXPECT_DEATH(W.writeBits(0, 33), "bit count out of range");
+}
+
+TEST(HuffmanDeath, EncodingCodelessSymbolAbortsInEveryBuild) {
+  // Regression: encoding a symbol with no assigned code emitted zero
+  // bits in release builds, producing a stream that decodes to the
+  // wrong symbol sequence. This must abort regardless of NDEBUG.
+  std::vector<uint64_t> Freq = {10, 10, 0};
+  HuffmanCode Code(buildHuffmanLengths(Freq));
+  BitWriter W;
+  EXPECT_DEATH(Code.encode(W, 2), "no code");
+  EXPECT_DEATH(Code.encode(W, 99), "no code");
+}
+
+TEST(Huffman, DecodeInvalidCodeThrowsDecodeError) {
+  // A code table over symbols {0,1} never assigns the all-ones deep
+  // codeword that a corrupt stream can contain.
+  std::vector<uint64_t> Freq = {1000, 1};
+  HuffmanCode Code(buildHuffmanLengths(Freq));
+  std::vector<uint8_t> Ones(8, 0xFF);
+  BitReader R(Ones);
+  // Either decodes (both codes are 1 bit) or throws at end of stream;
+  // drain it and require the typed error, never a crash.
+  EXPECT_THROW(
+      {
+        for (int I = 0; I != 100; ++I)
+          (void)Code.decode(R);
+      },
+      DecodeError);
+}
+
+TEST(MTF, DecodeOutOfRangeIndexThrowsDecodeError) {
+  MTFDecoder Dec;
+  (void)Dec.decode(0, 7); // Table now holds one symbol.
+  EXPECT_THROW(Dec.decode(5, 0), DecodeError);
 }
 
 TEST(PRNG, Deterministic) {

@@ -155,6 +155,41 @@ TEST(Wire, CorruptInputRejected) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(Wire, TruncationAtEveryEighthYieldsTypedError) {
+  std::unique_ptr<ir::Module> M = compileC(SampleProgram);
+  for (wire::Pipeline P :
+       {wire::Pipeline::Naive, wire::Pipeline::Streams,
+        wire::Pipeline::StreamsMTF, wire::Pipeline::Full}) {
+    std::vector<uint8_t> Z = wire::compress(*M, P);
+    ASSERT_GT(Z.size(), 8u);
+    for (unsigned K = 0; K != 8; ++K) {
+      std::vector<uint8_t> Cut(Z.begin(), Z.begin() + Z.size() * K / 8);
+      std::string Error;
+      std::unique_ptr<ir::Module> Back = wire::decompress(Cut, Error);
+      EXPECT_EQ(Back, nullptr)
+          << "pipeline " << unsigned(P) << " prefix " << K << "/8 decoded";
+      EXPECT_FALSE(Error.empty());
+    }
+  }
+}
+
+TEST(Wire, InflatedStreamCountRejectedWithoutAllocating) {
+  // Regression: stream element counts were fed to vector::reserve before
+  // being validated against the bytes actually present, so a corrupt
+  // count field could demand gigabytes. Saturate every varint near the
+  // front of the file and require prompt, typed rejection.
+  std::unique_ptr<ir::Module> M = compileC(SampleProgram);
+  std::vector<uint8_t> Z = wire::compress(*M, wire::Pipeline::Streams);
+  for (size_t At = 4; At < std::min<size_t>(Z.size(), 40); ++At) {
+    std::vector<uint8_t> Bad = Z;
+    for (size_t I = At; I < std::min(At + 6, Bad.size()); ++I)
+      Bad[I] = 0xFF;
+    std::string Error;
+    std::unique_ptr<ir::Module> Back = wire::decompress(Bad, Error);
+    EXPECT_NE(Back == nullptr, Error.empty());
+  }
+}
+
 TEST(Wire, CompressionBeatsGzippedNative) {
   // The headline claim of section 3: the wire format is significantly
   // smaller than both native code and gzipped native code.
