@@ -3,93 +3,30 @@
 // Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment harness's view of the shared corpus/build/timing
+/// helpers (harness/CorpusUtil.h). Kept as an alias namespace so bench
+/// sources keep reading `bench::suiteProgram()` etc.
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef CCOMP_BENCH_BENCHUTIL_H
 #define CCOMP_BENCH_BENCHUTIL_H
 
-#include "codegen/Codegen.h"
-#include "corpus/Corpus.h"
-#include "ir/Link.h"
-#include "minic/Compile.h"
-#include "support/Support.h"
-#include "vm/Machine.h"
-
-#include <chrono>
-#include <cstdio>
-#include <string>
+#include "CorpusUtil.h"
 
 namespace ccomp {
 namespace bench {
 
-/// Compiles C source to a linked VM program; aborts on error (benchmark
-/// inputs are all under our control).
-inline vm::VMProgram mustBuild(const std::string &Src,
-                               codegen::Options Opts = codegen::Options()) {
-  minic::CompileResult CR = minic::compile(Src);
-  if (!CR.ok())
-    reportFatal("bench: compile failed: " + CR.Error);
-  codegen::Result CG = codegen::generate(*CR.M, Opts);
-  if (!CG.ok())
-    reportFatal("bench: codegen failed: " + CG.Error);
-  return std::move(CG.P);
-}
-
-inline std::unique_ptr<ir::Module> mustCompile(const std::string &Src) {
-  minic::CompileResult CR = minic::compile(Src);
-  if (!CR.ok())
-    reportFatal("bench: compile failed: " + CR.Error);
-  return std::move(CR.M);
-}
-
-/// Links every hand-written corpus program into one suite module (the
-/// realistic mid-size input: real algorithms, no synthetic repetition).
-inline std::unique_ptr<ir::Module> suiteModule() {
-  std::vector<std::unique_ptr<ir::Module>> Units;
-  for (const corpus::Program &P : corpus::programs()) {
-    minic::CompileResult CR = minic::compile(P.Source);
-    if (!CR.ok())
-      reportFatal(std::string("suite: ") + P.Name + ": " + CR.Error);
-    Units.push_back(std::move(CR.M));
-  }
-  return ir::linkModules(std::move(Units));
-}
-
-inline vm::VMProgram suiteProgram() {
-  std::unique_ptr<ir::Module> M = suiteModule();
-  codegen::Result CG = codegen::generate(*M);
-  if (!CG.ok())
-    reportFatal("suite codegen failed: " + CG.Error);
-  return std::move(CG.P);
-}
-
-/// Wall-clock seconds of a callable.
-template <class Fn> double timeIt(Fn &&F) {
-  auto T0 = std::chrono::steady_clock::now();
-  F();
-  auto T1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(T1 - T0).count();
-}
-
-/// Wall-clock seconds, repeating the callable until ~MinSeconds elapsed
-/// and dividing (for very fast bodies).
-template <class Fn> double timeStable(Fn &&F, double MinSeconds = 0.2) {
-  unsigned Reps = 1;
-  for (;;) {
-    auto T0 = std::chrono::steady_clock::now();
-    for (unsigned I = 0; I != Reps; ++I)
-      F();
-    auto T1 = std::chrono::steady_clock::now();
-    double S = std::chrono::duration<double>(T1 - T0).count();
-    if (S >= MinSeconds || Reps >= 1u << 20)
-      return S / Reps;
-    Reps *= 2;
-  }
-}
-
-inline void hr() {
-  std::printf("-------------------------------------------------------------"
-              "-----------------\n");
-}
+using harness::hr;
+using harness::mustBuild;
+using harness::mustCompile;
+using harness::suiteModule;
+using harness::suiteProgram;
+using harness::syntheticSource;
+using harness::timeIt;
+using harness::timeStable;
 
 } // namespace bench
 } // namespace ccomp

@@ -1,37 +1,40 @@
-//===- examples/compressor_tool.cpp - Command-line compressor driver -----------===//
+//===- examples/compressor_tool.cpp - Registry-driven compressor CLI -----------===//
 //
 // Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
 //
 //===----------------------------------------------------------------------===//
 //
-// A small cc-like driver over the public API:
+// The command-line face of the codec registry. Every compression stack
+// in the project (flate, vm-compact, brisc, wire) is a registered Codec;
+// this tool compiles a mini-C source, fans per-function payloads across
+// a thread pool, and packs the frames into one self-describing container
+// that `decompress` can invert without being told the chain.
 //
-//   compressor_tool run   file.c        compile and execute
-//   compressor_tool sizes file.c        print all representation sizes
-//   compressor_tool wire  file.c out.wf write a wire file
-//   compressor_tool brisc file.c out.br write a BRISC executable
-//   compressor_tool exec  out.br        run a BRISC executable in place
-//   compressor_tool asm   file.c        print VM assembly
-//   compressor_tool ir    file.c        print tree IR
+//   compressor_tool --list                      show registered codecs
+//   compressor_tool compress   file.c out.ccpk  [--codec CHAIN] [--jobs N] [--stats]
+//   compressor_tool decompress in.ccpk          [--jobs N] [--stats]
+//
+// CHAIN is '+'-separated, first codec first: "brisc", "brisc+flate",
+// "wire", "vm-compact+flate", ... Codecs after the first must accept raw
+// bytes (today that means flate).
 //
 //===----------------------------------------------------------------------===//
 
-#include "brisc/Brisc.h"
-#include "brisc/Interp.h"
 #include "codegen/Codegen.h"
-#include "flate/Flate.h"
-#include "ir/Text.h"
 #include "minic/Compile.h"
-#include "vm/Asm.h"
-#include "vm/Encode.h"
-#include "wire/Wire.h"
+#include "pipeline/Codec.h"
+#include "pipeline/Payload.h"
+#include "pipeline/Pipeline.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace ccomp;
+using namespace ccomp::pipeline;
 
 namespace {
 
@@ -56,41 +59,82 @@ bool writeFile(const char *Path, const std::vector<uint8_t> &Bytes) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: compressor_tool <run|sizes|wire|brisc|exec|asm|ir> "
-               "<input> [output]\n");
+  std::fprintf(
+      stderr,
+      "usage: compressor_tool --list\n"
+      "       compressor_tool compress <file.c> <out.ccpk>"
+      " [--codec CHAIN] [--jobs N] [--stats]\n"
+      "       compressor_tool decompress <in.ccpk> [--jobs N] [--stats]\n"
+      "CHAIN: '+'-separated codec names, e.g. brisc+flate (see --list)\n");
   return 2;
 }
 
-} // namespace
+void listCodecs() {
+  for (const auto &C : Registry::instance().all())
+    std::printf("%-12s %s\n", C->name(), C->description());
+}
 
-int main(int argc, char **argv) {
-  if (argc < 3)
+void printStats(const std::vector<const Codec *> &Chain) {
+  std::printf("%-12s %8s %12s %12s %7s %8s %9s\n", "codec", "calls", "in",
+              "out", "ratio", "errors", "ms");
+  for (const Codec *C : Chain) {
+    CodecStats S = C->stats();
+    double Ratio = S.BytesIn ? double(S.BytesOut) / double(S.BytesIn) : 0.0;
+    double Ms = double(S.CompressNanos + S.DecompressNanos) / 1e6;
+    std::printf("%-12s %8llu %12llu %12llu %7.3f %8llu %9.2f\n", C->name(),
+                (unsigned long long)(S.CompressCalls + S.DecompressCalls),
+                (unsigned long long)S.BytesIn, (unsigned long long)S.BytesOut,
+                Ratio, (unsigned long long)S.DecodeErrors, Ms);
+  }
+}
+
+size_t totalBytes(const std::vector<std::vector<uint8_t>> &Items) {
+  size_t N = 0;
+  for (const std::vector<uint8_t> &I : Items)
+    N += I.size();
+  return N;
+}
+
+struct Flags {
+  std::string Chain = "brisc";
+  unsigned Jobs = 1;
+  bool Stats = false;
+  std::vector<const char *> Positional;
+};
+
+bool parseFlags(int argc, char **argv, int First, Flags &F) {
+  for (int I = First; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--codec") && I + 1 < argc) {
+      F.Chain = argv[++I];
+    } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      int N = std::atoi(argv[++I]);
+      if (N < 1) {
+        std::fprintf(stderr, "--jobs wants a positive count\n");
+        return false;
+      }
+      F.Jobs = static_cast<unsigned>(N);
+    } else if (!std::strcmp(argv[I], "--stats")) {
+      F.Stats = true;
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[I]);
+      return false;
+    } else {
+      F.Positional.push_back(argv[I]);
+    }
+  }
+  return true;
+}
+
+int doCompress(const Flags &F) {
+  if (F.Positional.size() != 2)
     return usage();
-  const char *Cmd = argv[1];
-  const char *Input = argv[2];
+  const char *Input = F.Positional[0], *Output = F.Positional[1];
 
-  if (!std::strcmp(Cmd, "exec")) {
-    std::vector<uint8_t> Bytes;
-    if (!readFile(Input, Bytes)) {
-      std::fprintf(stderr, "cannot read %s\n", Input);
-      return 1;
-    }
-    // The image is of unknown provenance: parse recoverably rather than
-    // aborting on corruption.
-    Result<brisc::BriscProgram> B = brisc::BriscProgram::parse(Bytes);
-    if (!B.ok()) {
-      std::fprintf(stderr, "%s: corrupt BRISC image: %s\n", Input,
-                   B.error().message().c_str());
-      return 1;
-    }
-    vm::RunResult R = brisc::interpret(B.value());
-    std::fputs(R.Output.c_str(), stdout);
-    if (!R.Ok) {
-      std::fprintf(stderr, "trap: %s\n", R.Trap.c_str());
-      return 1;
-    }
-    return R.ExitCode;
+  std::string Error;
+  std::vector<const Codec *> Chain = parseChain(F.Chain, Error);
+  if (Chain.empty()) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
   }
 
   std::vector<uint8_t> SrcBytes;
@@ -104,73 +148,83 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s: %s\n", Input, CR.Error.c_str());
     return 1;
   }
-
-  if (!std::strcmp(Cmd, "ir")) {
-    std::fputs(ir::printModule(*CR.M).c_str(), stdout);
-    return 0;
-  }
-
-  if (!std::strcmp(Cmd, "wire")) {
-    if (argc < 4)
-      return usage();
-    std::vector<uint8_t> Z = wire::compress(*CR.M);
-    if (!writeFile(argv[3], Z)) {
-      std::fprintf(stderr, "cannot write %s\n", argv[3]);
-      return 1;
-    }
-    std::printf("%s: %zu bytes\n", argv[3], Z.size());
-    return 0;
-  }
-
   codegen::Result CG = codegen::generate(*CR.M);
   if (!CG.ok()) {
     std::fprintf(stderr, "%s: %s\n", Input, CG.Error.c_str());
     return 1;
   }
 
-  if (!std::strcmp(Cmd, "asm")) {
-    std::fputs(vm::printProgram(CG.P).c_str(), stdout);
+  std::vector<std::vector<uint8_t>> Payloads =
+      makePayloads(*Chain.front(), CG.P, CR.M.get());
+  std::vector<std::vector<uint8_t>> Frames =
+      compressAll(Chain, Payloads, F.Jobs);
+  std::vector<uint8_t> Packed = packContainer(F.Chain, Frames);
+  if (!writeFile(Output, Packed)) {
+    std::fprintf(stderr, "cannot write %s\n", Output);
+    return 1;
+  }
+  std::printf("%s: %zu item(s), %zu payload bytes -> %zu container bytes "
+              "(chain %s, %u job(s))\n",
+              Output, Payloads.size(), totalBytes(Payloads), Packed.size(),
+              F.Chain.c_str(), F.Jobs);
+  if (F.Stats)
+    printStats(Chain);
+  return 0;
+}
+
+int doDecompress(const Flags &F) {
+  if (F.Positional.size() != 1)
+    return usage();
+  const char *Input = F.Positional[0];
+
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Input, Bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", Input);
+    return 1;
+  }
+  Result<Container> C = tryUnpackContainer(Bytes);
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input, C.error().message().c_str());
+    return 1;
+  }
+  std::string Error;
+  std::vector<const Codec *> Chain = parseChain(C.value().ChainSpec, Error);
+  if (Chain.empty()) {
+    std::fprintf(stderr, "%s: %s\n", Input, Error.c_str());
+    return 1;
+  }
+  Result<std::vector<std::vector<uint8_t>>> Payloads =
+      tryDecompressAll(Chain, C.value().Frames, F.Jobs);
+  if (!Payloads.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input,
+                 Payloads.error().message().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu item(s), %zu frame bytes -> %zu payload bytes "
+              "(chain %s, %u job(s))\n",
+              Input, Payloads.value().size(),
+              totalBytes(C.value().Frames), totalBytes(Payloads.value()),
+              C.value().ChainSpec.c_str(), F.Jobs);
+  if (F.Stats)
+    printStats(Chain);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  if (!std::strcmp(argv[1], "--list")) {
+    listCodecs();
     return 0;
   }
-  if (!std::strcmp(Cmd, "run")) {
-    vm::RunResult R = vm::runProgram(CG.P);
-    std::fputs(R.Output.c_str(), stdout);
-    if (!R.Ok) {
-      std::fprintf(stderr, "trap: %s\n", R.Trap.c_str());
-      return 1;
-    }
-    return R.ExitCode;
-  }
-  if (!std::strcmp(Cmd, "brisc")) {
-    if (argc < 4)
-      return usage();
-    brisc::BriscProgram B = brisc::compress(CG.P);
-    std::vector<uint8_t> Img = B.serialize(/*IncludeData=*/true);
-    if (!writeFile(argv[3], Img)) {
-      std::fprintf(stderr, "cannot write %s\n", argv[3]);
-      return 1;
-    }
-    std::printf("%s: %zu bytes (code segment %zu)\n", argv[3], Img.size(),
-                B.codeSegmentBytes());
-    return 0;
-  }
-  if (!std::strcmp(Cmd, "sizes")) {
-    std::vector<uint8_t> Native = vm::encodeProgram(CG.P);
-    std::vector<uint8_t> Compact = vm::encodeProgramCompact(CG.P);
-    std::vector<uint8_t> Wire = wire::compress(*CR.M);
-    brisc::BriscProgram B = brisc::compress(CG.P);
-    std::printf("%-28s %10zu\n", "fixed-width native (SPARC-ish)",
-                Native.size());
-    std::printf("%-28s %10zu\n", "compact native (x86-ish)",
-                Compact.size());
-    std::printf("%-28s %10zu\n", "gzipped fixed-width",
-                flate::compress(Native).size());
-    std::printf("%-28s %10zu\n", "gzipped compact",
-                flate::compress(Compact).size());
-    std::printf("%-28s %10zu\n", "wire format", Wire.size());
-    std::printf("%-28s %10zu\n", "BRISC code segment",
-                B.codeSegmentBytes());
-    return 0;
-  }
+  Flags F;
+  if (!parseFlags(argc, argv, 2, F))
+    return 2;
+  if (!std::strcmp(argv[1], "compress"))
+    return doCompress(F);
+  if (!std::strcmp(argv[1], "decompress"))
+    return doDecompress(F);
   return usage();
 }

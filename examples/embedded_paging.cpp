@@ -50,7 +50,17 @@ int main(int argc, char **argv) {
   NOpts.PageSize = PageSize;
   vm::RunResult NR = vm::runProgram(CG.P, NOpts);
 
-  brisc::BriscProgram B = brisc::compress(CG.P);
+  // The device loads the compressed image from storage: serialize, then
+  // parse it back recoverably, as firmware reading flash must (a corrupt
+  // image should degrade gracefully, not crash the device).
+  std::vector<uint8_t> Image = brisc::compress(CG.P).serialize(true);
+  Result<brisc::BriscProgram> Loaded = brisc::BriscProgram::parse(Image);
+  if (!Loaded.ok()) {
+    std::printf("BRISC image parse failed: %s\n",
+                Loaded.error().message().c_str());
+    return 1;
+  }
+  brisc::BriscProgram B = Loaded.take();
   vm::RunOptions BOpts;
   BOpts.PageSize = PageSize;
   vm::RunResult BR = brisc::interpret(B, BOpts);

@@ -86,7 +86,14 @@ int main(int argc, char **argv) {
   // --- Client side, option B: BRISC --------------------------------------
   double BriscTransfer = Link.transferSeconds(BriscFile.size());
   auto T3 = std::chrono::steady_clock::now();
-  brisc::BriscProgram B2 = brisc::BriscProgram::deserialize(BriscFile);
+  // The image just crossed the network: parse recoverably, as a real
+  // client must, instead of aborting on a corrupt download.
+  Result<brisc::BriscProgram> Parsed = brisc::BriscProgram::parse(BriscFile);
+  if (!Parsed.ok()) {
+    std::printf("BRISC parse failed: %s\n", Parsed.error().message().c_str());
+    return 1;
+  }
+  brisc::BriscProgram B2 = Parsed.take();
   native::GenStats JS;
   native::NProgram NBrisc = native::generateFromBrisc(B2, &JS);
   auto T4 = std::chrono::steady_clock::now();

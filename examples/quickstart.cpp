@@ -76,10 +76,20 @@ int main() {
     return 1;
   }
   std::vector<uint8_t> Native = vm::encodeProgram(CG.P);
+  std::vector<uint8_t> Gzipped = flate::compress(Native);
+  // Round-trip the gzipped baseline through the recoverable decoder, the
+  // same entry point a receiver of untrusted bytes would use.
+  Result<std::vector<uint8_t>> Unzipped = flate::tryDecompress(Gzipped);
+  if (!Unzipped.ok() || Unzipped.value() != Native) {
+    std::printf("flate round trip failed: %s\n",
+                Unzipped.ok() ? "bytes differ"
+                              : Unzipped.error().message().c_str());
+    return 1;
+  }
   std::printf("   %llu instructions, %zu bytes fixed-width, %zu bytes "
-              "gzipped\n",
+              "gzipped (verified)\n",
               (unsigned long long)vm::countInstrs(CG.P), Native.size(),
-              flate::compress(Native).size());
+              Gzipped.size());
 
   std::printf("== 4. BRISC compression (the interpretable "
               "representation) ==\n");

@@ -1,0 +1,174 @@
+//===- harness/CorpusUtil.h - Shared corpus/build/timing helpers *- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus-building and timing helpers shared by the test suite and
+/// the experiment harness. Everything here aborts on error (the inputs
+/// are all under our control) and has no gtest dependency; the
+/// gtest-flavored wrappers live in tests/TestUtil.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_HARNESS_CORPUSUTIL_H
+#define CCOMP_HARNESS_CORPUSUTIL_H
+
+#include "codegen/Codegen.h"
+#include "corpus/Corpus.h"
+#include "ir/Link.h"
+#include "minic/Compile.h"
+#include "support/Support.h"
+#include "vm/Machine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace harness {
+
+/// Compiles C source to IR; aborts on a front-end error.
+inline std::unique_ptr<ir::Module> mustCompile(const std::string &Src) {
+  minic::CompileResult CR = minic::compile(Src);
+  if (!CR.ok())
+    reportFatal("harness: compile failed: " + CR.Error);
+  return std::move(CR.M);
+}
+
+/// Compiles C source all the way to a linked VM program; aborts on error.
+inline vm::VMProgram mustBuild(const std::string &Src,
+                               codegen::Options Opts = codegen::Options()) {
+  std::unique_ptr<ir::Module> M = mustCompile(Src);
+  codegen::Result CG = codegen::generate(*M, Opts);
+  if (!CG.ok())
+    reportFatal("harness: codegen failed: " + CG.Error);
+  return std::move(CG.P);
+}
+
+/// Links every hand-written corpus program into one suite module (the
+/// realistic mid-size input: real algorithms, no synthetic repetition).
+inline std::unique_ptr<ir::Module> suiteModule() {
+  std::vector<std::unique_ptr<ir::Module>> Units;
+  for (const corpus::Program &P : corpus::programs()) {
+    minic::CompileResult CR = minic::compile(P.Source);
+    if (!CR.ok())
+      reportFatal(std::string("suite: ") + P.Name + ": " + CR.Error);
+    Units.push_back(std::move(CR.M));
+  }
+  return ir::linkModules(std::move(Units));
+}
+
+inline vm::VMProgram suiteProgram() {
+  std::unique_ptr<ir::Module> M = suiteModule();
+  codegen::Result CG = codegen::generate(*M);
+  if (!CG.ok())
+    reportFatal("suite codegen failed: " + CG.Error);
+  return std::move(CG.P);
+}
+
+/// Builds a structurally varied C source with \p NumFuncs functions, big
+/// enough for the compressors to amortize their dictionaries. Constants
+/// come from small pools (real programs reuse a few favorite literals).
+inline std::string syntheticSource(unsigned NumFuncs) {
+  std::string Src = "int acc;\nint buf[256];\nchar bytes[512];\n";
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    std::string N = std::to_string(I);
+    static const int Pool1[] = {1, 2, 4, 8, 16, 32, 100, 255};
+    std::string K1 = std::to_string(Pool1[(I * 7 + 3) % 8]);
+    std::string K2 = std::to_string(1 + I % 8);
+    std::string K3 = std::to_string((I % 16) * 4);
+    switch (I % 6) {
+    case 0:
+      Src += "int work" + N + "(int a, int b) {\n"
+             "  int i, s = " + K1 + ";\n"
+             "  for (i = 0; i < a; i++) s += buf[(i + b) & 255] * " + K2 +
+             ";\n  acc += s;\n  return s;\n}\n";
+      break;
+    case 1:
+      Src += "int work" + N + "(int a, int b) {\n"
+             "  int s = a, n = 0;\n"
+             "  while (s > " + K1 + " && n++ < 40) s = s / 2 + b % " + K2 +
+             ";\n"
+             "  bytes[" + K3 + "] = s;\n  return s + bytes[" + K3 +
+             "];\n}\n";
+      break;
+    case 2:
+      Src += "int work" + N + "(int a, int b) {\n"
+             "  if (a < b) return work" + std::to_string(I ? I - 1 : 0) +
+             "(b, a);\n"
+             "  switch (a & 3) {\n"
+             "  case 0: return a + " + K1 + ";\n"
+             "  case 1: return a - b;\n"
+             "  case 2: return a * " + K2 + ";\n"
+             "  default: return a ^ b;\n  }\n}\n";
+      break;
+    case 3:
+      Src += "unsigned work" + N + "(unsigned a, unsigned b) {\n"
+             "  unsigned h = " + K1 + "u, n = 0;\n"
+             "  do { h = (h << 5) ^ (h >> 3) ^ a; a = a / 2 + b % " + K2 +
+             "; } while (a > " + K3 + " && ++n < 48u);\n"
+             "  return h;\n}\n";
+      break;
+    case 4:
+      Src += "int work" + N + "(int n, int d) {\n"
+             "  int i, j, t = 0;\n"
+             "  for (i = 1; i <= n % 9 + 2; i++)\n"
+             "    for (j = i; j; j--) t += i * j - d + " + K1 + ";\n"
+             "  buf[" + std::to_string(I % 256) + "] = t;\n"
+             "  return t;\n}\n";
+      break;
+    default:
+      Src += "int work" + N + "(int a, int b) {\n"
+             "  int *p = &buf[a & 127];\n"
+             "  *p = b + " + K1 + ";\n"
+             "  p[1] = *p - " + K2 + ";\n"
+             "  return p[0] + p[1] + acc % " + K2 + ";\n}\n";
+      break;
+    }
+  }
+  Src += "int main(void) {\n  int r = 0;\n";
+  for (unsigned I = 0; I != NumFuncs; ++I)
+    Src += "  r += work" + std::to_string(I) + "(" +
+           std::to_string(I % 13 + 1) + ", " + std::to_string(I % 5 + 1) +
+           ");\n";
+  Src += "  return r & 255;\n}\n";
+  return Src;
+}
+
+/// Wall-clock seconds of a callable.
+template <class Fn> double timeIt(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+/// Wall-clock seconds, repeating the callable until ~MinSeconds elapsed
+/// and dividing (for very fast bodies).
+template <class Fn> double timeStable(Fn &&F, double MinSeconds = 0.2) {
+  unsigned Reps = 1;
+  for (;;) {
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I != Reps; ++I)
+      F();
+    auto T1 = std::chrono::steady_clock::now();
+    double S = std::chrono::duration<double>(T1 - T0).count();
+    if (S >= MinSeconds || Reps >= 1u << 20)
+      return S / Reps;
+    Reps *= 2;
+  }
+}
+
+inline void hr() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+} // namespace harness
+} // namespace ccomp
+
+#endif // CCOMP_HARNESS_CORPUSUTIL_H

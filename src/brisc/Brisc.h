@@ -25,6 +25,7 @@
 
 #include "brisc/Pattern.h"
 #include "support/Error.h"
+#include "support/Span.h"
 #include "vm/Machine.h"
 #include "vm/Program.h"
 
@@ -76,11 +77,11 @@ struct BriscProgram {
   /// Parses a serialized image of unknown provenance. Corrupt input
   /// (truncated, bit-flipped, inflated length fields) yields a typed
   /// DecodeError; no input crashes, hangs, or reads out of bounds.
-  static Result<BriscProgram> parse(const std::vector<uint8_t> &Bytes);
+  static Result<BriscProgram> parse(ByteSpan Bytes);
 
   /// Thin aborting wrapper over parse() for internal callers that only
   /// feed images this library produced itself: corrupt input is fatal.
-  static BriscProgram deserialize(const std::vector<uint8_t> &Bytes);
+  static BriscProgram deserialize(ByteSpan Bytes);
 
   /// Code-segment byte size (dictionary + tables + code + block maps).
   size_t codeSegmentBytes() const { return serialize(false).size(); }

@@ -79,7 +79,7 @@ std::vector<uint8_t> BriscProgram::serialize(bool IncludeData) const {
 
 namespace {
 
-BriscProgram parseOrThrow(const std::vector<uint8_t> &Bytes) {
+BriscProgram parseOrThrow(ByteSpan Bytes) {
   BriscProgram B;
   ByteReader R(Bytes);
   if (R.readU32() != Magic)
@@ -147,12 +147,11 @@ BriscProgram parseOrThrow(const std::vector<uint8_t> &Bytes) {
 
 } // namespace
 
-Result<BriscProgram>
-BriscProgram::parse(const std::vector<uint8_t> &Bytes) {
+Result<BriscProgram> BriscProgram::parse(ByteSpan Bytes) {
   return tryDecode([&] { return parseOrThrow(Bytes); });
 }
 
-BriscProgram BriscProgram::deserialize(const std::vector<uint8_t> &Bytes) {
+BriscProgram BriscProgram::deserialize(ByteSpan Bytes) {
   Result<BriscProgram> R = parse(Bytes);
   if (!R.ok())
     reportFatal(R.error().message());

@@ -270,8 +270,7 @@ void writeDynamicBlock(BitWriter &BW, const std::vector<Token> &Toks) {
 
 } // namespace
 
-std::vector<uint8_t> flate::compress(const std::vector<uint8_t> &Input,
-                                     const Options &Opts) {
+std::vector<uint8_t> flate::compress(ByteSpan Input, const Options &Opts) {
   ByteWriter Frame;
   Frame.writeVarU(Input.size());
 
@@ -311,9 +310,13 @@ std::vector<uint8_t> flate::compress(const std::vector<uint8_t> &Input,
   return Frame.take();
 }
 
+void flate::compressTo(ByteSpan Input, Sink &Out, const Options &Opts) {
+  Out.write(compress(Input, Opts));
+}
+
 namespace {
 
-std::vector<uint8_t> decompressOrThrow(const std::vector<uint8_t> &Input) {
+std::vector<uint8_t> decompressOrThrow(ByteSpan Input) {
   ByteReader Frame(Input);
   size_t OrigSize = Frame.readVarU();
   std::vector<uint8_t> Out;
@@ -330,7 +333,7 @@ std::vector<uint8_t> decompressOrThrow(const std::vector<uint8_t> &Input) {
     return Out;
   }
 
-  BitReader BR(Input.data() + Frame.pos(), Input.size() - Frame.pos());
+  BitReader BR(Frame.rest());
   bool Final = false;
   while (!Final) {
     Final = BR.readBit() != 0;
@@ -385,12 +388,11 @@ std::vector<uint8_t> decompressOrThrow(const std::vector<uint8_t> &Input) {
 
 } // namespace
 
-Result<std::vector<uint8_t>>
-flate::tryDecompress(const std::vector<uint8_t> &Input) {
+Result<std::vector<uint8_t>> flate::tryDecompress(ByteSpan Input) {
   return tryDecode([&] { return decompressOrThrow(Input); });
 }
 
-std::vector<uint8_t> flate::decompress(const std::vector<uint8_t> &Input) {
+std::vector<uint8_t> flate::decompress(ByteSpan Input) {
   Result<std::vector<uint8_t>> R = tryDecompress(Input);
   if (!R.ok())
     reportFatal(R.error().message());

@@ -21,6 +21,7 @@
 #define CCOMP_FLATE_FLATE_H
 
 #include "support/Error.h"
+#include "support/Span.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -39,25 +40,27 @@ struct Options {
   bool Lazy = true;
 };
 
-/// Compresses \p Input. The output is self-framing (records the original
-/// size) and always decodable by decompress().
-std::vector<uint8_t> compress(const std::vector<uint8_t> &Input,
-                              const Options &Opts = Options());
+/// Compresses \p Input (any byte view; vectors convert implicitly). The
+/// output is self-framing (records the original size) and always
+/// decodable by decompress().
+std::vector<uint8_t> compress(ByteSpan Input, const Options &Opts = Options());
+
+/// Compresses \p Input, appending the frame to \p Out (for producers
+/// assembling a larger container around the frame).
+void compressTo(ByteSpan Input, Sink &Out, const Options &Opts = Options());
 
 /// Decompresses a buffer of unknown provenance. Corrupt input (truncated,
 /// bit-flipped, inflated length fields) yields a typed DecodeError; no
 /// input crashes, hangs, or reads out of bounds.
-Result<std::vector<uint8_t>> tryDecompress(const std::vector<uint8_t> &Input);
+Result<std::vector<uint8_t>> tryDecompress(ByteSpan Input);
 
 /// Thin aborting wrapper over tryDecompress() for internal callers that
 /// only feed buffers this library produced itself: corrupt input is a
 /// fatal error.
-std::vector<uint8_t> decompress(const std::vector<uint8_t> &Input);
+std::vector<uint8_t> decompress(ByteSpan Input);
 
 /// Convenience: compressed size in bytes.
-inline size_t compressedSize(const std::vector<uint8_t> &Input) {
-  return compress(Input).size();
-}
+inline size_t compressedSize(ByteSpan Input) { return compress(Input).size(); }
 
 } // namespace flate
 } // namespace ccomp

@@ -1,0 +1,123 @@
+//===- pipeline/Codec.cpp - Codec stats, registry, chain parsing ----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Codec.h"
+
+#include "support/Support.h"
+
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::pipeline;
+
+namespace ccomp {
+namespace pipeline {
+// Defined in Codecs.cpp; called once from the Registry constructor.
+void registerBuiltinCodecs(Registry &R);
+} // namespace pipeline
+} // namespace ccomp
+
+namespace {
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace
+
+std::vector<uint8_t> Codec::compress(ByteSpan Payload) const {
+  uint64_t Start = nowNanos();
+  std::vector<uint8_t> Frame = compressImpl(Payload);
+  CompressNanos.fetch_add(nowNanos() - Start, std::memory_order_relaxed);
+  CompressCalls.fetch_add(1, std::memory_order_relaxed);
+  BytesIn.fetch_add(Payload.size(), std::memory_order_relaxed);
+  BytesOut.fetch_add(Frame.size(), std::memory_order_relaxed);
+  return Frame;
+}
+
+Result<std::vector<uint8_t>> Codec::tryDecompress(ByteSpan Frame) const {
+  uint64_t Start = nowNanos();
+  Result<std::vector<uint8_t>> R = tryDecompressImpl(Frame);
+  DecompressNanos.fetch_add(nowNanos() - Start, std::memory_order_relaxed);
+  DecompressCalls.fetch_add(1, std::memory_order_relaxed);
+  if (!R.ok())
+    DecodeErrors.fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+CodecStats Codec::stats() const {
+  CodecStats S;
+  S.CompressCalls = CompressCalls.load(std::memory_order_relaxed);
+  S.BytesIn = BytesIn.load(std::memory_order_relaxed);
+  S.BytesOut = BytesOut.load(std::memory_order_relaxed);
+  S.DecompressCalls = DecompressCalls.load(std::memory_order_relaxed);
+  S.DecodeErrors = DecodeErrors.load(std::memory_order_relaxed);
+  S.CompressNanos = CompressNanos.load(std::memory_order_relaxed);
+  S.DecompressNanos = DecompressNanos.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Codec::resetStats() const {
+  CompressCalls.store(0, std::memory_order_relaxed);
+  BytesIn.store(0, std::memory_order_relaxed);
+  BytesOut.store(0, std::memory_order_relaxed);
+  DecompressCalls.store(0, std::memory_order_relaxed);
+  DecodeErrors.store(0, std::memory_order_relaxed);
+  CompressNanos.store(0, std::memory_order_relaxed);
+  DecompressNanos.store(0, std::memory_order_relaxed);
+}
+
+Registry &Registry::instance() {
+  static Registry R;
+  return R;
+}
+
+Registry::Registry() { registerBuiltinCodecs(*this); }
+
+void Registry::add(std::unique_ptr<Codec> C) {
+  if (find(C->name()))
+    reportFatal(std::string("pipeline: duplicate codec name '") + C->name() +
+                "'");
+  Codecs.push_back(std::move(C));
+}
+
+const Codec *Registry::find(std::string_view Name) const {
+  for (const std::unique_ptr<Codec> &C : Codecs)
+    if (Name == C->name())
+      return C.get();
+  return nullptr;
+}
+
+std::vector<const Codec *> pipeline::parseChain(std::string_view Spec,
+                                                std::string &Error) {
+  std::vector<const Codec *> Chain;
+  const Registry &R = Registry::instance();
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Plus = Spec.find('+', Pos);
+    if (Plus == std::string_view::npos)
+      Plus = Spec.size();
+    std::string_view Name = Spec.substr(Pos, Plus - Pos);
+    if (Name.empty()) {
+      Error = "empty codec name in chain '" + std::string(Spec) + "'";
+      return {};
+    }
+    const Codec *C = R.find(Name);
+    if (!C) {
+      Error = "unknown codec '" + std::string(Name) + "'";
+      return {};
+    }
+    if (!Chain.empty() && C->payloadKind() != PayloadKind::Raw) {
+      Error = "codec '" + std::string(Name) +
+              "' cannot follow another codec: it does not accept raw bytes";
+      return {};
+    }
+    Chain.push_back(C);
+    Pos = Plus + 1;
+  }
+  return Chain;
+}

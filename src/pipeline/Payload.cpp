@@ -1,0 +1,125 @@
+//===- pipeline/Payload.cpp - Canonical codec payloads --------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Payload.h"
+
+#include "support/ByteIO.h"
+#include "support/Support.h"
+#include "vm/Encode.h"
+#include "wire/Wire.h"
+
+#include <algorithm>
+
+using namespace ccomp;
+using namespace ccomp::pipeline;
+using vm::Instr;
+using vm::VMFunction;
+using vm::VMOp;
+
+namespace {
+constexpr uint32_t ImageMagic = 0x49464343; // "CCFI".
+} // namespace
+
+std::vector<uint8_t> pipeline::encodeFuncImage(const VMFunction &F) {
+  ByteWriter W;
+  W.writeU32(ImageMagic);
+  W.writeStr(F.Name);
+  W.writeVarU(F.FrameSize);
+  W.writeVarU(F.Code.size());
+  for (const Instr &In : F.Code) {
+    Instr Out = In;
+    if (vm::isBranch(In.Op)) {
+      if (In.Target >= F.LabelPos.size())
+        reportFatal("funcimage: branch to an out-of-range label");
+      Out.Target = F.LabelPos[In.Target];
+    }
+    W.writeU8(static_cast<uint8_t>(Out.Op));
+    W.writeU8(Out.Rd);
+    W.writeU8(Out.Rs1);
+    W.writeU8(Out.Rs2);
+    W.writeU32(static_cast<uint32_t>(Out.Imm));
+    W.writeU32(Out.Target);
+  }
+  return W.take();
+}
+
+namespace {
+
+VMFunction decodeFuncImageOrThrow(ByteSpan Bytes) {
+  ByteReader R(Bytes);
+  if (R.readU32() != ImageMagic)
+    decodeFail("funcimage: bad magic");
+  VMFunction F;
+  F.Name = R.readStr();
+  F.FrameSize = static_cast<uint32_t>(R.readVarU());
+  size_t N = R.readVarU();
+  if (N > Bytes.size()) // Each instruction takes at least 12 bytes.
+    decodeFail("funcimage: inflated instruction count");
+  F.Code.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    Instr In;
+    uint8_t Op = R.readU8();
+    if (Op >= static_cast<uint8_t>(VMOp::NumOps))
+      decodeFail("funcimage: bad opcode");
+    In.Op = static_cast<VMOp>(Op);
+    In.Rd = R.readU8();
+    In.Rs1 = R.readU8();
+    In.Rs2 = R.readU8();
+    In.Imm = static_cast<int32_t>(R.readU32());
+    In.Target = R.readU32();
+    F.Code.push_back(In);
+  }
+  if (!R.atEnd())
+    decodeFail("funcimage: trailing bytes");
+
+  // Rebuild the label table: one label per distinct branch-target
+  // instruction index, in instruction order.
+  std::vector<uint32_t> Targets;
+  for (const Instr &In : F.Code)
+    if (vm::isBranch(In.Op)) {
+      if (In.Target >= F.Code.size())
+        decodeFail("funcimage: branch past the end of the function");
+      Targets.push_back(In.Target);
+    }
+  std::sort(Targets.begin(), Targets.end());
+  Targets.erase(std::unique(Targets.begin(), Targets.end()), Targets.end());
+  F.LabelPos = Targets;
+  for (Instr &In : F.Code)
+    if (vm::isBranch(In.Op)) {
+      auto It = std::lower_bound(Targets.begin(), Targets.end(), In.Target);
+      In.Target = static_cast<uint32_t>(It - Targets.begin());
+    }
+  return F;
+}
+
+} // namespace
+
+Result<VMFunction> pipeline::tryDecodeFuncImage(ByteSpan Bytes) {
+  return tryDecode([&] { return decodeFuncImageOrThrow(Bytes); });
+}
+
+std::vector<std::vector<uint8_t>>
+pipeline::makePayloads(const Codec &C, const vm::VMProgram &P,
+                       const ir::Module *M) {
+  std::vector<std::vector<uint8_t>> Items;
+  switch (C.payloadKind()) {
+  case PayloadKind::Raw:
+  case PayloadKind::FixedCode:
+    for (const VMFunction &F : P.Functions)
+      Items.push_back(vm::encodeFunction(F));
+    break;
+  case PayloadKind::FuncImage:
+    for (const VMFunction &F : P.Functions)
+      Items.push_back(encodeFuncImage(F));
+    break;
+  case PayloadKind::Module:
+    if (!M)
+      reportFatal("pipeline: module payload requested without a module");
+    Items.push_back(wire::serializeModule(*M));
+    break;
+  }
+  return Items;
+}

@@ -1,0 +1,57 @@
+//===- pipeline/Payload.h - Canonical codec payloads ------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical byte payloads the codecs compress. Each registered
+/// codec round-trips its payload byte-identically, so the payload — not
+/// the codec's in-memory structures — is the unit the pipeline hashes,
+/// compares, and chains.
+///
+/// The function image is the per-function payload for code compressors:
+/// name, frame size, and the fixed-width code with branch targets
+/// resolved to *instruction indices*. Resolving targets removes the
+/// label table from the format, so compressors that renumber labels
+/// (BRISC rebuilds them from basic-block offsets) still round-trip the
+/// image byte-exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_PIPELINE_PAYLOAD_H
+#define CCOMP_PIPELINE_PAYLOAD_H
+
+#include "ir/IR.h"
+#include "pipeline/Codec.h"
+#include "support/Error.h"
+#include "support/Span.h"
+#include "vm/Program.h"
+
+#include <vector>
+
+namespace ccomp {
+namespace pipeline {
+
+/// Encodes \p F as a canonical function image. Branch targets must be
+/// resolvable through F.LabelPos (a violation is a caller bug).
+std::vector<uint8_t> encodeFuncImage(const vm::VMFunction &F);
+
+/// Decodes a function image of unknown provenance back into a linked
+/// function, rebuilding the label table from the branch targets (one
+/// label per distinct target, in instruction order). Corrupt bytes
+/// yield a typed DecodeError.
+Result<vm::VMFunction> tryDecodeFuncImage(ByteSpan Bytes);
+
+/// Builds the payload list \p C expects from one corpus program: one
+/// payload per function for per-function codecs, a single flat module
+/// container for module codecs. \p M may be null unless the codec takes
+/// Module payloads.
+std::vector<std::vector<uint8_t>> makePayloads(const Codec &C,
+                                               const vm::VMProgram &P,
+                                               const ir::Module *M);
+
+} // namespace pipeline
+} // namespace ccomp
+
+#endif // CCOMP_PIPELINE_PAYLOAD_H

@@ -1,0 +1,128 @@
+//===- pipeline/Pipeline.cpp - Parallel compression driver ----------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "support/ByteIO.h"
+#include "support/Support.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
+
+using namespace ccomp;
+using namespace ccomp::pipeline;
+
+namespace {
+
+constexpr uint32_t PackMagic = 0x4B504343; // "CCPK".
+
+std::vector<uint8_t> compressOne(const std::vector<const Codec *> &Chain,
+                                 const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Cur = Payload;
+  for (const Codec *C : Chain)
+    Cur = C->compress(Cur);
+  return Cur;
+}
+
+Result<std::vector<uint8_t>>
+decompressOne(const std::vector<const Codec *> &Chain,
+              const std::vector<uint8_t> &Frame) {
+  std::vector<uint8_t> Cur = Frame;
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    Result<std::vector<uint8_t>> R = (*It)->tryDecompress(Cur);
+    if (!R.ok())
+      return R;
+    Cur = R.take();
+  }
+  return Cur;
+}
+
+} // namespace
+
+std::vector<std::vector<uint8_t>>
+pipeline::compressAll(const std::vector<const Codec *> &Chain,
+                      const std::vector<std::vector<uint8_t>> &Payloads,
+                      unsigned Jobs) {
+  if (Chain.empty())
+    reportFatal("pipeline: empty codec chain");
+  std::vector<std::vector<uint8_t>> Frames(Payloads.size());
+  if (Jobs <= 1 || Payloads.size() <= 1) {
+    for (size_t I = 0; I != Payloads.size(); ++I)
+      Frames[I] = compressOne(Chain, Payloads[I]);
+    return Frames;
+  }
+  // Each worker writes only its own pre-sized slot, so the result is
+  // byte-identical to the serial loop for any job count.
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Payloads.size(), [&](size_t I) {
+    Frames[I] = compressOne(Chain, Payloads[I]);
+  });
+  return Frames;
+}
+
+Result<std::vector<std::vector<uint8_t>>>
+pipeline::tryDecompressAll(const std::vector<const Codec *> &Chain,
+                           const std::vector<std::vector<uint8_t>> &Frames,
+                           unsigned Jobs) {
+  if (Chain.empty())
+    reportFatal("pipeline: empty codec chain");
+  std::vector<std::vector<uint8_t>> Payloads(Frames.size());
+  std::vector<std::optional<DecodeError>> Errors(Frames.size());
+  auto RunOne = [&](size_t I) {
+    Result<std::vector<uint8_t>> R = decompressOne(Chain, Frames[I]);
+    if (R.ok())
+      Payloads[I] = R.take();
+    else
+      Errors[I] = R.error();
+  };
+  if (Jobs <= 1 || Frames.size() <= 1) {
+    for (size_t I = 0; I != Frames.size(); ++I)
+      RunOne(I);
+  } else {
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(Frames.size(), RunOne);
+  }
+  // Report the lowest-index failure so diagnostics do not depend on
+  // worker scheduling.
+  for (std::optional<DecodeError> &E : Errors)
+    if (E)
+      return *E;
+  return Payloads;
+}
+
+std::vector<uint8_t>
+pipeline::packContainer(const std::string &ChainSpec,
+                        const std::vector<std::vector<uint8_t>> &Frames) {
+  ByteWriter W;
+  W.writeU32(PackMagic);
+  W.writeStr(ChainSpec);
+  W.writeVarU(Frames.size());
+  for (const std::vector<uint8_t> &F : Frames) {
+    W.writeVarU(F.size());
+    W.writeBytes(F);
+  }
+  return W.take();
+}
+
+Result<Container> pipeline::tryUnpackContainer(ByteSpan Bytes) {
+  return tryDecode([&] {
+    ByteReader R(Bytes);
+    if (R.readU32() != PackMagic)
+      decodeFail("container: bad magic");
+    Container C;
+    C.ChainSpec = R.readStr();
+    size_t N = R.readVarU();
+    if (N > Bytes.size())
+      decodeFail("container: inflated frame count");
+    for (size_t I = 0; I != N; ++I) {
+      size_t Len = R.readVarU();
+      C.Frames.push_back(R.readBytes(Len));
+    }
+    if (!R.atEnd())
+      decodeFail("container: trailing bytes");
+    return C;
+  });
+}

@@ -1,0 +1,65 @@
+//===- pipeline/Pipeline.h - Parallel compression driver --------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver that fans per-item compression jobs across a fixed-size
+/// thread pool. Output is deterministic: results land in slots indexed
+/// by item number, so the bytes are identical to a serial run for any
+/// job count, and the first (lowest-index) decode failure is the one
+/// reported.
+///
+/// A packed container ("CCPK") bundles the chain spec and the per-item
+/// frames into one self-describing blob so a tool can decompress without
+/// being told which codecs produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_PIPELINE_PIPELINE_H
+#define CCOMP_PIPELINE_PIPELINE_H
+
+#include "pipeline/Codec.h"
+#include "support/Error.h"
+#include "support/Span.h"
+
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace pipeline {
+
+/// Runs every payload through \p Chain (first codec first), fanning
+/// items across \p Jobs worker threads (<=1 runs serially on the caller
+/// thread). Frame I is the compressed form of payload I.
+std::vector<std::vector<uint8_t>>
+compressAll(const std::vector<const Codec *> &Chain,
+            const std::vector<std::vector<uint8_t>> &Payloads, unsigned Jobs);
+
+/// Inverts compressAll: runs every frame through \p Chain in reverse.
+/// On failure the error of the lowest-index failing frame is returned,
+/// independent of scheduling.
+Result<std::vector<std::vector<uint8_t>>>
+tryDecompressAll(const std::vector<const Codec *> &Chain,
+                 const std::vector<std::vector<uint8_t>> &Frames,
+                 unsigned Jobs);
+
+/// Packs a chain spec and its frames into one self-describing container.
+std::vector<uint8_t> packContainer(const std::string &ChainSpec,
+                                   const std::vector<std::vector<uint8_t>> &Frames);
+
+/// A parsed container: the chain that produced it and the raw frames.
+struct Container {
+  std::string ChainSpec;
+  std::vector<std::vector<uint8_t>> Frames;
+};
+
+/// Parses a container of unknown provenance; corrupt input yields a
+/// typed DecodeError.
+Result<Container> tryUnpackContainer(ByteSpan Bytes);
+
+} // namespace pipeline
+} // namespace ccomp
+
+#endif // CCOMP_PIPELINE_PIPELINE_H

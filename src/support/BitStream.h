@@ -15,6 +15,7 @@
 #define CCOMP_SUPPORT_BITSTREAM_H
 
 #include "support/Error.h"
+#include "support/Span.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -78,6 +79,7 @@ private:
 /// frame boundary and return a typed error.
 class BitReader {
 public:
+  /*implicit*/ BitReader(ByteSpan S) : Data(S.data()), NBytes(S.size()) {}
   BitReader(const uint8_t *Data, size_t N) : Data(Data), NBytes(N) {}
   explicit BitReader(const std::vector<uint8_t> &V)
       : Data(V.data()), NBytes(V.size()) {}

@@ -15,6 +15,7 @@
 #define CCOMP_SUPPORT_BYTEIO_H
 
 #include "support/Error.h"
+#include "support/Span.h"
 #include "support/Support.h"
 
 #include <cassert>
@@ -25,9 +26,14 @@
 
 namespace ccomp {
 
-/// Append-only little-endian byte sink.
-class ByteWriter {
+/// Append-only little-endian byte sink. Implements the generic Sink
+/// interface so producers written against Sink can target a ByteWriter
+/// (and its framing helpers) directly.
+class ByteWriter : public Sink {
 public:
+  using Sink::write;
+  void write(const uint8_t *Data, size_t N) override { writeBytes(Data, N); }
+
   void writeU8(uint8_t V) { Bytes.push_back(V); }
 
   void writeU16(uint16_t V) {
@@ -87,9 +93,13 @@ private:
 /// at the frame boundary and return a typed error.
 class ByteReader {
 public:
+  /*implicit*/ ByteReader(ByteSpan S) : Data(S.data()), N(S.size()) {}
   ByteReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
   explicit ByteReader(const std::vector<uint8_t> &V)
       : Data(V.data()), N(V.size()) {}
+
+  /// The unread remainder as a view.
+  ByteSpan rest() const { return ByteSpan(Data + Pos, N - Pos); }
 
   uint8_t readU8() {
     if (Pos >= N)

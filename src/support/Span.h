@@ -1,0 +1,106 @@
+//===- support/Span.h - Non-owning byte views and byte sinks ----*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two halves of every buffer-handling seam in the project:
+///
+///   - ByteSpan: a non-owning view of input bytes. Every public compress
+///     and decompress entry point (flate, wire, brisc, vm encodings)
+///     takes one, so callers can hand in a whole file, a slice of a
+///     larger container, or a memory-mapped region without copying.
+///     std::vector<uint8_t> converts implicitly, which keeps every
+///     pre-existing vector-based call site source-compatible.
+///
+///   - Sink: an append-only output target. Producers that would
+///     otherwise return an owned vector can write into a caller-chosen
+///     Sink instead (a growing vector, a framing writer, ...), so
+///     multi-stage pipelines avoid intermediate copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_SPAN_H
+#define CCOMP_SUPPORT_SPAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ccomp {
+
+/// Non-owning view of a contiguous byte buffer. Never allocates; the
+/// caller guarantees the underlying storage outlives the span.
+class ByteSpan {
+public:
+  constexpr ByteSpan() = default;
+  constexpr ByteSpan(const uint8_t *Data, size_t N) : Ptr(Data), N(N) {}
+  /*implicit*/ ByteSpan(const std::vector<uint8_t> &V)
+      : Ptr(V.data()), N(V.size()) {}
+
+  constexpr const uint8_t *data() const { return Ptr; }
+  constexpr size_t size() const { return N; }
+  constexpr bool empty() const { return N == 0; }
+
+  constexpr uint8_t operator[](size_t I) const { return Ptr[I]; }
+  constexpr const uint8_t *begin() const { return Ptr; }
+  constexpr const uint8_t *end() const { return Ptr + N; }
+
+  /// Sub-view [Pos, Pos+Len); clamped to the span's end.
+  constexpr ByteSpan subspan(size_t Pos, size_t Len = ~size_t(0)) const {
+    if (Pos > N)
+      Pos = N;
+    size_t Avail = N - Pos;
+    return ByteSpan(Ptr + Pos, Len < Avail ? Len : Avail);
+  }
+  constexpr ByteSpan first(size_t Len) const { return subspan(0, Len); }
+
+  /// Materializes an owned copy (the boundary back into owning code).
+  std::vector<uint8_t> toVector() const {
+    return std::vector<uint8_t>(Ptr, Ptr + N);
+  }
+
+  friend bool operator==(ByteSpan A, ByteSpan B) {
+    return A.N == B.N &&
+           (A.N == 0 || std::memcmp(A.Ptr, B.Ptr, A.N) == 0);
+  }
+  friend bool operator!=(ByteSpan A, ByteSpan B) { return !(A == B); }
+
+private:
+  const uint8_t *Ptr = nullptr;
+  size_t N = 0;
+};
+
+/// Append-only byte output target.
+class Sink {
+public:
+  virtual ~Sink() = default;
+
+  /// Appends \p N bytes.
+  virtual void write(const uint8_t *Data, size_t N) = 0;
+
+  void write(ByteSpan S) { write(S.data(), S.size()); }
+  void writeByte(uint8_t B) { write(&B, 1); }
+};
+
+/// The common Sink: appends into an owned, growable vector.
+class VectorSink final : public Sink {
+public:
+  using Sink::write;
+  void write(const uint8_t *Data, size_t N) override {
+    Bytes.insert(Bytes.end(), Data, Data + N);
+  }
+
+  size_t size() const { return Bytes.size(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_SPAN_H

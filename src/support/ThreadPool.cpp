@@ -1,0 +1,69 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ------------------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace ccomp;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Job));
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  for (size_t I = 0; I != N; ++I)
+    submit([&Body, I] { Body(I); });
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      HasWork.wait(Lock,
+                   [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down with nothing left to run.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Active;
+    }
+    Idle.notify_all();
+  }
+}

@@ -1,0 +1,67 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for fanning independent jobs (one
+/// compression unit per job) across cores. Deliberately minimal: FIFO
+/// queue, no work stealing, no futures — callers that need results
+/// write into pre-sized slots indexed by job number, which is what keeps
+/// parallel output byte-identical to serial execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_THREADPOOL_H
+#define CCOMP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccomp {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. Zero is clamped to one.
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues a job. Jobs must not throw: exceptions must be captured by
+  /// the job itself (a job that lets one escape terminates the process).
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  /// Runs \p Body(I) for I in [0, N), fanned across the pool, and waits.
+  /// Iterations must be independent; each must capture its own errors.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable HasWork; ///< Signalled on submit/shutdown.
+  std::condition_variable Idle;    ///< Signalled when a job finishes.
+  size_t Active = 0;               ///< Jobs currently executing.
+  bool ShuttingDown = false;
+};
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_THREADPOOL_H

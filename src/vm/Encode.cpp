@@ -127,7 +127,7 @@ std::vector<uint8_t> vm::encodeFunction(const VMFunction &F) {
 
 namespace {
 
-std::vector<Instr> decodeFunctionOrThrow(const std::vector<uint8_t> &Bytes) {
+std::vector<Instr> decodeFunctionOrThrow(ByteSpan Bytes) {
   std::vector<Instr> Out;
   size_t Pos = 0;
   auto ReadExt = [&]() {
@@ -193,12 +193,11 @@ std::vector<Instr> decodeFunctionOrThrow(const std::vector<uint8_t> &Bytes) {
 
 } // namespace
 
-Result<std::vector<Instr>>
-vm::tryDecodeFunction(const std::vector<uint8_t> &Bytes) {
+Result<std::vector<Instr>> vm::tryDecodeFunction(ByteSpan Bytes) {
   return tryDecode([&] { return decodeFunctionOrThrow(Bytes); });
 }
 
-std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
+std::vector<Instr> vm::decodeFunction(ByteSpan Bytes) {
   Result<std::vector<Instr>> R = tryDecodeFunction(Bytes);
   if (!R.ok())
     reportFatal(R.error().message());
@@ -206,12 +205,14 @@ std::vector<Instr> vm::decodeFunction(const std::vector<uint8_t> &Bytes) {
 }
 
 std::vector<uint8_t> vm::encodeProgram(const VMProgram &P) {
-  std::vector<uint8_t> Out;
-  for (const VMFunction &F : P.Functions) {
-    std::vector<uint8_t> B = encodeFunction(F);
-    Out.insert(Out.end(), B.begin(), B.end());
-  }
-  return Out;
+  VectorSink Out;
+  encodeProgramTo(P, Out);
+  return Out.take();
+}
+
+void vm::encodeProgramTo(const VMProgram &P, Sink &Out) {
+  for (const VMFunction &F : P.Functions)
+    Out.write(encodeFunction(F));
 }
 
 CodeLayout vm::nativeLayout(const VMProgram &P) {
@@ -307,8 +308,7 @@ std::vector<uint8_t> vm::encodeFunctionCompact(const VMFunction &F) {
 
 namespace {
 
-std::vector<Instr>
-decodeFunctionCompactOrThrow(const std::vector<uint8_t> &Bytes) {
+std::vector<Instr> decodeFunctionCompactOrThrow(ByteSpan Bytes) {
   ByteReader R(Bytes);
   std::vector<Instr> Out;
   while (!R.atEnd()) {
@@ -344,13 +344,11 @@ decodeFunctionCompactOrThrow(const std::vector<uint8_t> &Bytes) {
 
 } // namespace
 
-Result<std::vector<Instr>>
-vm::tryDecodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+Result<std::vector<Instr>> vm::tryDecodeFunctionCompact(ByteSpan Bytes) {
   return tryDecode([&] { return decodeFunctionCompactOrThrow(Bytes); });
 }
 
-std::vector<Instr>
-vm::decodeFunctionCompact(const std::vector<uint8_t> &Bytes) {
+std::vector<Instr> vm::decodeFunctionCompact(ByteSpan Bytes) {
   Result<std::vector<Instr>> R = tryDecodeFunctionCompact(Bytes);
   if (!R.ok())
     reportFatal(R.error().message());

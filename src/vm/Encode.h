@@ -17,6 +17,7 @@
 #define CCOMP_VM_ENCODE_H
 
 #include "support/Error.h"
+#include "support/Span.h"
 #include "vm/Machine.h"
 #include "vm/Program.h"
 
@@ -32,14 +33,18 @@ std::vector<uint8_t> encodeFunction(const VMFunction &F);
 /// Decodes a function body of unknown provenance. Corrupt bytes yield a
 /// typed DecodeError. Label positions are not part of the encoding; pass
 /// the original count so the caller can re-attach them.
-Result<std::vector<Instr>> tryDecodeFunction(const std::vector<uint8_t> &Bytes);
+Result<std::vector<Instr>> tryDecodeFunction(ByteSpan Bytes);
 
 /// Thin aborting wrapper over tryDecodeFunction() for internal callers
 /// round-tripping buffers produced by encodeFunction.
-std::vector<Instr> decodeFunction(const std::vector<uint8_t> &Bytes);
+std::vector<Instr> decodeFunction(ByteSpan Bytes);
 
 /// Concatenated encoding of every function (the program's code segment).
 std::vector<uint8_t> encodeProgram(const VMProgram &P);
+
+/// Same, appending into \p Out without the intermediate whole-program
+/// buffer.
+void encodeProgramTo(const VMProgram &P, Sink &Out);
 
 /// Byte size of the encoded form of \p In (4 or 8).
 unsigned encodedSize(const Instr &In);
@@ -65,12 +70,11 @@ std::vector<uint8_t> encodeFunctionCompact(const VMFunction &F);
 
 /// Decodes a compact function body of unknown provenance; corrupt bytes
 /// yield a typed DecodeError.
-Result<std::vector<Instr>>
-tryDecodeFunctionCompact(const std::vector<uint8_t> &Bytes);
+Result<std::vector<Instr>> tryDecodeFunctionCompact(ByteSpan Bytes);
 
 /// Thin aborting wrapper over tryDecodeFunctionCompact() (round-trip
 /// check for internally produced buffers).
-std::vector<Instr> decodeFunctionCompact(const std::vector<uint8_t> &Bytes);
+std::vector<Instr> decodeFunctionCompact(ByteSpan Bytes);
 
 /// Compact encoding of the whole program's code segment.
 std::vector<uint8_t> encodeProgramCompact(const VMProgram &P);

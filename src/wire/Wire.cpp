@@ -41,7 +41,8 @@ using ir::TypeSuffix;
 
 namespace {
 
-constexpr uint32_t Magic = 0x46574343; // "CCWF".
+constexpr uint32_t Magic = 0x46574343;     // "CCWF".
+constexpr uint32_t FlatMagic = 0x4D464343; // "CCFM" (flat module).
 constexpr uint8_t PatternStreamKey = 0xFF;
 
 //===----------------------------------------------------------------------===//
@@ -378,6 +379,114 @@ const uint8_t *rebuildTree(ir::Function &F, const uint8_t *Shape,
   return Shape;
 }
 
+//===----------------------------------------------------------------------===//
+// Flat module container (shared by the Naive level and serializeModule)
+//===----------------------------------------------------------------------===//
+
+/// Appends the flat body: structure table, then per tree its shape and
+/// literals inline.
+void writeFlatBody(const ir::Module &M, ByteWriter &W) {
+  W.writeBytes(buildStructure(M));
+  for (const auto &F : M.Functions) {
+    for (const Tree *T : F->Forest) {
+      std::vector<uint8_t> Shape;
+      shapeOf(T, Shape);
+      W.writeVarU(Shape.size() / 2);
+      W.writeBytes(Shape);
+      // Literals inline, grouped by op key in prefix order.
+      std::map<uint8_t, std::vector<uint64_t>> Tmp;
+      collectLiterals(T, Tmp);
+      for (auto &[K, Vs] : Tmp)
+        for (uint64_t V : Vs) {
+          (void)K;
+          W.writeVarU(V);
+        }
+    }
+  }
+}
+
+/// Reads the structure table into \p M; forest sizes go to
+/// \p ForestSizes (one per function).
+void readStructure(ByteReader &SR, ir::Module &M,
+                   std::vector<size_t> &ForestSizes) {
+  size_t NSyms = SR.readVarU();
+  for (size_t I = 0; I != NSyms; ++I) {
+    ir::Symbol S;
+    S.Name = SR.readStr();
+    S.IsFunction = SR.readU8() != 0;
+    M.Symbols.push_back(std::move(S));
+  }
+  size_t NGlobals = SR.readVarU();
+  for (size_t I = 0; I != NGlobals; ++I) {
+    ir::Global G;
+    G.SymbolIndex = static_cast<uint32_t>(SR.readVarU());
+    G.Size = static_cast<uint32_t>(SR.readVarU());
+    G.Align = static_cast<uint32_t>(SR.readVarU());
+    size_t InitLen = SR.readVarU();
+    G.Init = SR.readBytes(InitLen);
+    M.Globals.push_back(std::move(G));
+  }
+  size_t NFuncs = SR.readVarU();
+  for (size_t I = 0; I != NFuncs; ++I) {
+    std::string Name = SR.readStr();
+    ir::Function *F =
+        M.Functions.emplace_back(std::make_unique<ir::Function>(Name))
+            .get();
+    F->FrameSize = static_cast<uint32_t>(SR.readVarU());
+    F->ParamBytes = static_cast<uint32_t>(SR.readVarU());
+    F->NumLabels = static_cast<uint32_t>(SR.readVarU());
+    size_t NSlots = SR.readVarU();
+    for (size_t K = 0; K != NSlots; ++K)
+      F->ParamSlots.push_back(static_cast<uint32_t>(SR.readVarU()));
+    ForestSizes.push_back(SR.readVarU());
+  }
+}
+
+/// Parses a flat body; returns nullptr and sets \p Error on corruption.
+std::unique_ptr<ir::Module> readFlatBody(ByteReader &SR,
+                                         std::string &Error) {
+  auto M = std::make_unique<ir::Module>();
+  std::vector<size_t> ForestSizes;
+  readStructure(SR, *M, ForestSizes);
+  for (size_t FI = 0; FI != M->Functions.size(); ++FI) {
+    ir::Function &F = *M->Functions[FI];
+    for (size_t TI = 0; TI != ForestSizes[FI]; ++TI) {
+      size_t Nodes = SR.readVarU();
+      // Guard the Nodes * 2 byte count against overflow/inflation.
+      if (Nodes > SR.remaining() / 2) {
+        Error = "corrupt shape size";
+        return nullptr;
+      }
+      std::vector<uint8_t> Shape = SR.readBytes(Nodes * 2);
+      // Literals were written grouped by op key in prefix-order within
+      // each key; reconstruct with the same grouping.
+      std::map<uint8_t, std::vector<uint64_t>> Lits;
+      // First pass: count literals per op from the shape.
+      for (size_t K = 0; K != Nodes; ++K) {
+        Op O = static_cast<Op>(Shape[K * 2]);
+        if (O >= Op::NumOps) {
+          Error = "corrupt shape";
+          return nullptr;
+        }
+        if (ir::hasLiteral(O))
+          Lits[static_cast<uint8_t>(O)].push_back(0);
+      }
+      for (auto &[K, Vs] : Lits)
+        for (uint64_t &V : Vs) {
+          (void)K;
+          V = SR.readVarU();
+        }
+      std::map<uint8_t, size_t> LitPos;
+      Tree *T = nullptr;
+      const uint8_t *End = Shape.data() + Shape.size();
+      if (!rebuildTree(F, Shape.data(), End, Lits, LitPos, T, Error))
+        return nullptr;
+      F.Forest.push_back(T);
+    }
+  }
+  return M;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -434,23 +543,7 @@ std::vector<uint8_t> wire::compress(const ir::Module &M, Pipeline P,
   if (P == Pipeline::Naive) {
     // Single stream: structure, shapes inline per tree, literals inline.
     ByteWriter W;
-    W.writeBytes(Structure);
-    for (const auto &F : M.Functions) {
-      for (const Tree *T : F->Forest) {
-        std::vector<uint8_t> Shape;
-        shapeOf(T, Shape);
-        W.writeVarU(Shape.size() / 2);
-        W.writeBytes(Shape);
-        // Literals inline, prefix order.
-        std::map<uint8_t, std::vector<uint64_t>> Tmp;
-        collectLiterals(T, Tmp);
-        for (auto &[K, Vs] : Tmp)
-          for (uint64_t V : Vs) {
-            (void)K;
-            W.writeVarU(V);
-          }
-      }
-    }
+    writeFlatBody(M, W);
     File.writeVarU(1);
     AddStream("all", 0xFE, W.take());
   } else {
@@ -478,8 +571,8 @@ std::vector<uint8_t> wire::compress(const ir::Module &M, Pipeline P,
 
 namespace {
 
-std::unique_ptr<ir::Module>
-decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
+std::unique_ptr<ir::Module> decompressImpl(ByteSpan Bytes,
+                                           std::string &Error) {
   ByteReader R(Bytes);
   if (R.remaining() < 5 || R.readU32() != Magic) {
     Error = "bad wire magic";
@@ -504,45 +597,6 @@ decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
     Raw[Key] = Z.take();
   }
 
-  auto M = std::make_unique<ir::Module>();
-
-  // --- Structure ---------------------------------------------------------
-  auto ReadStructure = [&](ByteReader &SR,
-                           std::vector<size_t> &ForestSizes) {
-    size_t NSyms = SR.readVarU();
-    for (size_t I = 0; I != NSyms; ++I) {
-      ir::Symbol S;
-      S.Name = SR.readStr();
-      S.IsFunction = SR.readU8() != 0;
-      M->Symbols.push_back(std::move(S));
-    }
-    size_t NGlobals = SR.readVarU();
-    for (size_t I = 0; I != NGlobals; ++I) {
-      ir::Global G;
-      G.SymbolIndex = static_cast<uint32_t>(SR.readVarU());
-      G.Size = static_cast<uint32_t>(SR.readVarU());
-      G.Align = static_cast<uint32_t>(SR.readVarU());
-      size_t InitLen = SR.readVarU();
-      G.Init = SR.readBytes(InitLen);
-      M->Globals.push_back(std::move(G));
-    }
-    size_t NFuncs = SR.readVarU();
-    for (size_t I = 0; I != NFuncs; ++I) {
-      std::string Name = SR.readStr();
-      ir::Function *F = M->Functions
-                            .emplace_back(std::make_unique<ir::Function>(
-                                Name))
-                            .get();
-      F->FrameSize = static_cast<uint32_t>(SR.readVarU());
-      F->ParamBytes = static_cast<uint32_t>(SR.readVarU());
-      F->NumLabels = static_cast<uint32_t>(SR.readVarU());
-      size_t NSlots = SR.readVarU();
-      for (size_t K = 0; K != NSlots; ++K)
-        F->ParamSlots.push_back(static_cast<uint32_t>(SR.readVarU()));
-      ForestSizes.push_back(SR.readVarU());
-    }
-  };
-
   if (P == Pipeline::Naive) {
     auto It = Raw.find(0xFE);
     if (It == Raw.end()) {
@@ -550,46 +604,10 @@ decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
       return nullptr;
     }
     ByteReader SR(It->second);
-    std::vector<size_t> ForestSizes;
-    ReadStructure(SR, ForestSizes);
-    for (size_t FI = 0; FI != M->Functions.size(); ++FI) {
-      ir::Function &F = *M->Functions[FI];
-      for (size_t TI = 0; TI != ForestSizes[FI]; ++TI) {
-        size_t Nodes = SR.readVarU();
-        // Guard the Nodes * 2 byte count against overflow/inflation.
-        if (Nodes > SR.remaining() / 2) {
-          Error = "corrupt shape size";
-          return nullptr;
-        }
-        std::vector<uint8_t> Shape = SR.readBytes(Nodes * 2);
-        // Literals were written grouped by op key in prefix-order within
-        // each key; reconstruct with the same grouping.
-        std::map<uint8_t, std::vector<uint64_t>> Lits;
-        // First pass: count literals per op from the shape.
-        for (size_t K = 0; K != Nodes; ++K) {
-          Op O = static_cast<Op>(Shape[K * 2]);
-          if (O >= Op::NumOps) {
-            Error = "corrupt shape";
-            return nullptr;
-          }
-          if (ir::hasLiteral(O))
-            Lits[static_cast<uint8_t>(O)].push_back(0);
-        }
-        for (auto &[K, Vs] : Lits)
-          for (uint64_t &V : Vs) {
-            (void)K;
-            V = SR.readVarU();
-          }
-        std::map<uint8_t, size_t> LitPos;
-        Tree *T = nullptr;
-        const uint8_t *End = Shape.data() + Shape.size();
-        if (!rebuildTree(F, Shape.data(), End, Lits, LitPos, T, Error))
-          return nullptr;
-        F.Forest.push_back(T);
-      }
-    }
-    return M;
+    return readFlatBody(SR, Error);
   }
+
+  auto M = std::make_unique<ir::Module>();
 
   // --- Split-stream levels ------------------------------------------------
   auto Need = [&](uint8_t Key) -> std::vector<uint8_t> * {
@@ -610,7 +628,7 @@ decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
   std::vector<size_t> ForestSizes;
   {
     ByteReader SR(*Structure);
-    ReadStructure(SR, ForestSizes);
+    readStructure(SR, *M, ForestSizes);
   }
 
   // Shape dictionary.
@@ -669,8 +687,8 @@ decompressImpl(const std::vector<uint8_t> &Bytes, std::string &Error) {
 
 } // namespace
 
-std::unique_ptr<ir::Module>
-wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
+std::unique_ptr<ir::Module> wire::decompress(ByteSpan Bytes,
+                                             std::string &Error) {
   // The readers throw DecodeError on truncated or inflated fields; this
   // frame boundary converts every such failure into the (nullptr, Error)
   // contract so no malformed container can abort the process.
@@ -685,4 +703,34 @@ wire::decompress(const std::vector<uint8_t> &Bytes, std::string &Error) {
     Error = "wire: length overflow";
   }
   return nullptr;
+}
+
+void wire::compressTo(const ir::Module &M, Sink &Out, Pipeline P,
+                      Stats *StatsOut) {
+  Out.write(compress(M, P, StatsOut));
+}
+
+//===----------------------------------------------------------------------===//
+// Flat module container (public entry points)
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> wire::serializeModule(const ir::Module &M) {
+  ByteWriter W;
+  W.writeU32(FlatMagic);
+  writeFlatBody(M, W);
+  return W.take();
+}
+
+Result<std::unique_ptr<ir::Module>>
+wire::tryDeserializeModule(ByteSpan Bytes) {
+  return tryDecode([&]() -> std::unique_ptr<ir::Module> {
+    ByteReader R(Bytes);
+    if (R.readU32() != FlatMagic)
+      decodeFail("flat module: bad magic");
+    std::string Error;
+    std::unique_ptr<ir::Module> M = readFlatBody(R, Error);
+    if (!M)
+      decodeFail("flat module: " + Error);
+    return M;
+  });
 }

@@ -23,6 +23,8 @@
 #define CCOMP_WIRE_WIRE_H
 
 #include "ir/IR.h"
+#include "support/Error.h"
+#include "support/Span.h"
 
 #include <cstdint>
 #include <memory>
@@ -59,11 +61,24 @@ std::vector<uint8_t> compress(const ir::Module &M,
                               Pipeline P = Pipeline::Full,
                               Stats *Out = nullptr);
 
+/// Compresses \p M, appending the wire file to \p Out.
+void compressTo(const ir::Module &M, Sink &Out,
+                Pipeline P = Pipeline::Full, Stats *Stats = nullptr);
+
 /// Decompresses a wire file. Malformed input of any kind — truncated,
 /// bit-flipped, inflated length fields — returns nullptr and sets
 /// \p Error; no input aborts the process.
-std::unique_ptr<ir::Module> decompress(const std::vector<uint8_t> &Bytes,
-                                       std::string &Error);
+std::unique_ptr<ir::Module> decompress(ByteSpan Bytes, std::string &Error);
+
+/// Serializes \p M into the plain (uncompressed) flat module container:
+/// the structure table followed by each tree's shape and literals. This
+/// is the wire codec's canonical byte payload — deterministic, and
+/// byte-identical after a compress/decompress round trip.
+std::vector<uint8_t> serializeModule(const ir::Module &M);
+
+/// Parses a flat module container of unknown provenance. Corrupt input
+/// yields a typed DecodeError.
+Result<std::unique_ptr<ir::Module>> tryDeserializeModule(ByteSpan Bytes);
 
 } // namespace wire
 } // namespace ccomp

@@ -3,10 +3,18 @@
 // Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// gtest-flavored wrappers over the shared corpus helpers in
+/// harness/CorpusUtil.h: same pipeline, but front-end and codegen
+/// failures become test failures instead of aborts.
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef CCOMP_TESTS_TESTUTIL_H
 #define CCOMP_TESTS_TESTUTIL_H
 
+#include "CorpusUtil.h"
 #include "codegen/Codegen.h"
 #include "minic/Compile.h"
 #include "vm/Machine.h"
@@ -17,6 +25,10 @@
 
 namespace ccomp {
 namespace test {
+
+using harness::suiteModule;
+using harness::suiteProgram;
+using harness::syntheticSource;
 
 /// Compiles C source to IR, failing the test on a front-end error.
 inline std::unique_ptr<ir::Module> compileC(const std::string &Src) {
@@ -44,75 +56,6 @@ inline vm::RunResult runC(const std::string &Src,
   vm::RunResult R = vm::runProgram(P);
   EXPECT_TRUE(R.Ok) << "run trapped: " << R.Trap;
   return R;
-}
-
-/// Builds a structurally varied C source with \p NumFuncs functions, big
-/// enough for the compressors to amortize their dictionaries. Constants
-/// come from small pools (real programs reuse a few favorite literals).
-inline std::string syntheticSource(unsigned NumFuncs) {
-  std::string Src = "int acc;\nint buf[256];\nchar bytes[512];\n";
-  for (unsigned I = 0; I != NumFuncs; ++I) {
-    std::string N = std::to_string(I);
-    static const int Pool1[] = {1, 2, 4, 8, 16, 32, 100, 255};
-    std::string K1 = std::to_string(Pool1[(I * 7 + 3) % 8]);
-    std::string K2 = std::to_string(1 + I % 8);
-    std::string K3 = std::to_string((I % 16) * 4);
-    switch (I % 6) {
-    case 0:
-      Src += "int work" + N + "(int a, int b) {\n"
-             "  int i, s = " + K1 + ";\n"
-             "  for (i = 0; i < a; i++) s += buf[(i + b) & 255] * " + K2 +
-             ";\n  acc += s;\n  return s;\n}\n";
-      break;
-    case 1:
-      Src += "int work" + N + "(int a, int b) {\n"
-             "  int s = a, n = 0;\n"
-             "  while (s > " + K1 + " && n++ < 40) s = s / 2 + b % " + K2 +
-             ";\n"
-             "  bytes[" + K3 + "] = s;\n  return s + bytes[" + K3 +
-             "];\n}\n";
-      break;
-    case 2:
-      Src += "int work" + N + "(int a, int b) {\n"
-             "  if (a < b) return work" + std::to_string(I ? I - 1 : 0) +
-             "(b, a);\n"
-             "  switch (a & 3) {\n"
-             "  case 0: return a + " + K1 + ";\n"
-             "  case 1: return a - b;\n"
-             "  case 2: return a * " + K2 + ";\n"
-             "  default: return a ^ b;\n  }\n}\n";
-      break;
-    case 3:
-      Src += "unsigned work" + N + "(unsigned a, unsigned b) {\n"
-             "  unsigned h = " + K1 + "u, n = 0;\n"
-             "  do { h = (h << 5) ^ (h >> 3) ^ a; a = a / 2 + b % " + K2 +
-             "; } while (a > " + K3 + " && ++n < 48u);\n"
-             "  return h;\n}\n";
-      break;
-    case 4:
-      Src += "int work" + N + "(int n, int d) {\n"
-             "  int i, j, t = 0;\n"
-             "  for (i = 1; i <= n % 9 + 2; i++)\n"
-             "    for (j = i; j; j--) t += i * j - d + " + K1 + ";\n"
-             "  buf[" + std::to_string(I % 256) + "] = t;\n"
-             "  return t;\n}\n";
-      break;
-    default:
-      Src += "int work" + N + "(int a, int b) {\n"
-             "  int *p = &buf[a & 127];\n"
-             "  *p = b + " + K1 + ";\n"
-             "  p[1] = *p - " + K2 + ";\n"
-             "  return p[0] + p[1] + acc % " + K2 + ";\n}\n";
-      break;
-    }
-  }
-  Src += "int main(void) {\n  int r = 0;\n";
-  for (unsigned I = 0; I != NumFuncs; ++I)
-    Src += "  r += work" + std::to_string(I) + "(" +
-           std::to_string(I % 13 + 1) + ", " + std::to_string(I % 5 + 1) +
-           ");\n";
-  Src += "  return r & 255;\n}\n";
-  return Src;
 }
 
 } // namespace test
