@@ -23,10 +23,31 @@
 #include "brisc/Interp.h"
 #include "native/Threaded.h"
 #include "sim/Paging.h"
+#include "store/CodeStore.h"
+#include "store/Resolver.h"
 #include "vm/Encode.h"
 
 using namespace ccomp;
 using namespace ccomp::bench;
+
+namespace {
+
+/// A layout that maps every instruction of function I to "page" I, so a
+/// PageSize=1 run records a function-granularity reference string — the
+/// trace the store's per-function cache actually sees.
+vm::CodeLayout functionLayout(const vm::VMProgram &P) {
+  vm::CodeLayout L;
+  L.FuncBase.reserve(P.Functions.size());
+  L.InstrOff.reserve(P.Functions.size());
+  for (size_t I = 0; I != P.Functions.size(); ++I) {
+    L.FuncBase.push_back(static_cast<uint32_t>(I));
+    L.InstrOff.emplace_back(P.Functions[I].Code.size(), 0u);
+  }
+  L.TotalBytes = static_cast<uint32_t>(P.Functions.size());
+  return L;
+}
+
+} // namespace
 
 int main() {
   const uint32_t PageSize = 512;
@@ -91,5 +112,80 @@ int main() {
               "form wins (fewer, denser\npages to fault); with ample "
               "memory and a warm cache native wins (only the\n"
               "interpretation overhead remains)\n");
+
+  // Second act: the simulator's prediction against the real thing. The
+  // decode-on-fault CodeStore executes the same program with function
+  // bodies faulted in from compressed frames under a byte budget; the
+  // simulator replays a function-granularity reference string through a
+  // uniform-slot LRU. Store misses should track predicted faults, with
+  // the gap owed to unequal function sizes.
+  const char *ChainSpec = "brisc+flate";
+  std::string Err;
+  std::unique_ptr<store::CodeStore> Built =
+      store::CodeStore::build(P, ChainSpec, store::StoreOptions(), Err);
+  if (!Built)
+    reportFatal("store build failed: " + Err);
+  std::vector<uint8_t> Image = Built->save();
+
+  vm::CodeLayout FL = functionLayout(P);
+  vm::RunOptions FOpts;
+  FOpts.Layout = &FL;
+  FOpts.PageSize = 1;
+  vm::RunResult FR = vm::runProgram(P, FOpts);
+  if (!FR.Ok)
+    reportFatal("function-trace run failed");
+
+  size_t DecodedBytes = 0;
+  for (const vm::VMFunction &F : P.Functions)
+    DecodedBytes += store::decodedCostBytes(F);
+  size_t MeanCost = DecodedBytes / P.Functions.size();
+
+  std::printf("\nDecode-on-fault store vs simulator (chain %s, %zu funcs, "
+              "%zu -> %zu bytes)\n",
+              ChainSpec, P.Functions.size(), DecodedBytes,
+              Built->frameBytes());
+  std::printf("%8s %12s | %10s %10s | %10s %10s %12s\n", "resident",
+              "budget B", "sim fault", "real miss", "hit rate", "decode ms",
+              "est total s");
+  hr();
+  for (unsigned Resident : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (Resident > P.Functions.size())
+      break;
+    uint64_t SimFaults = sim::simulateLRU(FR.PageTrace, Resident).Faults;
+
+    store::StoreOptions SO;
+    SO.Shards = 1; // One LRU list, same policy shape as the simulator.
+    SO.CacheBudgetBytes = Resident * MeanCost;
+    Result<std::unique_ptr<store::CodeStore>> L =
+        store::CodeStore::tryLoad(Image, SO);
+    if (!L.ok())
+      reportFatal("store load failed: " + L.error().message());
+    std::unique_ptr<store::CodeStore> S = L.take();
+
+    vm::RunResult R;
+    double Cpu = timeIt([&] { R = store::runFromStore(*S); });
+    if (!R.Ok || R.Output != NR.Output || R.ExitCode != NR.ExitCode)
+      reportFatal("store-backed run diverged: " + R.Trap);
+    store::StoreStats St = S->stats();
+    sim::TotalTime T =
+        sim::storeTotalTime(Cpu, St.Misses, St.DecodeNanos, Disk);
+    std::printf("%8u %12zu | %10llu %10llu | %9.1f%% %10.2f %12.3f\n",
+                Resident, SO.CacheBudgetBytes,
+                (unsigned long long)SimFaults, (unsigned long long)St.Misses,
+                St.hitRate() * 100, double(St.DecodeNanos) / 1e6, T.total());
+    // One machine-readable line per configuration for harness scripts.
+    std::printf("CCOMP-STATS {\"bench\":\"paging_store\",\"chain\":\"%s\","
+                "\"resident_funcs\":%u,\"budget_bytes\":%zu,\"faults\":%llu,"
+                "\"hits\":%llu,\"hit_rate\":%.4f,\"decodes\":%llu,"
+                "\"evictions\":%llu,\"decode_ms\":%.3f,\"cpu_s\":%.4f,"
+                "\"est_total_s\":%.4f,\"sim_faults\":%llu}\n",
+                ChainSpec, Resident, SO.CacheBudgetBytes,
+                (unsigned long long)St.Misses, (unsigned long long)St.Hits,
+                St.hitRate(), (unsigned long long)St.Decodes,
+                (unsigned long long)St.Evictions,
+                double(St.DecodeNanos) / 1e6, Cpu, T.total(),
+                (unsigned long long)SimFaults);
+  }
+  hr();
   return 0;
 }

@@ -78,7 +78,9 @@ void printStats(const std::vector<const Codec *> &Chain) {
   std::printf("%-12s %8s %12s %12s %7s %8s %9s\n", "codec", "calls", "in",
               "out", "ratio", "errors", "ms");
   for (const Codec *C : Chain) {
-    CodecStats S = C->stats();
+    // snapshot() re-reads until the counter set is mutually consistent;
+    // never read the individual atomics piecemeal in output paths.
+    CodecStats S = C->snapshot();
     double Ratio = S.BytesIn ? double(S.BytesOut) / double(S.BytesIn) : 0.0;
     double Ms = double(S.CompressNanos + S.DecompressNanos) / 1e6;
     std::printf("%-12s %8llu %12llu %12llu %7.3f %8llu %9.2f\n", C->name(),

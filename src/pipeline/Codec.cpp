@@ -32,33 +32,46 @@ uint64_t nowNanos() {
 std::vector<uint8_t> Codec::compress(ByteSpan Payload) const {
   uint64_t Start = nowNanos();
   std::vector<uint8_t> Frame = compressImpl(Payload);
-  CompressNanos.fetch_add(nowNanos() - Start, std::memory_order_relaxed);
-  CompressCalls.fetch_add(1, std::memory_order_relaxed);
-  BytesIn.fetch_add(Payload.size(), std::memory_order_relaxed);
-  BytesOut.fetch_add(Frame.size(), std::memory_order_relaxed);
+  CompressNanos.fetch_add(nowNanos() - Start, std::memory_order_release);
+  CompressCalls.fetch_add(1, std::memory_order_release);
+  BytesIn.fetch_add(Payload.size(), std::memory_order_release);
+  BytesOut.fetch_add(Frame.size(), std::memory_order_release);
   return Frame;
 }
 
 Result<std::vector<uint8_t>> Codec::tryDecompress(ByteSpan Frame) const {
   uint64_t Start = nowNanos();
   Result<std::vector<uint8_t>> R = tryDecompressImpl(Frame);
-  DecompressNanos.fetch_add(nowNanos() - Start, std::memory_order_relaxed);
-  DecompressCalls.fetch_add(1, std::memory_order_relaxed);
+  DecompressNanos.fetch_add(nowNanos() - Start, std::memory_order_release);
+  DecompressCalls.fetch_add(1, std::memory_order_release);
   if (!R.ok())
-    DecodeErrors.fetch_add(1, std::memory_order_relaxed);
+    DecodeErrors.fetch_add(1, std::memory_order_release);
   return R;
 }
 
-CodecStats Codec::stats() const {
-  CodecStats S;
-  S.CompressCalls = CompressCalls.load(std::memory_order_relaxed);
-  S.BytesIn = BytesIn.load(std::memory_order_relaxed);
-  S.BytesOut = BytesOut.load(std::memory_order_relaxed);
-  S.DecompressCalls = DecompressCalls.load(std::memory_order_relaxed);
-  S.DecodeErrors = DecodeErrors.load(std::memory_order_relaxed);
-  S.CompressNanos = CompressNanos.load(std::memory_order_relaxed);
-  S.DecompressNanos = DecompressNanos.load(std::memory_order_relaxed);
-  return S;
+CodecStats Codec::snapshot() const {
+  auto ReadAll = [this] {
+    CodecStats S;
+    S.CompressCalls = CompressCalls.load(std::memory_order_acquire);
+    S.BytesIn = BytesIn.load(std::memory_order_acquire);
+    S.BytesOut = BytesOut.load(std::memory_order_acquire);
+    S.DecompressCalls = DecompressCalls.load(std::memory_order_acquire);
+    S.DecodeErrors = DecodeErrors.load(std::memory_order_acquire);
+    S.CompressNanos = CompressNanos.load(std::memory_order_acquire);
+    S.DecompressNanos = DecompressNanos.load(std::memory_order_acquire);
+    return S;
+  };
+  // Two identical consecutive passes prove no update landed mid-read.
+  // Under sustained concurrent traffic there is no consistent value to
+  // report; after a few tries return the freshest pass.
+  CodecStats Prev = ReadAll();
+  for (int Try = 0; Try != 8; ++Try) {
+    CodecStats Cur = ReadAll();
+    if (Cur == Prev)
+      return Cur;
+    Prev = Cur;
+  }
+  return Prev;
 }
 
 void Codec::resetStats() const {

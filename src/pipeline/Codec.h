@@ -58,6 +58,14 @@ struct CodecStats {
   uint64_t DecodeErrors = 0;  ///< tryDecompress() calls that failed.
   uint64_t CompressNanos = 0; ///< Wall time inside compress().
   uint64_t DecompressNanos = 0;
+
+  friend bool operator==(const CodecStats &A, const CodecStats &B) {
+    return A.CompressCalls == B.CompressCalls && A.BytesIn == B.BytesIn &&
+           A.BytesOut == B.BytesOut && A.DecompressCalls == B.DecompressCalls &&
+           A.DecodeErrors == B.DecodeErrors &&
+           A.CompressNanos == B.CompressNanos &&
+           A.DecompressNanos == B.DecompressNanos;
+  }
 };
 
 /// A registered compressor. Thread-safe: compress/tryDecompress may be
@@ -80,9 +88,17 @@ public:
   /// malformed frames yield a typed error and bump the error counter.
   Result<std::vector<uint8_t>> tryDecompress(ByteSpan Frame) const;
 
-  /// Snapshot of this codec's counters since process start (or the last
-  /// resetStats()).
-  CodecStats stats() const;
+  /// Mutually consistent snapshot of this codec's counters since process
+  /// start (or the last resetStats()). The counters are independent
+  /// atomics, so a single pass over them can observe one update's calls
+  /// without its bytes; snapshot() re-reads until two consecutive passes
+  /// agree (bounded retries), so a quiescent codec always reports a
+  /// consistent set. This is what every stats output path should use.
+  CodecStats snapshot() const;
+
+  /// Deprecated spelling of snapshot(), kept for existing callers.
+  CodecStats stats() const { return snapshot(); }
+
   void resetStats() const;
 
 protected:

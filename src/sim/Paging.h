@@ -54,6 +54,16 @@ inline TotalTime totalTime(double CpuSeconds, const PagingResult &P,
   return {CpuSeconds, static_cast<double>(P.Faults) * D.FaultSeconds};
 }
 
+/// Decode-on-fault variant for the store runtime (src/store): every
+/// store miss pays one backing-store fetch, and the CPU additionally
+/// runs the store's measured frame decompression — the "decompress the
+/// page contents on page-in" configuration of section 1.
+inline TotalTime storeTotalTime(double CpuSeconds, uint64_t Faults,
+                                uint64_t DecodeNanos, const DiskModel &D) {
+  return {CpuSeconds + static_cast<double>(DecodeNanos) / 1e9,
+          static_cast<double>(Faults) * D.FaultSeconds};
+}
+
 } // namespace sim
 } // namespace ccomp
 

@@ -1,0 +1,449 @@
+//===- store/CodeStore.cpp - Demand-paged compressed-code store -----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/CodeStore.h"
+
+#include "pipeline/Payload.h"
+#include "pipeline/Pipeline.h"
+#include "support/ByteIO.h"
+#include "support/Support.h"
+#include "support/ThreadPool.h"
+#include "vm/Encode.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::store;
+using pipeline::PayloadKind;
+
+namespace {
+
+constexpr uint32_t ManifestMagic = 0x4D534343; // "CCSM".
+constexpr uint8_t ManifestVersion = 1;
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Manifest tag for what the decompressed frame body holds.
+uint8_t bodyTag(PayloadKind K) {
+  return K == PayloadKind::FuncImage ? 0 : 1; // 1 = fixed-width code only.
+}
+
+} // namespace
+
+size_t store::decodedCostBytes(const vm::VMFunction &F) {
+  return sizeof(vm::VMFunction) + F.Code.size() * sizeof(vm::Instr) +
+         F.LabelPos.size() * sizeof(uint32_t) + F.Name.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Build / save / load
+//===----------------------------------------------------------------------===//
+
+void CodeStore::initRuntime(StoreOptions O) {
+  Opts = O;
+  unsigned N = std::max(1u, Opts.Shards);
+  N = std::min<unsigned>(N, std::max<size_t>(1, Funcs.size()));
+  Shards = std::vector<Shard>(N);
+  size_t PerShard = std::max<size_t>(1, Opts.CacheBudgetBytes / N);
+  for (Shard &Sh : Shards)
+    Sh.Budget = PerShard;
+}
+
+std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
+                                            const std::string &ChainSpec,
+                                            StoreOptions Opts,
+                                            std::string &Error) {
+  std::vector<const pipeline::Codec *> Chain =
+      pipeline::parseChain(ChainSpec, Error);
+  if (Chain.empty())
+    return nullptr;
+  if (Chain.front()->payloadKind() == PayloadKind::Module) {
+    Error = std::string("store: codec '") + Chain.front()->name() +
+            "' compresses whole modules; the store needs per-function frames";
+    return nullptr;
+  }
+  if (P.Functions.empty()) {
+    Error = "store: program has no functions";
+    return nullptr;
+  }
+  if (P.Entry >= P.Functions.size()) {
+    Error = "store: entry function out of range";
+    return nullptr;
+  }
+
+  std::unique_ptr<CodeStore> S(new CodeStore());
+  S->Spec = ChainSpec;
+  S->Chain = std::move(Chain);
+  S->Kind = S->Chain.front()->payloadKind();
+  S->Skel.Entry = P.Entry;
+  S->Skel.Globals = P.Globals;
+  S->Skel.GlobalBase = P.GlobalBase;
+  S->Skel.GlobalEnd = P.GlobalEnd;
+
+  // Per-function payloads, matching makePayloads' contract per kind.
+  std::vector<std::vector<uint8_t>> Payloads;
+  Payloads.reserve(P.Functions.size());
+  for (const vm::VMFunction &F : P.Functions)
+    Payloads.push_back(S->Kind == PayloadKind::FuncImage
+                           ? pipeline::encodeFuncImage(F)
+                           : vm::encodeFunction(F));
+  std::vector<std::vector<uint8_t>> Frames =
+      pipeline::compressAll(S->Chain, Payloads, Opts.BuildJobs);
+
+  S->Funcs.reserve(P.Functions.size());
+  for (size_t I = 0; I != P.Functions.size(); ++I) {
+    FuncRecord Rec;
+    Rec.Name = P.Functions[I].Name;
+    Rec.FrameSize = P.Functions[I].FrameSize;
+    // The function image carries its own label table; code-only bodies
+    // need the manifest to preserve it.
+    if (S->Kind != PayloadKind::FuncImage)
+      Rec.LabelPos = P.Functions[I].LabelPos;
+    Rec.Frame = std::move(Frames[I]);
+    S->Funcs.push_back(std::move(Rec));
+  }
+  S->initRuntime(Opts);
+  return S;
+}
+
+std::vector<uint8_t> CodeStore::save() const {
+  ByteWriter W;
+  W.writeU32(ManifestMagic);
+  W.writeU8(ManifestVersion);
+  W.writeU8(bodyTag(Kind));
+  W.writeVarU(Skel.Entry);
+  W.writeVarU(Skel.GlobalBase);
+  W.writeVarU(Skel.GlobalEnd);
+  W.writeVarU(Skel.Globals.size());
+  for (const vm::VMGlobal &G : Skel.Globals) {
+    W.writeStr(G.Name);
+    W.writeVarU(G.Addr);
+    W.writeVarU(G.Size);
+    W.writeVarU(G.Init.size());
+    W.writeBytes(G.Init);
+  }
+  W.writeVarU(Funcs.size());
+  for (const FuncRecord &Rec : Funcs) {
+    W.writeStr(Rec.Name);
+    W.writeVarU(Rec.FrameSize);
+    W.writeVarU(Rec.LabelPos.size());
+    for (uint32_t L : Rec.LabelPos)
+      W.writeVarU(L);
+  }
+
+  std::vector<std::vector<uint8_t>> Items;
+  Items.reserve(Funcs.size() + 1);
+  Items.push_back(W.take());
+  for (const FuncRecord &Rec : Funcs)
+    Items.push_back(Rec.Frame);
+  return pipeline::packContainer(Spec, Items);
+}
+
+Result<std::unique_ptr<CodeStore>> CodeStore::tryLoad(ByteSpan Bytes,
+                                                      StoreOptions Opts) {
+  Result<pipeline::Container> C = pipeline::tryUnpackContainer(Bytes);
+  if (!C.ok())
+    return C.error();
+  std::string ChainError;
+  std::vector<const pipeline::Codec *> Chain =
+      pipeline::parseChain(C.value().ChainSpec, ChainError);
+  if (Chain.empty())
+    return DecodeError("store: " + ChainError);
+  if (Chain.front()->payloadKind() == PayloadKind::Module)
+    return DecodeError(std::string("store: codec '") + Chain.front()->name() +
+                       "' cannot serve per-function frames");
+  if (C.value().Frames.empty())
+    return DecodeError("store: container has no manifest frame");
+
+  return tryDecode([&] {
+    pipeline::Container &Box = C.value();
+    std::unique_ptr<CodeStore> S(new CodeStore());
+    S->Spec = Box.ChainSpec;
+    S->Chain = Chain;
+    S->Kind = Chain.front()->payloadKind();
+
+    ByteReader R(Box.Frames[0]);
+    if (R.readU32() != ManifestMagic)
+      decodeFail("store: bad manifest magic");
+    if (R.readU8() != ManifestVersion)
+      decodeFail("store: unsupported manifest version");
+    if (R.readU8() != bodyTag(S->Kind))
+      decodeFail("store: manifest payload kind does not match codec chain");
+    S->Skel.Entry = static_cast<uint32_t>(R.readVarU());
+    S->Skel.GlobalBase = static_cast<uint32_t>(R.readVarU());
+    S->Skel.GlobalEnd = static_cast<uint32_t>(R.readVarU());
+    size_t NumGlobals = R.readVarU();
+    if (NumGlobals > Box.Frames[0].size())
+      decodeFail("store: inflated global count");
+    for (size_t I = 0; I != NumGlobals; ++I) {
+      vm::VMGlobal G;
+      G.Name = R.readStr();
+      G.Addr = static_cast<uint32_t>(R.readVarU());
+      G.Size = static_cast<uint32_t>(R.readVarU());
+      G.Init = R.readBytes(R.readVarU());
+      S->Skel.Globals.push_back(std::move(G));
+    }
+    size_t NumFuncs = R.readVarU();
+    if (NumFuncs + 1 != Box.Frames.size())
+      decodeFail("store: manifest function count does not match frames");
+    for (size_t I = 0; I != NumFuncs; ++I) {
+      FuncRecord Rec;
+      Rec.Name = R.readStr();
+      Rec.FrameSize = static_cast<uint32_t>(R.readVarU());
+      size_t NumLabels = R.readVarU();
+      if (NumLabels > Box.Frames[0].size())
+        decodeFail("store: inflated label count");
+      Rec.LabelPos.reserve(NumLabels);
+      for (size_t L = 0; L != NumLabels; ++L)
+        Rec.LabelPos.push_back(static_cast<uint32_t>(R.readVarU()));
+      Rec.Frame = std::move(Box.Frames[I + 1]);
+      S->Funcs.push_back(std::move(Rec));
+    }
+    if (!R.atEnd())
+      decodeFail("store: trailing manifest bytes");
+    if (S->Funcs.empty())
+      decodeFail("store: container holds no functions");
+    if (S->Skel.Entry >= S->Funcs.size())
+      decodeFail("store: entry function out of range");
+    S->initRuntime(Opts);
+    return S;
+  });
+}
+
+size_t CodeStore::frameBytes() const {
+  size_t N = 0;
+  for (const FuncRecord &Rec : Funcs)
+    N += Rec.Frame.size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault path
+//===----------------------------------------------------------------------===//
+
+CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id) const {
+  const FuncRecord &Rec = Funcs[Id];
+  std::vector<uint8_t> Cur = Rec.Frame;
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    Result<std::vector<uint8_t>> R = (*It)->tryDecompress(Cur);
+    if (!R.ok())
+      return R.error();
+    Cur = R.take();
+  }
+  std::shared_ptr<vm::VMFunction> F;
+  if (Kind == PayloadKind::FuncImage) {
+    Result<vm::VMFunction> Img = pipeline::tryDecodeFuncImage(Cur);
+    if (!Img.ok())
+      return Img.error();
+    F = std::make_shared<vm::VMFunction>(Img.take());
+  } else {
+    Result<std::vector<vm::Instr>> Code = vm::tryDecodeFunction(Cur);
+    if (!Code.ok())
+      return Code.error();
+    F = std::make_shared<vm::VMFunction>();
+    F->Name = Rec.Name;
+    F->FrameSize = Rec.FrameSize;
+    F->LabelPos = Rec.LabelPos;
+    F->Code = Code.take();
+  }
+  // The interpreter indexes LabelPos[Target] unchecked; make malformed
+  // frames a typed error here, never UB there.
+  for (const vm::Instr &In : F->Code)
+    if (vm::isBranch(In.Op) && In.Target >= F->LabelPos.size())
+      return DecodeError("store: branch to a missing label in '" + Rec.Name +
+                         "'");
+  for (uint32_t L : F->LabelPos)
+    if (L > F->Code.size())
+      return DecodeError("store: label past the end of '" + Rec.Name + "'");
+  return std::shared_ptr<const vm::VMFunction>(std::move(F));
+}
+
+void CodeStore::evictOver(Shard &Sh, uint32_t Keep) {
+  // Evict from the cold end until under budget. The entry faulted in
+  // most recently (Keep) is never a victim, so a budget smaller than one
+  // function still serves; pinned entries are skipped under the
+  // pin-aware policy.
+  while (Sh.S.ResidentBytes > Sh.Budget && Sh.Map.size() > 1) {
+    auto VictimIt = Sh.Lru.end();
+    for (auto R = Sh.Lru.rbegin(); R != Sh.Lru.rend(); ++R) {
+      if (*R == Keep)
+        continue;
+      if (Opts.Policy == EvictPolicy::PinAwareLRU &&
+          Sh.Map.find(*R)->second.Pinned)
+        continue;
+      VictimIt = std::prev(R.base());
+      break;
+    }
+    if (VictimIt == Sh.Lru.end())
+      return; // Everything else is pinned; stay over budget.
+    auto MIt = Sh.Map.find(*VictimIt);
+    Sh.S.ResidentBytes -= MIt->second.Cost;
+    --Sh.S.ResidentFunctions;
+    if (MIt->second.Pinned)
+      --Sh.S.PinnedFunctions; // Only reachable under plain LRU.
+    Sh.Map.erase(MIt);
+    Sh.Lru.erase(VictimIt);
+    ++Sh.S.Evictions;
+  }
+}
+
+CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
+  if (Id >= Funcs.size())
+    return DecodeError("store: function id " + std::to_string(Id) +
+                       " out of range");
+  Shard &Sh = shardOf(Id);
+  for (;;) {
+    std::shared_future<FaultOutcome> Wait;
+    std::promise<FaultOutcome> Pr;
+    {
+      std::lock_guard<std::mutex> L(Sh.Mu);
+      auto It = Sh.Map.find(Id);
+      if (It != Sh.Map.end()) {
+        Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, It->second.LruIt);
+        ++Sh.S.Hits;
+        if (Pin && !It->second.Pinned) {
+          It->second.Pinned = true;
+          ++Sh.S.PinnedFunctions;
+        }
+        return It->second.Fn;
+      }
+      ++Sh.S.Misses;
+      auto FIt = Sh.InFlight.find(Id);
+      if (FIt != Sh.InFlight.end()) {
+        ++Sh.S.SingleFlightWaits;
+        Wait = FIt->second;
+      } else {
+        Sh.InFlight.emplace(Id, Pr.get_future().share());
+      }
+    }
+    if (Wait.valid()) {
+      FaultOutcome Out = Wait.get();
+      if (!Out.ok() || !Pin)
+        return Out;
+      continue; // Pin requested: mark it through the hit path.
+    }
+
+    // Single-flight leader: decode outside the lock.
+    uint64_t T0 = nowNanos();
+    FaultOutcome Out = [&]() -> FaultOutcome {
+      try {
+        return decodeFrame(Id);
+      } catch (const std::bad_alloc &) {
+        return DecodeError("store: allocation failed while decoding");
+      }
+    }();
+    uint64_t Nanos = nowNanos() - T0;
+
+    {
+      std::lock_guard<std::mutex> L(Sh.Mu);
+      Sh.InFlight.erase(Id);
+      ++Sh.S.Decodes;
+      Sh.S.DecodeNanos += Nanos;
+      if (!Out.ok()) {
+        ++Sh.S.DecodeErrors;
+      } else {
+        size_t Cost = decodedCostBytes(*Out.value());
+        Sh.S.DecodedBytes += Cost;
+        auto [MIt, Inserted] =
+            Sh.Map.emplace(Id, Entry{Out.value(), Cost, Pin, {}});
+        (void)Inserted; // InFlight excluded any concurrent decode of Id.
+        Sh.Lru.push_front(Id);
+        MIt->second.LruIt = Sh.Lru.begin();
+        Sh.S.ResidentBytes += Cost;
+        ++Sh.S.ResidentFunctions;
+        if (Pin)
+          ++Sh.S.PinnedFunctions;
+        evictOver(Sh, Id);
+      }
+    }
+    Pr.set_value(Out);
+    return Out;
+  }
+}
+
+Result<std::shared_ptr<const vm::VMFunction>> CodeStore::fault(uint32_t Id) {
+  return faultImpl(Id, /*Pin=*/false);
+}
+
+Result<std::shared_ptr<const vm::VMFunction>> CodeStore::pin(uint32_t Id) {
+  return faultImpl(Id, /*Pin=*/true);
+}
+
+void CodeStore::unpin(uint32_t Id) {
+  if (Id >= Funcs.size())
+    return;
+  Shard &Sh = shardOf(Id);
+  std::lock_guard<std::mutex> L(Sh.Mu);
+  auto It = Sh.Map.find(Id);
+  if (It != Sh.Map.end() && It->second.Pinned) {
+    It->second.Pinned = false;
+    --Sh.S.PinnedFunctions;
+  }
+}
+
+void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
+  for (uint32_t Id : Ids)
+    Pool.submit([this, Id] {
+      try {
+        (void)fault(Id);
+      } catch (...) {
+        // Pool jobs must not throw; failures are already counted in
+        // DecodeErrors by the fault path.
+      }
+    });
+}
+
+bool CodeStore::isResident(uint32_t Id) const {
+  if (Id >= Funcs.size())
+    return false;
+  const Shard &Sh = shardOf(Id);
+  std::lock_guard<std::mutex> L(Sh.Mu);
+  return Sh.Map.count(Id) != 0;
+}
+
+StoreStats CodeStore::stats() const {
+  // Lock every shard (in index order) so the totals are one consistent
+  // cut across the whole cache.
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(Shards.size());
+  for (const Shard &Sh : Shards)
+    Locks.emplace_back(Sh.Mu);
+  StoreStats T;
+  for (const Shard &Sh : Shards) {
+    T.Hits += Sh.S.Hits;
+    T.Misses += Sh.S.Misses;
+    T.Decodes += Sh.S.Decodes;
+    T.SingleFlightWaits += Sh.S.SingleFlightWaits;
+    T.DecodeErrors += Sh.S.DecodeErrors;
+    T.Evictions += Sh.S.Evictions;
+    T.DecodeNanos += Sh.S.DecodeNanos;
+    T.DecodedBytes += Sh.S.DecodedBytes;
+    T.ResidentBytes += Sh.S.ResidentBytes;
+    T.ResidentFunctions += Sh.S.ResidentFunctions;
+    T.PinnedFunctions += Sh.S.PinnedFunctions;
+  }
+  return T;
+}
+
+void CodeStore::resetStats() {
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(Shards.size());
+  for (Shard &Sh : Shards)
+    Locks.emplace_back(Sh.Mu);
+  for (Shard &Sh : Shards) {
+    StoreStats Keep;
+    Keep.ResidentBytes = Sh.S.ResidentBytes;
+    Keep.ResidentFunctions = Sh.S.ResidentFunctions;
+    Keep.PinnedFunctions = Sh.S.PinnedFunctions;
+    Sh.S = Keep;
+  }
+}

@@ -1,0 +1,217 @@
+//===- store/CodeStore.h - Demand-paged compressed-code store ---*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-shaped runtime layer over the codec registry: a CodeStore
+/// holds a module's functions as *compressed frames* and materializes
+/// decoded vm::Functions lazily at first call. This is the paper's
+/// section-1 economic argument made executable — when memory is scarce,
+/// keep the compact form resident and pay a decode on fault instead of
+/// keeping every function decoded.
+///
+/// Pieces:
+///   - a sharded, byte-budgeted LRU decode cache (shard = id mod N, each
+///     shard owns budget/N bytes, its own mutex, and its own counters,
+///     so faults on different shards never contend);
+///   - single-flight deduplication: N threads faulting the same function
+///     perform exactly one decode, the rest block on a shared_future;
+///   - recoverable errors: a corrupt frame fails that fault with a typed
+///     DecodeError while every other function stays servable;
+///   - pin/prefetch: pinned functions are never evicted (under the
+///     pin-aware policy), prefetch warms ids through the support
+///     ThreadPool;
+///   - a Stats snapshot (consistent per construction: counters live
+///     under the shard locks) that feeds sim::DiskModel for end-to-end
+///     time estimates.
+///
+/// Frames are produced by any registered pipeline::Codec chain whose
+/// first codec accepts per-function payloads (Raw, FixedCode or
+/// FuncImage). Module-granularity codecs (wire) cannot represent a
+/// single function and are rejected at build/load time with a clear
+/// error. The on-disk form is a standard CCPK container whose frame 0 is
+/// the store manifest (globals/entry skeleton plus per-function headers)
+/// and whose frames 1..N are the compressed function bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_STORE_CODESTORE_H
+#define CCOMP_STORE_CODESTORE_H
+
+#include "pipeline/Codec.h"
+#include "support/Error.h"
+#include "support/Span.h"
+#include "vm/Program.h"
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccomp {
+
+class ThreadPool;
+
+namespace store {
+
+/// Cache replacement policies.
+enum class EvictPolicy : uint8_t {
+  LRU,         ///< Strict LRU; pin marks are recorded but not honored.
+  PinAwareLRU, ///< LRU that skips pinned entries (the default).
+};
+
+/// Store construction knobs.
+struct StoreOptions {
+  /// Total decoded-bytes budget, split evenly across shards. The budget
+  /// is a target, not a hard cap: the entry faulted in most recently is
+  /// never evicted, so any budget >= 1 function still executes.
+  size_t CacheBudgetBytes = 1u << 20;
+  unsigned Shards = 8;       ///< Clamped to [1, functionCount].
+  EvictPolicy Policy = EvictPolicy::PinAwareLRU;
+  unsigned BuildJobs = 1;    ///< Compression fan-out in build().
+};
+
+/// Monotonic counters plus residency gauges. Snapshots are consistent:
+/// the counters are plain integers mutated under the shard locks, and
+/// stats() locks every shard before summing.
+struct StoreStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;            ///< Faults (cold or re-fetch after evict).
+  uint64_t Decodes = 0;           ///< Decodes executed (<= Misses).
+  uint64_t SingleFlightWaits = 0; ///< Faults served by another thread's decode.
+  uint64_t DecodeErrors = 0;
+  uint64_t Evictions = 0;
+  uint64_t DecodeNanos = 0;  ///< Wall time inside frame decodes.
+  uint64_t DecodedBytes = 0; ///< Decoded cost bytes produced by decodes.
+  // Gauges (current state, unaffected by resetStats).
+  uint64_t ResidentBytes = 0;
+  uint64_t ResidentFunctions = 0;
+  uint64_t PinnedFunctions = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
+  }
+};
+
+/// A module's functions as compressed frames with a decode-on-fault
+/// cache in front. Thread-safe: fault/pin/prefetch/stats may be called
+/// concurrently.
+class CodeStore {
+public:
+  /// Compresses every function of \p P through \p ChainSpec. Returns
+  /// null and sets \p Error if the chain does not exist or cannot serve
+  /// per-function frames (module-granularity first codec).
+  static std::unique_ptr<CodeStore> build(const vm::VMProgram &P,
+                                          const std::string &ChainSpec,
+                                          StoreOptions Opts,
+                                          std::string &Error);
+
+  /// Serializes manifest + frames into a CCPK container.
+  std::vector<uint8_t> save() const;
+
+  /// Parses a container of unknown provenance. Corrupt manifests yield a
+  /// typed DecodeError here; corrupt *frames* surface later, as
+  /// recoverable per-fault errors.
+  static Result<std::unique_ptr<CodeStore>> tryLoad(ByteSpan Bytes,
+                                                    StoreOptions Opts);
+
+  /// The program skeleton (globals, entry, no function bodies) to build
+  /// a vm::Machine around; pair with a StoreBackedResolver.
+  const vm::VMProgram &skeleton() const { return Skel; }
+
+  uint32_t functionCount() const {
+    return static_cast<uint32_t>(Funcs.size());
+  }
+  const std::string &functionName(uint32_t Id) const {
+    return Funcs[Id].Name;
+  }
+  const std::string &chainSpec() const { return Spec; }
+
+  /// Total compressed frame bytes held by the store.
+  size_t frameBytes() const;
+
+  /// The fault path: returns the decoded function, decoding at most once
+  /// no matter how many threads fault it concurrently. A corrupt frame
+  /// fails this call (and every retry) with a typed error; other
+  /// functions stay servable.
+  Result<std::shared_ptr<const vm::VMFunction>> fault(uint32_t Id);
+
+  /// Faults \p Id in and marks it pinned; pinned entries are never
+  /// evicted under EvictPolicy::PinAwareLRU.
+  Result<std::shared_ptr<const vm::VMFunction>> pin(uint32_t Id);
+  void unpin(uint32_t Id);
+
+  /// Warms \p Ids through \p Pool (one fault per job); call Pool.wait()
+  /// to block until done. Decode failures are absorbed into the
+  /// DecodeErrors counter.
+  void prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool);
+
+  /// True if \p Id is decoded and resident right now (no LRU effect).
+  bool isResident(uint32_t Id) const;
+
+  /// Consistent totals across all shards (locks every shard).
+  StoreStats stats() const;
+  /// Zeroes the monotonic counters; residency gauges are preserved.
+  void resetStats();
+
+private:
+  CodeStore() = default;
+  void initRuntime(StoreOptions Opts);
+
+  using FaultOutcome = Result<std::shared_ptr<const vm::VMFunction>>;
+  FaultOutcome faultImpl(uint32_t Id, bool Pin);
+  FaultOutcome decodeFrame(uint32_t Id) const;
+
+  /// One compressed function: its frame plus the manifest header needed
+  /// to reassemble a VMFunction when the payload is code-only.
+  struct FuncRecord {
+    std::string Name;
+    uint32_t FrameSize = 0;
+    std::vector<uint32_t> LabelPos; ///< Empty for FuncImage payloads.
+    std::vector<uint8_t> Frame;
+  };
+
+  struct Entry {
+    std::shared_ptr<const vm::VMFunction> Fn;
+    size_t Cost = 0;
+    bool Pinned = false;
+    std::list<uint32_t>::iterator LruIt;
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<uint32_t, Entry> Map;
+    std::list<uint32_t> Lru; ///< Front = most recently used.
+    std::unordered_map<uint32_t, std::shared_future<FaultOutcome>> InFlight;
+    StoreStats S; ///< Counters + this shard's gauges, guarded by Mu.
+    size_t Budget = 0;
+  };
+
+  Shard &shardOf(uint32_t Id) { return Shards[Id % Shards.size()]; }
+  const Shard &shardOf(uint32_t Id) const { return Shards[Id % Shards.size()]; }
+  void evictOver(Shard &Sh, uint32_t Keep);
+
+  std::string Spec;
+  std::vector<const pipeline::Codec *> Chain;
+  pipeline::PayloadKind Kind = pipeline::PayloadKind::FuncImage;
+  vm::VMProgram Skel;
+  std::vector<FuncRecord> Funcs;
+
+  StoreOptions Opts;
+  std::vector<Shard> Shards;
+};
+
+/// Decoded in-memory footprint we charge the cache for one function.
+size_t decodedCostBytes(const vm::VMFunction &F);
+
+} // namespace store
+} // namespace ccomp
+
+#endif // CCOMP_STORE_CODESTORE_H

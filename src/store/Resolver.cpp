@@ -1,0 +1,27 @@
+//===- store/Resolver.cpp - Store-backed VM function resolver -------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Resolver.h"
+
+using namespace ccomp;
+using namespace ccomp::store;
+
+std::shared_ptr<const vm::VMFunction>
+StoreBackedResolver::resolve(uint32_t Fn, std::string &Err) {
+  Result<std::shared_ptr<const vm::VMFunction>> R = Store.fault(Fn);
+  if (!R.ok()) {
+    Err = R.error().message();
+    return nullptr;
+  }
+  return R.take();
+}
+
+vm::RunResult store::runFromStore(CodeStore &S, vm::RunOptions Opts) {
+  StoreBackedResolver Rv(S);
+  Opts.Resolver = &Rv;
+  vm::Machine M(S.skeleton(), Opts);
+  return M.run();
+}

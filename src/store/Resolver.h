@@ -1,0 +1,49 @@
+//===- store/Resolver.h - Store-backed VM function resolver -----*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The glue between the interpreter's resolver hook (vm::FunctionResolver)
+/// and the CodeStore: every cross-function control transfer the Machine
+/// makes becomes a store fault, so code executes straight out of the
+/// compressed store with only the cache-resident working set decoded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_STORE_RESOLVER_H
+#define CCOMP_STORE_RESOLVER_H
+
+#include "store/CodeStore.h"
+#include "vm/Machine.h"
+
+namespace ccomp {
+namespace store {
+
+/// Routes vm::Machine call/return faults through a CodeStore. A decode
+/// failure surfaces as a resolver failure, which the interpreter turns
+/// into a trap for that run — the process (and the store's other
+/// functions) carry on.
+class StoreBackedResolver final : public vm::FunctionResolver {
+public:
+  explicit StoreBackedResolver(CodeStore &S) : Store(S) {}
+
+  uint32_t functionCount() const override { return Store.functionCount(); }
+
+  std::shared_ptr<const vm::VMFunction> resolve(uint32_t Fn,
+                                                std::string &Err) override;
+
+private:
+  CodeStore &Store;
+};
+
+/// Convenience: interpret the store's program end-to-end, decoding
+/// functions on fault. Opts.Resolver is overwritten.
+vm::RunResult runFromStore(CodeStore &S,
+                           vm::RunOptions Opts = vm::RunOptions());
+
+} // namespace store
+} // namespace ccomp
+
+#endif // CCOMP_STORE_RESOLVER_H

@@ -13,6 +13,8 @@
 using namespace ccomp;
 using namespace ccomp::vm;
 
+FunctionResolver::~FunctionResolver() = default;
+
 Machine::Machine(const VMProgram &P, RunOptions Options)
     : Prog(P), Opts(Options) {
   resetState();
@@ -321,24 +323,65 @@ RunResult Machine::run() {
     Res.Trap = TrapMsg;
     return Res;
   }
-  if (Prog.Functions.empty()) {
+  FunctionResolver *Rv = Opts.Resolver;
+  const uint32_t FnCount =
+      Rv ? Rv->functionCount() : static_cast<uint32_t>(Prog.Functions.size());
+  if (FnCount == 0) {
     Res.Trap = "empty program";
     return Res;
   }
 
-  // Per-function metadata for EPI.
-  std::vector<FuncMeta> Metas(Prog.Functions.size());
-  for (size_t I = 0; I != Prog.Functions.size(); ++I)
-    Metas[I] = deriveMeta(Prog.Functions[I]);
+  // Per-function EPI metadata, derived on first entry so a resolver-fed
+  // run only pays for functions it actually executes.
+  std::vector<FuncMeta> Metas(FnCount);
+  std::vector<uint8_t> MetaKnown(FnCount, 0);
 
   uint32_t Fn = Prog.Entry;
   uint32_t Pc = 0;
   uint64_t Steps = 0;
 
+  // The currently executing function. With a resolver, Keep pins the
+  // decoded body for exactly as long as we execute inside it; every
+  // cross-function transfer (CALL/RJR/EPI) re-resolves, so an evicted
+  // callee or caller faults back in on return — the decode-on-fault
+  // behaviour the store measures.
+  const VMFunction *F = nullptr;
+  std::shared_ptr<const VMFunction> Keep;
+  auto Enter = [&](uint32_t NewFn) -> bool {
+    if (NewFn >= FnCount) {
+      trap("transfer to unknown function " + std::to_string(NewFn));
+      return false;
+    }
+    if (!Rv) {
+      F = &Prog.Functions[NewFn];
+      return true;
+    }
+    std::string Err;
+    std::shared_ptr<const VMFunction> H = Rv->resolve(NewFn, Err);
+    if (!H) {
+      trap("resolve function " + std::to_string(NewFn) + ": " + Err);
+      return false;
+    }
+    Keep = std::move(H);
+    F = Keep.get();
+    return true;
+  };
+  auto MetaOf = [&](uint32_t Id) -> const FuncMeta & {
+    if (!MetaKnown[Id]) {
+      Metas[Id] = deriveMeta(*F); // F is the body of the current Id.
+      MetaKnown[Id] = 1;
+    }
+    return Metas[Id];
+  };
+
+  if (!Enter(Fn)) {
+    Res.Trap = TrapMsg;
+    return Res;
+  }
+
   while (!Halted && !Trapped) {
-    const VMFunction &F = Prog.Functions[Fn];
-    if (Pc >= F.Code.size()) {
-      trap("fell off the end of function " + F.Name);
+    if (Pc >= F->Code.size()) {
+      trap("fell off the end of function " + F->Name);
       break;
     }
     if (++Steps > Opts.MaxSteps) {
@@ -346,14 +389,14 @@ RunResult Machine::run() {
       break;
     }
     touchCode(Fn, Pc);
-    const Instr &In = F.Code[Pc];
+    const Instr &In = F->Code[Pc];
     if (dataStep(In)) {
       ++Pc;
       continue;
     }
     switch (In.Op) {
     case VMOp::JMP:
-      Pc = F.LabelPos[In.Target];
+      Pc = F->LabelPos[In.Target];
       break;
     case VMOp::BEQ: case VMOp::BNE: case VMOp::BLT: case VMOp::BLE:
     case VMOp::BGT: case VMOp::BGE: case VMOp::BLTU: case VMOp::BLEU:
@@ -361,13 +404,19 @@ RunResult Machine::run() {
     case VMOp::BEQI: case VMOp::BNEI: case VMOp::BLTI: case VMOp::BLEI:
     case VMOp::BGTI: case VMOp::BGEI: case VMOp::BLTUI: case VMOp::BLEUI:
     case VMOp::BGTUI: case VMOp::BGEUI:
-      Pc = branchTaken(In) ? F.LabelPos[In.Target] : Pc + 1;
+      Pc = branchTaken(In) ? F->LabelPos[In.Target] : Pc + 1;
       break;
-    case VMOp::CALL:
+    case VMOp::CALL: {
+      // Copy the target out first: Enter() releases the current body,
+      // and In points into it.
+      uint32_t Callee = In.Target;
       setReg(RA, encodeRet(Fn, Pc + 1));
-      Fn = In.Target;
+      if (!Enter(Callee))
+        break;
+      Fn = Callee;
       Pc = 0;
       break;
+    }
     case VMOp::RJR: {
       uint32_t Addr = R[In.Rd]; // RJR's single register field lives in Rd.
       if (Addr == HaltRA) {
@@ -379,16 +428,14 @@ RunResult Machine::run() {
         trap("rjr through non-code address");
         break;
       }
+      if (!Enter(retFunc(Addr)))
+        break;
       Fn = retFunc(Addr);
       Pc = retIdx(Addr);
-      if (Fn >= Prog.Functions.size()) {
-        trap("rjr to unknown function");
-        break;
-      }
       break;
     }
     case VMOp::EPI: {
-      uint32_t Addr = execEpi(Metas[Fn]);
+      uint32_t Addr = execEpi(MetaOf(Fn));
       if (Addr == HaltRA) {
         Halted = true;
         Exit = static_cast<int32_t>(R[N0]);
@@ -398,6 +445,8 @@ RunResult Machine::run() {
         trap("epi return through non-code address");
         break;
       }
+      if (!Enter(retFunc(Addr)))
+        break;
       Fn = retFunc(Addr);
       Pc = retIdx(Addr);
       break;

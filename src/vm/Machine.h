@@ -22,11 +22,36 @@
 #include "vm/Program.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace ccomp {
 namespace vm {
+
+/// Supplies function bodies to the interpreter on demand. The default
+/// (no resolver) executes straight out of VMProgram::Functions; a
+/// resolver lets call/return transfers fault bodies in lazily from a
+/// compressed store (store::StoreBackedResolver) instead of requiring a
+/// fully decoded module up front.
+///
+/// Thread-safety: resolve() may be called from whichever thread runs the
+/// Machine; implementations shared between machines must synchronize
+/// internally.
+class FunctionResolver {
+public:
+  virtual ~FunctionResolver();
+
+  /// Number of resolvable functions (indices [0, count)).
+  virtual uint32_t functionCount() const = 0;
+
+  /// Returns function \p Fn, keeping the body alive at least as long as
+  /// the returned handle. Null with \p Err set on a recoverable failure
+  /// (e.g. a corrupt compressed frame): the interpreter traps that run
+  /// and the process carries on.
+  virtual std::shared_ptr<const VMFunction> resolve(uint32_t Fn,
+                                                    std::string &Err) = 0;
+};
 
 /// Optional mapping from (function, instruction) to code byte offsets in
 /// some concrete encoding, used for working-set / paging measurements.
@@ -43,6 +68,10 @@ struct RunOptions {
   const CodeLayout *Layout = nullptr; ///< Enable page tracking when set.
   uint32_t PageSize = 4096;
   size_t MaxPageTrace = 1u << 22;
+  /// When set, function bodies come from the resolver and
+  /// VMProgram::Functions may be empty (a skeleton holding only
+  /// globals/entry). The resolver must outlive the run.
+  FunctionResolver *Resolver = nullptr;
 };
 
 /// Outcome of a run.
