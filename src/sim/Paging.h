@@ -64,6 +64,19 @@ inline TotalTime storeTotalTime(double CpuSeconds, uint64_t Faults,
           static_cast<double>(Faults) * D.FaultSeconds};
 }
 
+/// Remote-fetch variant: a store miss pays link transfer time instead of
+/// a disk seek. \p FetchVirtualNanos is the virtual clock accumulated by
+/// the store's frame source (store::StoreStats::FetchVirtualNanos —
+/// transfer, injected failures, and retry backoff), and the CPU still
+/// runs the frame decoder, so decode time stays a CPU term. This is the
+/// mobile-code delivery scenario of section 1 at per-function
+/// granularity.
+inline TotalTime remoteTotalTime(double CpuSeconds, uint64_t DecodeNanos,
+                                 uint64_t FetchVirtualNanos) {
+  return {CpuSeconds + static_cast<double>(DecodeNanos) / 1e9,
+          static_cast<double>(FetchVirtualNanos) / 1e9};
+}
+
 } // namespace sim
 } // namespace ccomp
 

@@ -23,15 +23,31 @@ namespace ccomp {
 namespace sim {
 
 /// A point-to-point link.
+///
+/// Two costing modes, because LatencySeconds is *per-transfer setup*
+/// (modem dial/handshake, connection establishment), not a per-byte
+/// cost:
+///   - transferSeconds(): one self-contained transfer — setup plus
+///     payload. Right for whole-image delivery (bench_delivery).
+///   - streamSeconds(): payload only, over an already-open connection.
+///     Right for per-frame fetch streams (a demand-paged store faulting
+///     hundreds of frames over one session): pay LatencySeconds once
+///     per session, then streamSeconds() per frame, or modem setup gets
+///     overcounted N times.
 struct Link {
   const char *Name;
   double BitsPerSecond;
   double LatencySeconds; ///< Per-transfer setup latency.
 
-  /// Seconds to deliver \p Bytes.
+  /// Seconds to deliver \p Bytes as one transfer (setup + payload).
   double transferSeconds(size_t Bytes) const {
-    return LatencySeconds + static_cast<double>(Bytes) * 8.0 /
-                                BitsPerSecond;
+    return LatencySeconds + streamSeconds(Bytes);
+  }
+
+  /// Seconds to move \p Bytes across an established connection: the
+  /// payload cost alone, no setup latency (the batched-latency mode).
+  double streamSeconds(size_t Bytes) const {
+    return static_cast<double>(Bytes) * 8.0 / BitsPerSecond;
   }
 };
 

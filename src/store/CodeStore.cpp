@@ -108,14 +108,15 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
     // need the manifest to preserve it.
     if (S->Kind != PayloadKind::FuncImage)
       Rec.LabelPos = P.Functions[I].LabelPos;
-    Rec.Frame = std::move(Frames[I]);
     S->Funcs.push_back(std::move(Rec));
   }
+  S->Source =
+      std::make_unique<LocalFrameSource>(ChainSpec, std::move(Frames));
   S->initRuntime(Opts);
   return S;
 }
 
-std::vector<uint8_t> CodeStore::save() const {
+Result<std::vector<uint8_t>> CodeStore::trySave() {
   ByteWriter W;
   W.writeU32(ManifestMagic);
   W.writeU8(ManifestVersion);
@@ -143,35 +144,69 @@ std::vector<uint8_t> CodeStore::save() const {
   std::vector<std::vector<uint8_t>> Items;
   Items.reserve(Funcs.size() + 1);
   Items.push_back(W.take());
-  for (const FuncRecord &Rec : Funcs)
-    Items.push_back(Rec.Frame);
+  for (uint32_t I = 0; I != functionCount(); ++I) {
+    FetchMetrics M;
+    FetchResult R = fetchWithRetry(*Source, I, Opts.Retry, M);
+    if (!R.Ok)
+      return DecodeError("store: save: fetch frame of '" + Funcs[I].Name +
+                         "' failed [" + fetchErrorKindName(R.Err) +
+                         "]: " + R.Msg);
+    Items.push_back(std::move(R.Bytes));
+  }
   return pipeline::packContainer(Spec, Items);
+}
+
+std::vector<uint8_t> CodeStore::save() {
+  Result<std::vector<uint8_t>> R = trySave();
+  if (!R.ok())
+    reportFatal(R.error().message());
+  return R.take();
 }
 
 Result<std::unique_ptr<CodeStore>> CodeStore::tryLoad(ByteSpan Bytes,
                                                       StoreOptions Opts) {
-  Result<pipeline::Container> C = pipeline::tryUnpackContainer(Bytes);
-  if (!C.ok())
-    return C.error();
+  Result<std::unique_ptr<LocalFrameSource>> Src =
+      LocalFrameSource::fromContainerBytes(Bytes);
+  if (!Src.ok())
+    return Src.error();
+  return tryFromSource(Src.take(), Opts);
+}
+
+Result<std::unique_ptr<CodeStore>>
+CodeStore::tryOpenFile(const std::string &Path, StoreOptions Opts) {
+  Result<std::unique_ptr<FileFrameSource>> Src = FileFrameSource::open(Path);
+  if (!Src.ok())
+    return Src.error();
+  return tryFromSource(Src.take(), Opts);
+}
+
+Result<std::unique_ptr<CodeStore>>
+CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
   std::string ChainError;
   std::vector<const pipeline::Codec *> Chain =
-      pipeline::parseChain(C.value().ChainSpec, ChainError);
+      pipeline::parseChain(Src->chainSpec(), ChainError);
   if (Chain.empty())
     return DecodeError("store: " + ChainError);
   if (Chain.front()->payloadKind() == PayloadKind::Module)
     return DecodeError(std::string("store: codec '") + Chain.front()->name() +
                        "' cannot serve per-function frames");
-  if (C.value().Frames.empty())
-    return DecodeError("store: container has no manifest frame");
+
+  // The manifest rides the same (possibly flaky) transport as frames.
+  FetchMetrics MM;
+  FetchResult MR = fetchWithRetry(*Src, ManifestFrameId, Opts.Retry, MM);
+  if (!MR.Ok)
+    return DecodeError("store: fetch manifest failed [" +
+                       std::string(fetchErrorKindName(MR.Err)) +
+                       "]: " + MR.Msg);
 
   return tryDecode([&] {
-    pipeline::Container &Box = C.value();
     std::unique_ptr<CodeStore> S(new CodeStore());
-    S->Spec = Box.ChainSpec;
+    S->Spec = Src->chainSpec();
     S->Chain = Chain;
     S->Kind = Chain.front()->payloadKind();
 
-    ByteReader R(Box.Frames[0]);
+    const std::vector<uint8_t> &Manifest = MR.Bytes;
+    ByteReader R(Manifest);
     if (R.readU32() != ManifestMagic)
       decodeFail("store: bad manifest magic");
     if (R.readU8() != ManifestVersion)
@@ -182,7 +217,7 @@ Result<std::unique_ptr<CodeStore>> CodeStore::tryLoad(ByteSpan Bytes,
     S->Skel.GlobalBase = static_cast<uint32_t>(R.readVarU());
     S->Skel.GlobalEnd = static_cast<uint32_t>(R.readVarU());
     size_t NumGlobals = R.readVarU();
-    if (NumGlobals > Box.Frames[0].size())
+    if (NumGlobals > Manifest.size())
       decodeFail("store: inflated global count");
     for (size_t I = 0; I != NumGlobals; ++I) {
       vm::VMGlobal G;
@@ -193,19 +228,18 @@ Result<std::unique_ptr<CodeStore>> CodeStore::tryLoad(ByteSpan Bytes,
       S->Skel.Globals.push_back(std::move(G));
     }
     size_t NumFuncs = R.readVarU();
-    if (NumFuncs + 1 != Box.Frames.size())
+    if (NumFuncs != Src->functionFrameCount())
       decodeFail("store: manifest function count does not match frames");
     for (size_t I = 0; I != NumFuncs; ++I) {
       FuncRecord Rec;
       Rec.Name = R.readStr();
       Rec.FrameSize = static_cast<uint32_t>(R.readVarU());
       size_t NumLabels = R.readVarU();
-      if (NumLabels > Box.Frames[0].size())
+      if (NumLabels > Manifest.size())
         decodeFail("store: inflated label count");
       Rec.LabelPos.reserve(NumLabels);
       for (size_t L = 0; L != NumLabels; ++L)
         Rec.LabelPos.push_back(static_cast<uint32_t>(R.readVarU()));
-      Rec.Frame = std::move(Box.Frames[I + 1]);
       S->Funcs.push_back(std::move(Rec));
     }
     if (!R.atEnd())
@@ -214,25 +248,31 @@ Result<std::unique_ptr<CodeStore>> CodeStore::tryLoad(ByteSpan Bytes,
       decodeFail("store: container holds no functions");
     if (S->Skel.Entry >= S->Funcs.size())
       decodeFail("store: entry function out of range");
+    S->Source = std::move(Src);
     S->initRuntime(Opts);
+    // Charge the manifest's transport cost to shard 0 so stats() shows
+    // the whole session's fetch bill.
+    Shard &Sh0 = S->Shards.front();
+    Sh0.S.FetchAttempts += MM.Attempts;
+    Sh0.S.FetchRetries += MM.TransientFailures;
+    Sh0.S.FetchedBytes += MM.FetchedBytes;
+    Sh0.S.FetchVirtualNanos +=
+        static_cast<uint64_t>(MM.VirtualSeconds * 1e9);
     return S;
   });
-}
-
-size_t CodeStore::frameBytes() const {
-  size_t N = 0;
-  for (const FuncRecord &Rec : Funcs)
-    N += Rec.Frame.size();
-  return N;
 }
 
 //===----------------------------------------------------------------------===//
 // Fault path
 //===----------------------------------------------------------------------===//
 
-CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id) const {
+CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
   const FuncRecord &Rec = Funcs[Id];
-  std::vector<uint8_t> Cur = Rec.Frame;
+  FetchResult Fetched = fetchWithRetry(*Source, Id, Opts.Retry, M);
+  if (!Fetched.Ok)
+    return DecodeError("store: fetch frame of '" + Rec.Name + "' failed [" +
+                       fetchErrorKindName(Fetched.Err) + "]: " + Fetched.Msg);
+  std::vector<uint8_t> Cur = std::move(Fetched.Bytes);
   for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
     Result<std::vector<uint8_t>> R = (*It)->tryDecompress(Cur);
     if (!R.ok())
@@ -332,11 +372,12 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
       continue; // Pin requested: mark it through the hit path.
     }
 
-    // Single-flight leader: decode outside the lock.
+    // Single-flight leader: fetch + decode outside the lock.
     uint64_t T0 = nowNanos();
+    FetchMetrics M;
     FaultOutcome Out = [&]() -> FaultOutcome {
       try {
-        return decodeFrame(Id);
+        return decodeFrame(Id, M);
       } catch (const std::bad_alloc &) {
         return DecodeError("store: allocation failed while decoding");
       }
@@ -346,8 +387,19 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
     {
       std::lock_guard<std::mutex> L(Sh.Mu);
       Sh.InFlight.erase(Id);
-      ++Sh.S.Decodes;
-      Sh.S.DecodeNanos += Nanos;
+      Sh.S.FetchAttempts += M.Attempts;
+      Sh.S.FetchRetries += M.TransientFailures;
+      Sh.S.FetchedBytes += M.FetchedBytes;
+      Sh.S.FetchVirtualNanos +=
+          static_cast<uint64_t>(M.VirtualSeconds * 1e9);
+      // A failed fetch delivers no bytes, so no decode ran; a decode
+      // failure comes after a successful (byte-delivering) fetch.
+      if (M.Attempts > 0 && M.FetchedBytes == 0) {
+        ++Sh.S.FetchFailures;
+      } else {
+        ++Sh.S.Decodes;
+        Sh.S.DecodeNanos += Nanos;
+      }
       if (!Out.ok()) {
         ++Sh.S.DecodeErrors;
       } else {
@@ -427,6 +479,11 @@ StoreStats CodeStore::stats() const {
     T.Evictions += Sh.S.Evictions;
     T.DecodeNanos += Sh.S.DecodeNanos;
     T.DecodedBytes += Sh.S.DecodedBytes;
+    T.FetchAttempts += Sh.S.FetchAttempts;
+    T.FetchRetries += Sh.S.FetchRetries;
+    T.FetchFailures += Sh.S.FetchFailures;
+    T.FetchedBytes += Sh.S.FetchedBytes;
+    T.FetchVirtualNanos += Sh.S.FetchVirtualNanos;
     T.ResidentBytes += Sh.S.ResidentBytes;
     T.ResidentFunctions += Sh.S.ResidentFunctions;
     T.PinnedFunctions += Sh.S.PinnedFunctions;

@@ -35,12 +35,22 @@
 /// the store manifest (globals/entry skeleton plus per-function headers)
 /// and whose frames 1..N are the compressed function bodies.
 ///
+/// Frames live behind a FrameSource (store/FrameSource.h), so the same
+/// fault path serves frames held in memory (LocalFrameSource), read on
+/// demand from a container file (FileFrameSource), or fetched over a
+/// simulated flaky link (SimulatedRemoteFrameSource). Fetches run under
+/// the store's RetryPolicy: transient transport failures are retried
+/// with backed-off virtual delays, permanent ones fail that fault with a
+/// typed error, and either way concurrent single-flight waiters all
+/// observe the same outcome.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCOMP_STORE_CODESTORE_H
 #define CCOMP_STORE_CODESTORE_H
 
 #include "pipeline/Codec.h"
+#include "store/FrameSource.h"
 #include "support/Error.h"
 #include "support/Span.h"
 #include "vm/Program.h"
@@ -75,6 +85,9 @@ struct StoreOptions {
   unsigned Shards = 8;       ///< Clamped to [1, functionCount].
   EvictPolicy Policy = EvictPolicy::PinAwareLRU;
   unsigned BuildJobs = 1;    ///< Compression fan-out in build().
+  /// How frame fetches behave on a flaky source (ignored by sources that
+  /// cannot fail transiently).
+  RetryPolicy Retry;
 };
 
 /// Monotonic counters plus residency gauges. Snapshots are consistent:
@@ -89,6 +102,13 @@ struct StoreStats {
   uint64_t Evictions = 0;
   uint64_t DecodeNanos = 0;  ///< Wall time inside frame decodes.
   uint64_t DecodedBytes = 0; ///< Decoded cost bytes produced by decodes.
+  // Frame-source fetch counters (all zero for in-memory sources unless a
+  // flaky link is injected in front).
+  uint64_t FetchAttempts = 0;     ///< Fetch attempts, including retries.
+  uint64_t FetchRetries = 0;      ///< Transient failures masked by retry.
+  uint64_t FetchFailures = 0;     ///< Fetches that failed for good.
+  uint64_t FetchedBytes = 0;      ///< Compressed bytes fetched successfully.
+  uint64_t FetchVirtualNanos = 0; ///< Virtual link clock: transfer + backoff.
   // Gauges (current state, unaffected by resetStats).
   uint64_t ResidentBytes = 0;
   uint64_t ResidentFunctions = 0;
@@ -113,14 +133,32 @@ public:
                                           StoreOptions Opts,
                                           std::string &Error);
 
-  /// Serializes manifest + frames into a CCPK container.
-  std::vector<uint8_t> save() const;
+  /// Serializes manifest + frames into a CCPK container, fetching every
+  /// frame from the source. Fails typed if the source cannot produce
+  /// some frame (e.g. a dead backing file).
+  Result<std::vector<uint8_t>> trySave();
+  /// Aborting wrapper for stores whose source cannot fail (in-memory).
+  std::vector<uint8_t> save();
 
   /// Parses a container of unknown provenance. Corrupt manifests yield a
   /// typed DecodeError here; corrupt *frames* surface later, as
   /// recoverable per-fault errors.
   static Result<std::unique_ptr<CodeStore>> tryLoad(ByteSpan Bytes,
                                                     StoreOptions Opts);
+
+  /// Opens a store container file, reading frames on demand through a
+  /// FileFrameSource: the manifest is fetched and parsed now, the frames
+  /// stay on disk until faulted.
+  static Result<std::unique_ptr<CodeStore>> tryOpenFile(const std::string &Path,
+                                                        StoreOptions Opts);
+
+  /// The general entry: serve frames from any FrameSource whose backing
+  /// medium carries a store manifest (containers made by save()). The
+  /// manifest is fetched through Opts.Retry, so a flaky remote source
+  /// can fail this typed — but a transient-only fault rate below 1
+  /// usually just costs retries.
+  static Result<std::unique_ptr<CodeStore>>
+  tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts);
 
   /// The program skeleton (globals, entry, no function bodies) to build
   /// a vm::Machine around; pair with a StoreBackedResolver.
@@ -134,8 +172,11 @@ public:
   }
   const std::string &chainSpec() const { return Spec; }
 
-  /// Total compressed frame bytes held by the store.
-  size_t frameBytes() const;
+  /// Where this store's frames come from.
+  const FrameSource &source() const { return *Source; }
+
+  /// Total compressed frame bytes held by the store's source.
+  size_t frameBytes() const { return Source->frameBytes(); }
 
   /// The fault path: returns the decoded function, decoding at most once
   /// no matter how many threads fault it concurrently. A corrupt frame
@@ -167,15 +208,17 @@ private:
 
   using FaultOutcome = Result<std::shared_ptr<const vm::VMFunction>>;
   FaultOutcome faultImpl(uint32_t Id, bool Pin);
-  FaultOutcome decodeFrame(uint32_t Id) const;
+  /// Fetches frame \p Id from the source (under Opts.Retry, charging \p
+  /// M) and decodes it through the chain.
+  FaultOutcome decodeFrame(uint32_t Id, FetchMetrics &M);
 
-  /// One compressed function: its frame plus the manifest header needed
-  /// to reassemble a VMFunction when the payload is code-only.
+  /// One compressed function's manifest header: what decodeFrame needs
+  /// to reassemble a VMFunction when the payload is code-only. The frame
+  /// itself lives in the FrameSource.
   struct FuncRecord {
     std::string Name;
     uint32_t FrameSize = 0;
     std::vector<uint32_t> LabelPos; ///< Empty for FuncImage payloads.
-    std::vector<uint8_t> Frame;
   };
 
   struct Entry {
@@ -203,6 +246,7 @@ private:
   pipeline::PayloadKind Kind = pipeline::PayloadKind::FuncImage;
   vm::VMProgram Skel;
   std::vector<FuncRecord> Funcs;
+  std::unique_ptr<FrameSource> Source;
 
   StoreOptions Opts;
   std::vector<Shard> Shards;

@@ -1,0 +1,341 @@
+//===- store/FrameSource.cpp - Where compressed frames come from ----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/FrameSource.h"
+
+#include "pipeline/Pipeline.h"
+#include "support/ByteIO.h"
+#include "support/PRNG.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ccomp;
+using namespace ccomp::store;
+
+FrameSource::~FrameSource() = default;
+
+const char *store::fetchErrorKindName(FetchErrorKind K) {
+  switch (K) {
+  case FetchErrorKind::Timeout:
+    return "timeout";
+  case FetchErrorKind::ShortRead:
+    return "short-read";
+  case FetchErrorKind::Corrupt:
+    return "corrupt";
+  case FetchErrorKind::NotFound:
+    return "not-found";
+  case FetchErrorKind::Io:
+    return "io";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Retry policy
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Uniform double in [0, 1) from a 64-bit hash.
+double unitDouble(uint64_t H) {
+  return static_cast<double>(H >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+double RetryPolicy::backoffSeconds(uint32_t Frame, unsigned Attempt) const {
+  double Base = BaseBackoffSeconds;
+  for (unsigned I = 0; I != Attempt && Base < MaxBackoffSeconds; ++I)
+    Base *= BackoffMultiplier;
+  Base = std::min(Base, MaxBackoffSeconds);
+  // Jitter is a pure function of (seed, frame, attempt): concurrent
+  // fetches replay the same delays no matter how threads interleave.
+  uint64_t H = mix64(JitterSeed ^ mix64(Frame) ^
+                     (static_cast<uint64_t>(Attempt) << 32));
+  double Factor = 1.0 + JitterFraction * (2.0 * unitDouble(H) - 1.0);
+  return std::max(0.0, Base * Factor);
+}
+
+FetchResult store::fetchWithRetry(FrameSource &Src, uint32_t Id,
+                                  const RetryPolicy &Policy,
+                                  FetchMetrics &M) {
+  unsigned Max = std::max(1u, Policy.MaxAttempts);
+  FetchResult Last;
+  for (unsigned A = 0; A != Max; ++A) {
+    FetchResult R =
+        Id == ManifestFrameId ? Src.fetchManifest() : Src.fetchFrame(Id);
+    ++M.Attempts;
+    M.VirtualSeconds += R.VirtualSeconds;
+    if (R.Ok) {
+      M.FetchedBytes += R.Bytes.size();
+      R.VirtualSeconds = M.VirtualSeconds;
+      return R;
+    }
+    if (!isTransient(R.Err)) {
+      // A dead frame will not come back; do not burn the retry budget.
+      R.VirtualSeconds = M.VirtualSeconds;
+      return R;
+    }
+    ++M.TransientFailures;
+    Last = std::move(R);
+    if (M.VirtualSeconds > Policy.DeadlineSeconds)
+      return FetchResult::failure(
+          FetchErrorKind::Timeout,
+          "fetch deadline exceeded after " + std::to_string(A + 1) +
+              " attempt(s): " + Last.Msg,
+          M.VirtualSeconds);
+    if (A + 1 != Max)
+      M.VirtualSeconds += Policy.backoffSeconds(Id, A);
+  }
+  return FetchResult::failure(Last.Err,
+                              "fetch failed after " + std::to_string(Max) +
+                                  " attempt(s): " + Last.Msg,
+                              M.VirtualSeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// LocalFrameSource
+//===----------------------------------------------------------------------===//
+
+LocalFrameSource::LocalFrameSource(std::string ChainSpec,
+                                   std::vector<std::vector<uint8_t>> FuncFrames)
+    : Spec(std::move(ChainSpec)), Frames(std::move(FuncFrames)) {}
+
+Result<std::unique_ptr<LocalFrameSource>>
+LocalFrameSource::fromContainerBytes(ByteSpan Bytes) {
+  Result<pipeline::Container> C = pipeline::tryUnpackContainer(Bytes);
+  if (!C.ok())
+    return C.error();
+  if (C.value().Frames.empty())
+    return DecodeError("frame source: container has no manifest frame");
+  std::vector<std::vector<uint8_t>> Funcs(
+      std::make_move_iterator(C.value().Frames.begin() + 1),
+      std::make_move_iterator(C.value().Frames.end()));
+  std::unique_ptr<LocalFrameSource> S(
+      new LocalFrameSource(std::move(C.value().ChainSpec), std::move(Funcs)));
+  S->Manifest = std::move(C.value().Frames[0]);
+  S->HasManifest = true;
+  return S;
+}
+
+size_t LocalFrameSource::frameBytes() const {
+  size_t N = 0;
+  for (const std::vector<uint8_t> &F : Frames)
+    N += F.size();
+  return N;
+}
+
+FetchResult LocalFrameSource::fetchFrame(uint32_t Id) {
+  if (Id >= Frames.size())
+    return FetchResult::failure(FetchErrorKind::NotFound,
+                                "local source: no frame " +
+                                    std::to_string(Id));
+  return FetchResult::success(Frames[Id]);
+}
+
+FetchResult LocalFrameSource::fetchManifest() {
+  if (!HasManifest)
+    return FetchResult::failure(FetchErrorKind::NotFound,
+                                "local source: built in memory, no manifest");
+  return FetchResult::success(Manifest);
+}
+
+//===----------------------------------------------------------------------===//
+// FileFrameSource
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t PackMagic = 0x4B504343; // "CCPK", pipeline/Pipeline.cpp.
+
+/// Reads \p N bytes at absolute \p Offset; short result means EOF.
+std::vector<uint8_t> readAt(std::ifstream &In, uint64_t Offset, size_t N) {
+  In.clear();
+  In.seekg(static_cast<std::streamoff>(Offset));
+  std::vector<uint8_t> Buf(N);
+  In.read(reinterpret_cast<char *>(Buf.data()),
+          static_cast<std::streamsize>(N));
+  Buf.resize(static_cast<size_t>(In.gcount()));
+  return Buf;
+}
+
+} // namespace
+
+Result<std::unique_ptr<FileFrameSource>>
+FileFrameSource::open(const std::string &Path) {
+  return tryDecode([&]() -> std::unique_ptr<FileFrameSource> {
+    std::unique_ptr<FileFrameSource> S(new FileFrameSource());
+    S->Path = Path;
+    S->In.open(Path, std::ios::binary);
+    if (!S->In)
+      decodeFail("file source: cannot open '" + Path + "'");
+    S->In.seekg(0, std::ios::end);
+    uint64_t FileSize = static_cast<uint64_t>(S->In.tellg());
+
+    // Parse magic + chain spec + frame count from a bounded prefix; a
+    // store container's header is tiny, so a spec that does not fit
+    // here is corruption, not a real chain.
+    std::vector<uint8_t> Head =
+        readAt(S->In, 0, static_cast<size_t>(std::min<uint64_t>(
+                             FileSize, 64 * 1024)));
+    ByteReader R(Head);
+    if (R.readU32() != PackMagic)
+      decodeFail("file source: bad container magic in '" + Path + "'");
+    S->Spec = R.readStr();
+    uint64_t NumFrames = R.readVarU();
+    // Reserve-bomb guard: each frame costs at least one length byte, so
+    // a count beyond the file size is lying about what is stored.
+    if (NumFrames == 0 || NumFrames > FileSize)
+      decodeFail("file source: inflated frame count in '" + Path + "'");
+
+    // Walk the frame length prefixes to build the offset table; only
+    // the ~10-byte varints are read, never the frame payloads.
+    uint64_t Pos = R.pos();
+    S->Slots.reserve(static_cast<size_t>(NumFrames));
+    for (uint64_t I = 0; I != NumFrames; ++I) {
+      if (Pos >= FileSize)
+        decodeFail("file source: truncated frame table in '" + Path + "'");
+      std::vector<uint8_t> VarBuf = readAt(
+          S->In, Pos,
+          static_cast<size_t>(std::min<uint64_t>(10, FileSize - Pos)));
+      ByteReader VR(VarBuf);
+      uint64_t Len = VR.readVarU();
+      uint64_t PayloadOff = Pos + VR.pos();
+      // The claimed length must fit in the bytes that actually exist:
+      // this is what keeps a corrupt "4 GiB frame" from ever reaching
+      // an allocation.
+      if (Len > FileSize - PayloadOff)
+        decodeFail("file source: frame " + std::to_string(I) +
+                   " overruns the file in '" + Path + "'");
+      S->Slots.push_back({PayloadOff, Len});
+      Pos = PayloadOff + Len;
+    }
+    if (Pos != FileSize)
+      decodeFail("file source: trailing bytes in '" + Path + "'");
+    return S;
+  });
+}
+
+size_t FileFrameSource::frameBytes() const {
+  size_t N = 0;
+  for (size_t I = 1; I < Slots.size(); ++I)
+    N += static_cast<size_t>(Slots[I].Size);
+  return N;
+}
+
+FetchResult FileFrameSource::readSlot(size_t Slot) {
+  const FrameSlot &F = Slots[Slot];
+  std::lock_guard<std::mutex> L(Mu);
+  In.clear();
+  In.seekg(static_cast<std::streamoff>(F.Offset));
+  // Size was validated against the file size at open(); this cannot be
+  // a reserve bomb.
+  std::vector<uint8_t> Buf(static_cast<size_t>(F.Size));
+  In.read(reinterpret_cast<char *>(Buf.data()),
+          static_cast<std::streamsize>(F.Size));
+  if (static_cast<uint64_t>(In.gcount()) != F.Size)
+    return FetchResult::failure(FetchErrorKind::Io,
+                                "file source: short read from '" + Path +
+                                    "'");
+  return FetchResult::success(std::move(Buf));
+}
+
+FetchResult FileFrameSource::fetchFrame(uint32_t Id) {
+  if (Id >= functionFrameCount())
+    return FetchResult::failure(FetchErrorKind::NotFound,
+                                "file source: no frame " + std::to_string(Id) +
+                                    " in '" + Path + "'");
+  return readSlot(Id + 1);
+}
+
+FetchResult FileFrameSource::fetchManifest() {
+  if (Slots.empty())
+    return FetchResult::failure(FetchErrorKind::NotFound,
+                                "file source: no manifest in '" + Path + "'");
+  return readSlot(0);
+}
+
+//===----------------------------------------------------------------------===//
+// SimulatedRemoteFrameSource
+//===----------------------------------------------------------------------===//
+
+SimulatedRemoteFrameSource::SimulatedRemoteFrameSource(
+    std::unique_ptr<FrameSource> OriginSrc, RemoteOptions O)
+    : Origin(std::move(OriginSrc)), Opts(O) {
+  size_t N = static_cast<size_t>(Origin->functionFrameCount()) + 1;
+  Attempts = std::make_unique<std::atomic<uint32_t>[]>(N);
+  for (size_t I = 0; I != N; ++I)
+    Attempts[I].store(0, std::memory_order_relaxed);
+}
+
+double SimulatedRemoteFrameSource::payloadSeconds(size_t Bytes) {
+  // Batched mode opens the link once per session; every later frame
+  // rides the established connection (sim::Link::streamSeconds).
+  double Setup = Opts.Link.LatencySeconds;
+  if (Opts.Latency == LatencyMode::Batched &&
+      SessionOpen.exchange(true, std::memory_order_relaxed))
+    Setup = 0;
+  return Setup + Opts.Link.streamSeconds(Bytes);
+}
+
+FetchResult SimulatedRemoteFrameSource::transport(uint32_t DrawId,
+                                                  FetchResult FromOrigin) {
+  if (!FromOrigin.Ok) {
+    // The origin's own failure (missing frame, dead file) rides back
+    // over the link: charge a round trip, keep the typed error.
+    FromOrigin.VirtualSeconds += payloadSeconds(0);
+    return FromOrigin;
+  }
+  size_t Slot = DrawId == ManifestFrameId ? Origin->functionFrameCount()
+                                          : DrawId;
+  uint32_t Attempt = Attempts[Slot].fetch_add(1, std::memory_order_relaxed);
+  // The failure draw is a pure function of (seed, frame, attempt#): the
+  // Nth attempt at a frame behaves identically across runs and thread
+  // schedules.
+  uint64_t H = mix64(Opts.FaultSeed ^ mix64(DrawId) ^
+                     (static_cast<uint64_t>(Attempt) << 33));
+  double Transfer = payloadSeconds(FromOrigin.Bytes.size());
+  if (unitDouble(H) >= Opts.TransientFailureRate)
+    return FetchResult::success(std::move(FromOrigin.Bytes), Transfer);
+
+  std::string Frame = DrawId == ManifestFrameId ? std::string("manifest")
+                                                : std::to_string(DrawId);
+  switch (mix64(H) % 3) {
+  case 0:
+    // Timeout: the full transfer window passed and nothing usable came.
+    return FetchResult::failure(FetchErrorKind::Timeout,
+                                "remote: fetch of frame " + Frame +
+                                    " timed out",
+                                Transfer);
+  case 1: {
+    // Short read: the connection dropped partway through the payload.
+    double Fraction = unitDouble(mix64(H ^ 0x5DEECE66Dull));
+    return FetchResult::failure(FetchErrorKind::ShortRead,
+                                "remote: connection dropped mid-frame " +
+                                    Frame,
+                                Opts.Link.LatencySeconds +
+                                    Fraction * Opts.Link.streamSeconds(
+                                                   FromOrigin.Bytes.size()));
+  }
+  default:
+    // Detected corruption: the bytes arrived (full transfer paid) but
+    // the transfer checksum rejected them, so nothing is delivered.
+    return FetchResult::failure(FetchErrorKind::Corrupt,
+                                "remote: checksum rejected frame " + Frame,
+                                Transfer);
+  }
+}
+
+FetchResult SimulatedRemoteFrameSource::fetchFrame(uint32_t Id) {
+  if (Id >= Origin->functionFrameCount())
+    return Origin->fetchFrame(Id); // NotFound, untouched by the link model.
+  return transport(Id, Origin->fetchFrame(Id));
+}
+
+FetchResult SimulatedRemoteFrameSource::fetchManifest() {
+  return transport(ManifestFrameId, Origin->fetchManifest());
+}

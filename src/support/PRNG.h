@@ -18,6 +18,17 @@
 
 namespace ccomp {
 
+/// The splitmix64 finalizer as a stateless hash: maps any 64-bit key to
+/// a well-mixed 64-bit value. Use it when a draw must be a pure function
+/// of its inputs (e.g. per-(frame, attempt) failure and jitter decisions
+/// that may race across threads but must not depend on interleaving).
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
 /// Deterministic 64-bit PRNG.
 class PRNG {
 public:

@@ -20,9 +20,14 @@
 
 #include "brisc/Brisc.h"
 #include "flate/Flate.h"
+#include "store/CodeStore.h"
+#include "store/FrameSource.h"
+#include "support/ByteIO.h"
 #include "support/FaultInject.h"
 #include "vm/Encode.h"
 #include "wire/Wire.h"
+
+#include <fstream>
 
 using namespace ccomp;
 using namespace ccomp::test;
@@ -166,6 +171,106 @@ TEST(FaultInjection, VMEncodingsSurviveCorruption) {
   sweep(Compact, 4002, [](const std::vector<uint8_t> &Bad) {
     return vm::tryDecodeFunctionCompact(Bad).ok();
   }, "vm compact");
+}
+
+//===----------------------------------------------------------------------===//
+// Store containers: manifest, frame table, and frames. Corruption must
+// surface as a typed load or fault error, whether the container is
+// parsed from memory (tryLoad) or demand-read from disk through a
+// FileFrameSource's offset table (tryOpenFile).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> storeImage(const vm::VMProgram &P,
+                                const std::string &Chain) {
+  std::string Err;
+  std::unique_ptr<store::CodeStore> S =
+      store::CodeStore::build(P, Chain, store::StoreOptions(), Err);
+  EXPECT_NE(S, nullptr) << Chain << ": " << Err;
+  return S->save();
+}
+
+/// Loads a (possibly corrupt) store and faults every function: true
+/// only if everything decoded cleanly.
+bool faultAll(Result<std::unique_ptr<store::CodeStore>> L) {
+  if (!L.ok())
+    return false;
+  std::unique_ptr<store::CodeStore> S = L.take();
+  for (uint32_t I = 0; I != S->functionCount(); ++I)
+    if (!S->fault(I).ok())
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(FaultInjection, StoreContainerSurvivesCorruptionInMemory) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  for (const char *Chain : {"flate", "brisc+flate"}) {
+    std::vector<uint8_t> Img = storeImage(P, Chain);
+    ASSERT_TRUE(faultAll(store::CodeStore::tryLoad(Img, store::StoreOptions())))
+        << Chain << ": the uncorrupted image must serve";
+
+    sweep(Img, 5000, [&](const std::vector<uint8_t> &Bad) {
+      return faultAll(store::CodeStore::tryLoad(Bad, store::StoreOptions()));
+    }, "store tryLoad");
+  }
+}
+
+TEST(FaultInjection, StoreFileSurvivesCorruptionOnDisk) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  std::vector<uint8_t> Img = storeImage(P, "vm-compact+flate");
+  const std::string Path = testing::TempDir() + "ccomp_fault_store.ccpk";
+
+  auto OpenCorrupt = [&](const std::vector<uint8_t> &Bad) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(reinterpret_cast<const char *>(Bad.data()),
+              static_cast<std::streamsize>(Bad.size()));
+    Out.close();
+    return faultAll(store::CodeStore::tryOpenFile(Path, store::StoreOptions()));
+  };
+  ASSERT_TRUE(OpenCorrupt(Img)) << "the uncorrupted file must serve";
+
+  sweep(Img, 5100, OpenCorrupt, "store tryOpenFile");
+}
+
+// A corrupt length prefix must never turn into an allocation: every
+// claimed frame size is validated against the real file size before any
+// buffer is reserved (the reserve-bomb check).
+TEST(FaultInjection, FileSourceRejectsReserveBombs) {
+  const std::string Path = testing::TempDir() + "ccomp_bomb.ccpk";
+  auto WriteAndOpen = [&](const std::vector<uint8_t> &Bytes) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    Out.close();
+    return store::FileFrameSource::open(Path);
+  };
+
+  // A container whose one frame claims to be ~1 TiB.
+  ByteWriter Bomb;
+  Bomb.writeU32(0x4B504343); // CCPK
+  Bomb.writeStr("flate");
+  Bomb.writeVarU(2);                  // manifest + 1 function frame
+  Bomb.writeVarU(uint64_t(1) << 40);  // manifest "length"
+  Bomb.writeU8(0);
+  Result<std::unique_ptr<store::FileFrameSource>> R =
+      WriteAndOpen(Bomb.bytes());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("overruns"), std::string::npos)
+      << R.error().message();
+
+  // A frame count far beyond what the file could hold.
+  ByteWriter Count;
+  Count.writeU32(0x4B504343);
+  Count.writeStr("flate");
+  Count.writeVarU(uint64_t(1) << 50);
+  Result<std::unique_ptr<store::FileFrameSource>> R2 =
+      WriteAndOpen(Count.bytes());
+  ASSERT_FALSE(R2.ok());
+  EXPECT_NE(R2.error().message().find("frame count"), std::string::npos)
+      << R2.error().message();
 }
 
 //===----------------------------------------------------------------------===//

@@ -28,6 +28,41 @@ TEST(Transport, DeliveryTotals) {
   EXPECT_NEAR(D.total(), D.TransferSeconds + 0.5, 1e-12);
 }
 
+// Pins the two costing modes: LatencySeconds is per-transfer *setup*,
+// charged exactly once by transferSeconds() and not at all by
+// streamSeconds(). A frame stream over one session costs latency once
+// plus the summed stream time — never N redials.
+TEST(Transport, LatencyChargedOncePerTransferAndBatchedStreams) {
+  for (const Link &L : {modem28k(), isdn128k(), ethernet10M(), fast100M()}) {
+    EXPECT_NEAR(L.streamSeconds(3600), 3600 * 8.0 / L.BitsPerSecond, 1e-12)
+        << L.Name;
+    EXPECT_NEAR(L.transferSeconds(3600),
+                L.LatencySeconds + L.streamSeconds(3600), 1e-12)
+        << L.Name;
+    EXPECT_NEAR(L.transferSeconds(0), L.LatencySeconds, 1e-12)
+        << L.Name << ": an empty transfer still pays setup exactly once";
+
+    // 100 frames of 512 bytes: per-fetch vs one batched session.
+    double PerFetch = 0, Stream = 0;
+    for (int I = 0; I != 100; ++I) {
+      PerFetch += L.transferSeconds(512);
+      Stream += L.streamSeconds(512);
+    }
+    double Batched = L.LatencySeconds + Stream;
+    EXPECT_NEAR(PerFetch, 100 * L.LatencySeconds + Stream, 1e-9) << L.Name;
+    EXPECT_NEAR(PerFetch - Batched, 99 * L.LatencySeconds, 1e-9)
+        << L.Name << ": the modes differ by exactly the saved redials";
+  }
+}
+
+TEST(Paging, RemoteTotalTimeModel) {
+  // 3s CPU + 0.5s of measured decode; 2s of virtual link time.
+  TotalTime T = remoteTotalTime(3.0, 500000000ull, 2000000000ull);
+  EXPECT_NEAR(T.CpuSeconds, 3.5, 1e-12);
+  EXPECT_NEAR(T.PagingSeconds, 2.0, 1e-12);
+  EXPECT_NEAR(T.total(), 5.5, 1e-12);
+}
+
 TEST(Paging, SequentialFitsInBudget) {
   // 4 pages cycled, 4 frames: only compulsory faults.
   std::vector<uint32_t> Trace;
