@@ -54,21 +54,30 @@ struct StoreForm {
 void statsLine(const char *Link, const char *Form, size_t Bytes,
                double FetchS, double DecodeS, double CpuS, double TotalS,
                const store::StoreStats *St, double FailRate) {
-  std::printf("CCOMP-STATS {\"bench\":\"remote_paging\",\"link\":\"%s\","
-              "\"form\":\"%s\",\"compressed_bytes\":%zu,\"fail_rate\":%.2f,"
-              "\"fetch_virtual_s\":%.4f,\"decode_s\":%.4f,\"cpu_s\":%.4f,"
-              "\"total_s\":%.4f",
-              Link, Form, Bytes, FailRate, FetchS, DecodeS, CpuS, TotalS);
+  // Link and form names are free-form text: escape them, and validate
+  // the assembled line so the emitted format stays parseable.
+  char Buf[768];
+  int N = std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"bench\":\"remote_paging\",\"link\":\"%s\","
+      "\"form\":\"%s\",\"compressed_bytes\":%zu,\"fail_rate\":%.2f,"
+      "\"fetch_virtual_s\":%.4f,\"decode_s\":%.4f,\"cpu_s\":%.4f,"
+      "\"total_s\":%.4f",
+      jsonEscape(Link).c_str(), jsonEscape(Form).c_str(), Bytes, FailRate,
+      FetchS, DecodeS, CpuS, TotalS);
   if (St)
-    std::printf(",\"misses\":%llu,\"hit_rate\":%.4f,\"fetched_bytes\":%llu,"
-                "\"fetch_attempts\":%llu,\"fetch_retries\":%llu,"
-                "\"fetch_failures\":%llu",
-                (unsigned long long)St->Misses, St->hitRate(),
-                (unsigned long long)St->FetchedBytes,
-                (unsigned long long)St->FetchAttempts,
-                (unsigned long long)St->FetchRetries,
-                (unsigned long long)St->FetchFailures);
-  std::printf("}\n");
+    N += std::snprintf(
+        Buf + N, sizeof(Buf) - N,
+        ",\"misses\":%llu,\"hit_rate\":%.4f,\"fetched_bytes\":%llu,"
+        "\"fetch_attempts\":%llu,\"fetch_retries\":%llu,"
+        "\"fetch_failures\":%llu",
+        (unsigned long long)St->Misses, St->hitRate(),
+        (unsigned long long)St->FetchedBytes,
+        (unsigned long long)St->FetchAttempts,
+        (unsigned long long)St->FetchRetries,
+        (unsigned long long)St->FetchFailures);
+  std::snprintf(Buf + N, sizeof(Buf) - N, "}");
+  emitStats(Buf);
 }
 
 } // namespace

@@ -101,6 +101,108 @@ Result<VMFunction> pipeline::tryDecodeFuncImage(ByteSpan Bytes) {
   return tryDecode([&] { return decodeFuncImageOrThrow(Bytes); });
 }
 
+std::vector<PageChunk> pipeline::splitFunctionPages(const VMFunction &F,
+                                                    size_t TargetBytes) {
+  const size_t Len = F.Code.size();
+  // Block boundaries: the entry plus every label position inside the
+  // body (a label at Len marks an empty trailing block; no cut needed).
+  std::vector<uint32_t> Cuts;
+  Cuts.reserve(F.LabelPos.size() + 2);
+  Cuts.push_back(0);
+  for (uint32_t L : F.LabelPos)
+    if (L < Len)
+      Cuts.push_back(L);
+  Cuts.push_back(static_cast<uint32_t>(Len));
+  std::sort(Cuts.begin(), Cuts.end());
+  Cuts.erase(std::unique(Cuts.begin(), Cuts.end()), Cuts.end());
+
+  std::vector<PageChunk> Pages;
+  uint32_t PageStart = 0;
+  size_t PageBytes = 0;
+  auto Flush = [&](uint32_t UpTo) {
+    if (UpTo == PageStart)
+      return;
+    PageChunk P;
+    P.FirstInstr = PageStart;
+    P.Code.assign(F.Code.begin() + PageStart, F.Code.begin() + UpTo);
+    Pages.push_back(std::move(P));
+    PageStart = UpTo;
+    PageBytes = 0;
+  };
+  for (size_t C = 0; C + 1 < Cuts.size(); ++C) {
+    size_t BlockBytes = 0;
+    for (uint32_t I = Cuts[C]; I != Cuts[C + 1]; ++I)
+      BlockBytes += vm::encodedSize(F.Code[I]);
+    if (TargetBytes && PageBytes && PageBytes + BlockBytes > TargetBytes)
+      Flush(Cuts[C]);
+    PageBytes += BlockBytes;
+  }
+  Flush(static_cast<uint32_t>(Len));
+  if (Pages.empty())
+    Pages.push_back(PageChunk{}); // An empty function still gets a page.
+  return Pages;
+}
+
+std::vector<uint8_t>
+pipeline::encodePagePayload(PayloadKind K, const std::vector<Instr> &Code,
+                            std::vector<uint32_t> *PageLabels) {
+  if (K == PayloadKind::Module)
+    reportFatal("page payload requested from a module-granularity codec");
+  VMFunction PF;
+  PF.Code = Code;
+  if (K != PayloadKind::FuncImage)
+    return vm::encodeFunction(PF); // Targets stay function-label indices.
+
+  // The image format resolves targets to instruction indices and its
+  // decoder validates them against the page's own length, so
+  // whole-function label indices cannot ride through it. Rewrite each
+  // branch target to its rank among the page's referenced labels and
+  // give the image the identity label table {0..k-1}: k never exceeds
+  // the page's branch count, so every rank is a valid in-page
+  // instruction index, and the decoder's canonical table rebuild maps
+  // rank r back to exactly r.
+  std::vector<uint32_t> Labels;
+  for (const Instr &In : Code)
+    if (vm::isBranch(In.Op))
+      Labels.push_back(In.Target);
+  std::sort(Labels.begin(), Labels.end());
+  Labels.erase(std::unique(Labels.begin(), Labels.end()), Labels.end());
+  for (Instr &In : PF.Code)
+    if (vm::isBranch(In.Op)) {
+      auto It = std::lower_bound(Labels.begin(), Labels.end(), In.Target);
+      In.Target = static_cast<uint32_t>(It - Labels.begin());
+    }
+  PF.LabelPos.resize(Labels.size());
+  for (uint32_t R = 0; R != PF.LabelPos.size(); ++R)
+    PF.LabelPos[R] = R;
+  if (PageLabels)
+    *PageLabels = std::move(Labels);
+  return encodeFuncImage(PF);
+}
+
+Result<std::vector<Instr>>
+pipeline::tryDecodePagePayload(PayloadKind K, ByteSpan Bytes,
+                               const std::vector<uint32_t> &PageLabels) {
+  if (K != PayloadKind::FuncImage)
+    return vm::tryDecodeFunction(Bytes);
+  Result<VMFunction> Img = tryDecodeFuncImage(Bytes);
+  if (!Img.ok())
+    return Img.error();
+  return tryDecode([&] {
+    VMFunction F = Img.take();
+    for (Instr &In : F.Code)
+      if (vm::isBranch(In.Op)) {
+        // The image's rebuilt label table holds the ranks encodePagePayload
+        // assigned; map each back to its function-label index.
+        uint32_t Rank = F.LabelPos[In.Target];
+        if (Rank >= PageLabels.size())
+          decodeFail("page: branch rank outside the page label table");
+        In.Target = PageLabels[Rank];
+      }
+    return std::move(F.Code);
+  });
+}
+
 std::vector<std::vector<uint8_t>>
 pipeline::makePayloads(const Codec &C, const vm::VMProgram &P,
                        const ir::Module *M) {

@@ -51,6 +51,48 @@ std::vector<std::vector<uint8_t>> makePayloads(const Codec &C,
                                                const vm::VMProgram &P,
                                                const ir::Module *M);
 
+//===----------------------------------------------------------------------===//
+// Page-chunked payloads (sub-function fault granularity)
+//===----------------------------------------------------------------------===//
+
+/// One page of a paged function: the instructions
+/// [FirstInstr, FirstInstr + Code.size()) of the body, with branch
+/// targets still expressed as function-label indices.
+struct PageChunk {
+  uint32_t FirstInstr = 0;
+  std::vector<vm::Instr> Code;
+};
+
+/// Splits \p F at branch-label boundaries into basic blocks and greedily
+/// packs adjacent blocks into pages holding at most \p TargetBytes of
+/// fixed-width encoded code. A single block larger than the target still
+/// forms one (oversized) page, so every split is a valid partition.
+/// TargetBytes == 0 disables the limit: one page spans the whole
+/// function.
+std::vector<PageChunk> splitFunctionPages(const vm::VMFunction &F,
+                                          size_t TargetBytes);
+
+/// Encodes one page's instructions as the payload kind \p K expects:
+/// fixed-width code for Raw/FixedCode chains, a self-contained function
+/// image for FuncImage chains. Image payloads rewrite each branch target
+/// to its rank among the sorted distinct function-label indices the page
+/// references (the image format validates targets against the page's own
+/// length, which whole-function label indices would violate); the
+/// rank -> label-index list is returned through \p PageLabels (required
+/// for FuncImage, ignored otherwise) and must be presented back to
+/// tryDecodePagePayload. \p K must not be Module.
+std::vector<uint8_t> encodePagePayload(PayloadKind K,
+                                       const std::vector<vm::Instr> &Code,
+                                       std::vector<uint32_t> *PageLabels);
+
+/// Decodes a page payload produced by encodePagePayload back into
+/// instructions whose branch targets are function-label indices again.
+/// Corrupt bytes — including rank targets outside \p PageLabels — yield
+/// a typed DecodeError.
+Result<std::vector<vm::Instr>>
+tryDecodePagePayload(PayloadKind K, ByteSpan Bytes,
+                     const std::vector<uint32_t> &PageLabels);
+
 } // namespace pipeline
 } // namespace ccomp
 

@@ -38,6 +38,10 @@ PagingResult simulateLRU(const std::vector<uint32_t> &Trace,
 /// Disk/backing-store model for turning faults into time.
 struct DiskModel {
   double FaultSeconds = 0.012; ///< ~12ms seek+read, period-accurate.
+  /// Sequential transfer rate for the bytes a fault reads, used by the
+  /// page-granularity model where fault payloads vary in size (~2 MB/s,
+  /// period-accurate commodity disk).
+  double TransferBytesPerSecond = 2e6;
 };
 
 /// Total-time model: CPU execution time plus fault service time. The
@@ -62,6 +66,24 @@ inline TotalTime storeTotalTime(double CpuSeconds, uint64_t Faults,
                                 uint64_t DecodeNanos, const DiskModel &D) {
   return {CpuSeconds + static_cast<double>(DecodeNanos) / 1e9,
           static_cast<double>(Faults) * D.FaultSeconds};
+}
+
+/// Page-granularity variant of storeTotalTime: when the store faults
+/// sub-function pages, the fixed per-fault seek still applies to every
+/// fault, but the read size now varies with the page, so the transfer
+/// term is modeled from the compressed bytes actually fetched
+/// (store::StoreStats::FetchedBytes) instead of being folded into the
+/// seek constant. Smaller pages trade more seeks for fewer wasted bytes
+/// per fault — the sweep in EXPERIMENTS E7 measures where that trade
+/// pays off.
+inline TotalTime pagedStoreTotalTime(double CpuSeconds, uint64_t Faults,
+                                     uint64_t FetchedCompressedBytes,
+                                     uint64_t DecodeNanos,
+                                     const DiskModel &D) {
+  return {CpuSeconds + static_cast<double>(DecodeNanos) / 1e9,
+          static_cast<double>(Faults) * D.FaultSeconds +
+              static_cast<double>(FetchedCompressedBytes) /
+                  D.TransferBytesPerSecond};
 }
 
 /// Remote-fetch variant: a store miss pays link transfer time instead of

@@ -23,7 +23,8 @@ using pipeline::PayloadKind;
 namespace {
 
 constexpr uint32_t ManifestMagic = 0x4D534343; // "CCSM".
-constexpr uint8_t ManifestVersion = 1;
+constexpr uint8_t ManifestVersion = 1;      // Whole-function frames.
+constexpr uint8_t ManifestVersionPaged = 2; // Sub-function page frames.
 
 uint64_t nowNanos() {
   return static_cast<uint64_t>(
@@ -51,11 +52,33 @@ size_t store::decodedCostBytes(const vm::VMFunction &F) {
 void CodeStore::initRuntime(StoreOptions O) {
   Opts = O;
   unsigned N = std::max(1u, Opts.Shards);
-  N = std::min<unsigned>(N, std::max<size_t>(1, Funcs.size()));
+  N = std::min<unsigned>(N, std::max<uint32_t>(1, frameCount()));
   Shards = std::vector<Shard>(N);
-  size_t PerShard = std::max<size_t>(1, Opts.CacheBudgetBytes / N);
-  for (Shard &Sh : Shards)
-    Sh.Budget = PerShard;
+  // Split the budget so the shard budgets sum to exactly the configured
+  // bytes: budget/N each, with the remainder spread one byte per shard.
+  // (A plain budget/N truncates — a 7-byte budget over 4 shards would
+  // silently serve only 4 bytes of capacity.)
+  size_t Base = Opts.CacheBudgetBytes / N;
+  size_t Rem = Opts.CacheBudgetBytes % N;
+  for (unsigned I = 0; I != N; ++I)
+    Shards[I].Budget = Base + (I < Rem ? 1 : 0);
+}
+
+void CodeStore::indexPages() {
+  FrameFunc.clear();
+  if (!Paged)
+    return;
+  FrameFunc.reserve(TotalPages);
+  for (uint32_t F = 0; F != Funcs.size(); ++F)
+    for (size_t K = 0; K != Funcs[F].Pages.size(); ++K)
+      FrameFunc.push_back(F);
+}
+
+size_t CodeStore::cacheBudgetBytes() const {
+  size_t Total = 0;
+  for (const Shard &Sh : Shards)
+    Total += Sh.Budget;
+  return Total;
 }
 
 std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
@@ -88,28 +111,73 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
   S->Skel.Globals = P.Globals;
   S->Skel.GlobalBase = P.GlobalBase;
   S->Skel.GlobalEnd = P.GlobalEnd;
+  S->Paged = Opts.PageTargetBytes > 0;
 
-  // Per-function payloads, matching makePayloads' contract per kind.
+  // Per-function (or per-page) payloads, matching makePayloads' contract
+  // per kind.
   std::vector<std::vector<uint8_t>> Payloads;
-  Payloads.reserve(P.Functions.size());
-  for (const vm::VMFunction &F : P.Functions)
-    Payloads.push_back(S->Kind == PayloadKind::FuncImage
-                           ? pipeline::encodeFuncImage(F)
-                           : vm::encodeFunction(F));
+  if (!S->Paged) {
+    Payloads.reserve(P.Functions.size());
+    for (const vm::VMFunction &F : P.Functions)
+      Payloads.push_back(S->Kind == PayloadKind::FuncImage
+                             ? pipeline::encodeFuncImage(F)
+                             : vm::encodeFunction(F));
+    S->Funcs.reserve(P.Functions.size());
+    for (size_t I = 0; I != P.Functions.size(); ++I) {
+      FuncRecord Rec;
+      Rec.Name = P.Functions[I].Name;
+      Rec.FrameSize = P.Functions[I].FrameSize;
+      // The function image carries its own label table; code-only bodies
+      // need the manifest to preserve it.
+      if (S->Kind != PayloadKind::FuncImage)
+        Rec.LabelPos = P.Functions[I].LabelPos;
+      S->Funcs.push_back(std::move(Rec));
+    }
+  } else {
+    S->Funcs.reserve(P.Functions.size());
+    for (const vm::VMFunction &F : P.Functions) {
+      const vm::VMFunction *Use = &F;
+      vm::VMFunction Canon;
+      if (S->Kind == PayloadKind::FuncImage) {
+        // Canonicalize through the image round trip first (sorted,
+        // deduplicated label table), so the pages' label references,
+        // the manifest's label table, and what an unpaged store would
+        // decode all agree — fault() reassembles a byte-identical body.
+        Result<vm::VMFunction> C =
+            pipeline::tryDecodeFuncImage(pipeline::encodeFuncImage(F));
+        if (!C.ok()) {
+          Error = "store: function '" + F.Name +
+                  "' does not round-trip as an image: " + C.error().message();
+          return nullptr;
+        }
+        Canon = C.take();
+        Use = &Canon;
+      }
+      FuncRecord Rec;
+      Rec.Name = Use->Name;
+      Rec.FrameSize = Use->FrameSize;
+      Rec.LabelPos = Use->LabelPos;
+      Rec.CodeLen = static_cast<uint32_t>(Use->Code.size());
+      Rec.FirstPage = S->TotalPages;
+      std::vector<pipeline::PageChunk> Chunks =
+          pipeline::splitFunctionPages(*Use, Opts.PageTargetBytes);
+      for (pipeline::PageChunk &C : Chunks) {
+        PageRec PR;
+        PR.FirstInstr = C.FirstInstr;
+        PR.InstrCount = static_cast<uint32_t>(C.Code.size());
+        Payloads.push_back(pipeline::encodePagePayload(
+            S->Kind, C.Code,
+            S->Kind == PayloadKind::FuncImage ? &PR.Labels : nullptr));
+        Rec.Pages.push_back(std::move(PR));
+      }
+      S->TotalPages += static_cast<uint32_t>(Chunks.size());
+      S->Funcs.push_back(std::move(Rec));
+    }
+  }
   std::vector<std::vector<uint8_t>> Frames =
       pipeline::compressAll(S->Chain, Payloads, Opts.BuildJobs);
 
-  S->Funcs.reserve(P.Functions.size());
-  for (size_t I = 0; I != P.Functions.size(); ++I) {
-    FuncRecord Rec;
-    Rec.Name = P.Functions[I].Name;
-    Rec.FrameSize = P.Functions[I].FrameSize;
-    // The function image carries its own label table; code-only bodies
-    // need the manifest to preserve it.
-    if (S->Kind != PayloadKind::FuncImage)
-      Rec.LabelPos = P.Functions[I].LabelPos;
-    S->Funcs.push_back(std::move(Rec));
-  }
+  S->indexPages();
   S->Source =
       std::make_unique<LocalFrameSource>(ChainSpec, std::move(Frames));
   S->initRuntime(Opts);
@@ -119,7 +187,7 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
 Result<std::vector<uint8_t>> CodeStore::trySave() {
   ByteWriter W;
   W.writeU32(ManifestMagic);
-  W.writeU8(ManifestVersion);
+  W.writeU8(Paged ? ManifestVersionPaged : ManifestVersion);
   W.writeU8(bodyTag(Kind));
   W.writeVarU(Skel.Entry);
   W.writeVarU(Skel.GlobalBase);
@@ -136,21 +204,36 @@ Result<std::vector<uint8_t>> CodeStore::trySave() {
   for (const FuncRecord &Rec : Funcs) {
     W.writeStr(Rec.Name);
     W.writeVarU(Rec.FrameSize);
+    if (Paged)
+      W.writeVarU(Rec.CodeLen);
     W.writeVarU(Rec.LabelPos.size());
     for (uint32_t L : Rec.LabelPos)
       W.writeVarU(L);
+    if (Paged) {
+      W.writeVarU(Rec.Pages.size());
+      for (const PageRec &PR : Rec.Pages) {
+        W.writeVarU(PR.InstrCount);
+        if (Kind == PayloadKind::FuncImage) {
+          W.writeVarU(PR.Labels.size());
+          for (uint32_t L : PR.Labels)
+            W.writeVarU(L);
+        }
+      }
+    }
   }
 
   std::vector<std::vector<uint8_t>> Items;
-  Items.reserve(Funcs.size() + 1);
+  Items.reserve(frameCount() + 1);
   Items.push_back(W.take());
-  for (uint32_t I = 0; I != functionCount(); ++I) {
+  for (uint32_t I = 0; I != frameCount(); ++I) {
     FetchMetrics M;
     FetchResult R = fetchWithRetry(*Source, I, Opts.Retry, M);
-    if (!R.Ok)
-      return DecodeError("store: save: fetch frame of '" + Funcs[I].Name +
+    if (!R.Ok) {
+      const std::string &Name = Funcs[Paged ? FrameFunc[I] : I].Name;
+      return DecodeError("store: save: fetch frame of '" + Name +
                          "' failed [" + fetchErrorKindName(R.Err) +
                          "]: " + R.Msg);
+    }
     Items.push_back(std::move(R.Bytes));
   }
   return pipeline::packContainer(Spec, Items);
@@ -209,8 +292,10 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
     ByteReader R(Manifest);
     if (R.readU32() != ManifestMagic)
       decodeFail("store: bad manifest magic");
-    if (R.readU8() != ManifestVersion)
+    uint8_t Version = R.readU8();
+    if (Version != ManifestVersion && Version != ManifestVersionPaged)
       decodeFail("store: unsupported manifest version");
+    S->Paged = Version == ManifestVersionPaged;
     if (R.readU8() != bodyTag(S->Kind))
       decodeFail("store: manifest payload kind does not match codec chain");
     S->Skel.Entry = static_cast<uint32_t>(R.readVarU());
@@ -228,18 +313,74 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
       S->Skel.Globals.push_back(std::move(G));
     }
     size_t NumFuncs = R.readVarU();
-    if (NumFuncs != Src->functionFrameCount())
-      decodeFail("store: manifest function count does not match frames");
+    if (NumFuncs > Manifest.size())
+      decodeFail("store: inflated function count");
     for (size_t I = 0; I != NumFuncs; ++I) {
       FuncRecord Rec;
       Rec.Name = R.readStr();
       Rec.FrameSize = static_cast<uint32_t>(R.readVarU());
+      if (S->Paged)
+        Rec.CodeLen = static_cast<uint32_t>(R.readVarU());
       size_t NumLabels = R.readVarU();
       if (NumLabels > Manifest.size())
         decodeFail("store: inflated label count");
       Rec.LabelPos.reserve(NumLabels);
       for (size_t L = 0; L != NumLabels; ++L)
         Rec.LabelPos.push_back(static_cast<uint32_t>(R.readVarU()));
+      if (S->Paged) {
+        // The interpreter branches through this table before the page
+        // holding the target is decoded, so validate it here: every
+        // label must land inside the function (== CodeLen means a
+        // branch to the end, which traps cleanly).
+        for (uint32_t L : Rec.LabelPos)
+          if (L > Rec.CodeLen)
+            decodeFail("store: label past the end of '" + Rec.Name + "'");
+        size_t NumPages = R.readVarU();
+        if (NumPages == 0)
+          decodeFail("store: function '" + Rec.Name + "' has no pages");
+        if (NumPages > Manifest.size())
+          decodeFail("store: inflated page count");
+        Rec.FirstPage = S->TotalPages;
+        uint64_t Covered = 0;
+        Rec.Pages.reserve(NumPages);
+        for (size_t Pg = 0; Pg != NumPages; ++Pg) {
+          PageRec PR;
+          PR.FirstInstr = static_cast<uint32_t>(Covered);
+          PR.InstrCount = static_cast<uint32_t>(R.readVarU());
+          if (PR.InstrCount == 0 && Rec.CodeLen != 0)
+            decodeFail("store: empty page in '" + Rec.Name + "'");
+          Covered += PR.InstrCount;
+          if (Covered > Rec.CodeLen)
+            decodeFail("store: page table of '" + Rec.Name +
+                       "' overruns the function");
+          if (S->Kind == PayloadKind::FuncImage) {
+            size_t NumPageLabels = R.readVarU();
+            if (NumPageLabels > Manifest.size())
+              decodeFail("store: inflated page label count");
+            PR.Labels.reserve(NumPageLabels);
+            for (size_t PL = 0; PL != NumPageLabels; ++PL) {
+              uint32_t L = static_cast<uint32_t>(R.readVarU());
+              // Page labels index the function label table and must be
+              // strictly increasing (they are ranks' targets).
+              if (L >= NumLabels)
+                decodeFail("store: page label out of range in '" +
+                           Rec.Name + "'");
+              if (!PR.Labels.empty() && L <= PR.Labels.back())
+                decodeFail("store: unsorted page labels in '" + Rec.Name +
+                           "'");
+              PR.Labels.push_back(L);
+            }
+          }
+          Rec.Pages.push_back(std::move(PR));
+        }
+        if (Covered != Rec.CodeLen)
+          decodeFail("store: page table of '" + Rec.Name +
+                     "' does not cover the function");
+        uint64_t Total = uint64_t(S->TotalPages) + NumPages;
+        if (Total > Src->functionFrameCount())
+          decodeFail("store: manifest page count does not match frames");
+        S->TotalPages = static_cast<uint32_t>(Total);
+      }
       S->Funcs.push_back(std::move(Rec));
     }
     if (!R.atEnd())
@@ -248,6 +389,10 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
       decodeFail("store: container holds no functions");
     if (S->Skel.Entry >= S->Funcs.size())
       decodeFail("store: entry function out of range");
+    size_t WantFrames = S->Paged ? S->TotalPages : S->Funcs.size();
+    if (WantFrames != Src->functionFrameCount())
+      decodeFail("store: manifest frame count does not match container");
+    S->indexPages();
     S->Source = std::move(Src);
     S->initRuntime(Opts);
     // Charge the manifest's transport cost to shard 0 so stats() shows
@@ -267,7 +412,7 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
 //===----------------------------------------------------------------------===//
 
 CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
-  const FuncRecord &Rec = Funcs[Id];
+  const FuncRecord &Rec = Funcs[Paged ? FrameFunc[Id] : Id];
   FetchResult Fetched = fetchWithRetry(*Source, Id, Opts.Retry, M);
   if (!Fetched.Ok)
     return DecodeError("store: fetch frame of '" + Rec.Name + "' failed [" +
@@ -280,6 +425,24 @@ CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
     Cur = R.take();
   }
   std::shared_ptr<vm::VMFunction> F;
+  if (Paged) {
+    const PageRec &PR = Rec.Pages[Id - Rec.FirstPage];
+    Result<std::vector<vm::Instr>> Code =
+        pipeline::tryDecodePagePayload(Kind, Cur, PR.Labels);
+    if (!Code.ok())
+      return Code.error();
+    F = std::make_shared<vm::VMFunction>();
+    F->Code = Code.take();
+    if (F->Code.size() != PR.InstrCount)
+      return DecodeError("store: page of '" + Rec.Name +
+                         "' decoded to the wrong instruction count");
+    // The interpreter indexes the *function* label table unchecked.
+    for (const vm::Instr &In : F->Code)
+      if (vm::isBranch(In.Op) && In.Target >= Rec.LabelPos.size())
+        return DecodeError("store: branch to a missing label in '" +
+                           Rec.Name + "'");
+    return std::shared_ptr<const vm::VMFunction>(std::move(F));
+  }
   if (Kind == PayloadKind::FuncImage) {
     Result<vm::VMFunction> Img = pipeline::tryDecodeFuncImage(Cur);
     if (!Img.ok())
@@ -310,8 +473,8 @@ CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
 void CodeStore::evictOver(Shard &Sh, uint32_t Keep) {
   // Evict from the cold end until under budget. The entry faulted in
   // most recently (Keep) is never a victim, so a budget smaller than one
-  // function still serves; pinned entries are skipped under the
-  // pin-aware policy.
+  // frame still serves; pinned entries are skipped under the pin-aware
+  // policy.
   while (Sh.S.ResidentBytes > Sh.Budget && Sh.Map.size() > 1) {
     auto VictimIt = Sh.Lru.end();
     for (auto R = Sh.Lru.rbegin(); R != Sh.Lru.rend(); ++R) {
@@ -336,9 +499,10 @@ void CodeStore::evictOver(Shard &Sh, uint32_t Keep) {
   }
 }
 
-CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
-  if (Id >= Funcs.size())
-    return DecodeError("store: function id " + std::to_string(Id) +
+CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin,
+                                             bool Prefetch) {
+  if (Id >= frameCount())
+    return DecodeError("store: frame id " + std::to_string(Id) +
                        " out of range");
   Shard &Sh = shardOf(Id);
   for (;;) {
@@ -349,17 +513,20 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
       auto It = Sh.Map.find(Id);
       if (It != Sh.Map.end()) {
         Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, It->second.LruIt);
-        ++Sh.S.Hits;
+        if (!Prefetch)
+          ++Sh.S.Hits;
         if (Pin && !It->second.Pinned) {
           It->second.Pinned = true;
           ++Sh.S.PinnedFunctions;
         }
         return It->second.Fn;
       }
-      ++Sh.S.Misses;
+      if (!Prefetch)
+        ++Sh.S.Misses;
       auto FIt = Sh.InFlight.find(Id);
       if (FIt != Sh.InFlight.end()) {
-        ++Sh.S.SingleFlightWaits;
+        if (!Prefetch)
+          ++Sh.S.SingleFlightWaits;
         Wait = FIt->second;
       } else {
         Sh.InFlight.emplace(Id, Pr.get_future().share());
@@ -398,6 +565,8 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
         ++Sh.S.FetchFailures;
       } else {
         ++Sh.S.Decodes;
+        if (Prefetch)
+          ++Sh.S.PrefetchDecodes;
         Sh.S.DecodeNanos += Nanos;
       }
       if (!Out.ok()) {
@@ -422,17 +591,93 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin) {
   }
 }
 
+CodeStore::FaultOutcome CodeStore::assembleFunction(uint32_t Fn, bool Pin) {
+  const FuncRecord &Rec = Funcs[Fn];
+  auto F = std::make_shared<vm::VMFunction>();
+  F->Name = Rec.Name;
+  F->FrameSize = Rec.FrameSize;
+  F->LabelPos = Rec.LabelPos;
+  // A hostile manifest can claim any CodeLen it likes as long as its
+  // page table sums to it; growth past this cap is paid for by actual
+  // decoded pages, so a reserve bomb never allocates ahead of content.
+  F->Code.reserve(std::min<size_t>(Rec.CodeLen, size_t(1) << 20));
+  for (uint32_t K = 0; K != Rec.Pages.size(); ++K) {
+    FaultOutcome R = faultImpl(Rec.FirstPage + K, Pin, /*Prefetch=*/false);
+    if (!R.ok())
+      return R.error();
+    const std::shared_ptr<const vm::VMFunction> &Body = R.value();
+    F->Code.insert(F->Code.end(), Body->Code.begin(), Body->Code.end());
+  }
+  return std::shared_ptr<const vm::VMFunction>(std::move(F));
+}
+
 Result<std::shared_ptr<const vm::VMFunction>> CodeStore::fault(uint32_t Id) {
-  return faultImpl(Id, /*Pin=*/false);
+  if (Id >= Funcs.size())
+    return DecodeError("store: function id " + std::to_string(Id) +
+                       " out of range");
+  if (!Paged)
+    return faultImpl(Id, /*Pin=*/false, /*Prefetch=*/false);
+  return assembleFunction(Id, /*Pin=*/false);
+}
+
+Result<vm::CodeSpan> CodeStore::faultSpan(uint32_t Fn, uint32_t Idx) {
+  if (Fn >= Funcs.size())
+    return DecodeError("store: function id " + std::to_string(Fn) +
+                       " out of range");
+  vm::CodeSpan S;
+  if (!Paged) {
+    FaultOutcome R = faultImpl(Fn, /*Pin=*/false, /*Prefetch=*/false);
+    if (!R.ok())
+      return R.error();
+    std::shared_ptr<const vm::VMFunction> B = R.take();
+    S.Code = B->Code.data();
+    S.Begin = 0;
+    S.End = static_cast<uint32_t>(B->Code.size());
+    S.FuncLen = S.End;
+    S.Labels = &B->LabelPos;
+    S.Name = &B->Name;
+    S.Keep = std::move(B);
+    return S;
+  }
+  const FuncRecord &Rec = Funcs[Fn];
+  // Clamp an out-of-range Idx to the last page: the interpreter checks
+  // the Pc against the function length itself and traps with the
+  // function's name.
+  uint32_t I = Idx;
+  if (Rec.CodeLen == 0)
+    I = 0;
+  else if (I >= Rec.CodeLen)
+    I = Rec.CodeLen - 1;
+  auto It = std::upper_bound(
+      Rec.Pages.begin(), Rec.Pages.end(), I,
+      [](uint32_t V, const PageRec &P) { return V < P.FirstInstr; });
+  uint32_t K = static_cast<uint32_t>(It - Rec.Pages.begin()) - 1;
+  FaultOutcome R = faultImpl(Rec.FirstPage + K, /*Pin=*/false,
+                             /*Prefetch=*/false);
+  if (!R.ok())
+    return R.error();
+  std::shared_ptr<const vm::VMFunction> B = R.take();
+  const PageRec &PR = Rec.Pages[K];
+  S.Code = B->Code.data();
+  S.Begin = PR.FirstInstr;
+  S.End = PR.FirstInstr + PR.InstrCount;
+  S.FuncLen = Rec.CodeLen;
+  S.Labels = &Rec.LabelPos;
+  S.Name = &Rec.Name;
+  S.Keep = std::move(B);
+  return S;
 }
 
 Result<std::shared_ptr<const vm::VMFunction>> CodeStore::pin(uint32_t Id) {
-  return faultImpl(Id, /*Pin=*/true);
+  if (Id >= Funcs.size())
+    return DecodeError("store: function id " + std::to_string(Id) +
+                       " out of range");
+  if (!Paged)
+    return faultImpl(Id, /*Pin=*/true, /*Prefetch=*/false);
+  return assembleFunction(Id, /*Pin=*/true);
 }
 
-void CodeStore::unpin(uint32_t Id) {
-  if (Id >= Funcs.size())
-    return;
+void CodeStore::unpinEntry(uint32_t Id) {
   Shard &Sh = shardOf(Id);
   std::lock_guard<std::mutex> L(Sh.Mu);
   auto It = Sh.Map.find(Id);
@@ -442,11 +687,32 @@ void CodeStore::unpin(uint32_t Id) {
   }
 }
 
+void CodeStore::unpin(uint32_t Id) {
+  if (Id >= Funcs.size())
+    return;
+  if (!Paged) {
+    unpinEntry(Id);
+    return;
+  }
+  const FuncRecord &Rec = Funcs[Id];
+  for (uint32_t K = 0; K != Rec.Pages.size(); ++K)
+    unpinEntry(Rec.FirstPage + K);
+}
+
 void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
   for (uint32_t Id : Ids)
     Pool.submit([this, Id] {
       try {
-        (void)fault(Id);
+        if (Id >= Funcs.size())
+          return;
+        if (!Paged) {
+          (void)faultImpl(Id, /*Pin=*/false, /*Prefetch=*/true);
+          return;
+        }
+        const FuncRecord &Rec = Funcs[Id];
+        for (uint32_t K = 0; K != Rec.Pages.size(); ++K)
+          (void)faultImpl(Rec.FirstPage + K, /*Pin=*/false,
+                          /*Prefetch=*/true);
       } catch (...) {
         // Pool jobs must not throw; failures are already counted in
         // DecodeErrors by the fault path.
@@ -454,12 +720,22 @@ void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
     });
 }
 
-bool CodeStore::isResident(uint32_t Id) const {
-  if (Id >= Funcs.size())
-    return false;
+bool CodeStore::entryResident(uint32_t Id) const {
   const Shard &Sh = shardOf(Id);
   std::lock_guard<std::mutex> L(Sh.Mu);
   return Sh.Map.count(Id) != 0;
+}
+
+bool CodeStore::isResident(uint32_t Id) const {
+  if (Id >= Funcs.size())
+    return false;
+  if (!Paged)
+    return entryResident(Id);
+  const FuncRecord &Rec = Funcs[Id];
+  for (uint32_t K = 0; K != Rec.Pages.size(); ++K)
+    if (!entryResident(Rec.FirstPage + K))
+      return false;
+  return true;
 }
 
 StoreStats CodeStore::stats() const {
@@ -474,6 +750,7 @@ StoreStats CodeStore::stats() const {
     T.Hits += Sh.S.Hits;
     T.Misses += Sh.S.Misses;
     T.Decodes += Sh.S.Decodes;
+    T.PrefetchDecodes += Sh.S.PrefetchDecodes;
     T.SingleFlightWaits += Sh.S.SingleFlightWaits;
     T.DecodeErrors += Sh.S.DecodeErrors;
     T.Evictions += Sh.S.Evictions;

@@ -13,27 +13,41 @@
 /// keeping every function decoded.
 ///
 /// Pieces:
-///   - a sharded, byte-budgeted LRU decode cache (shard = id mod N, each
-///     shard owns budget/N bytes, its own mutex, and its own counters,
-///     so faults on different shards never contend);
-///   - single-flight deduplication: N threads faulting the same function
+///   - a sharded, byte-budgeted LRU decode cache (shard = id mod N, the
+///     budget is split across shards with the remainder distributed so
+///     the effective capacity equals the configured bytes; each shard
+///     owns its own mutex and counters, so faults on different shards
+///     never contend);
+///   - single-flight deduplication: N threads faulting the same frame
 ///     perform exactly one decode, the rest block on a shared_future;
 ///   - recoverable errors: a corrupt frame fails that fault with a typed
-///     DecodeError while every other function stays servable;
-///   - pin/prefetch: pinned functions are never evicted (under the
+///     DecodeError while every other frame stays servable;
+///   - pin/prefetch: pinned entries are never evicted (under the
 ///     pin-aware policy), prefetch warms ids through the support
-///     ThreadPool;
+///     ThreadPool without skewing the demand hit/miss counters;
 ///   - a Stats snapshot (consistent per construction: counters live
 ///     under the shard locks) that feeds sim::DiskModel for end-to-end
 ///     time estimates.
+///
+/// Fault granularity. By default a frame is one whole function. With
+/// StoreOptions::PageTargetBytes set, build() splits each function at
+/// branch-label boundaries into basic blocks, greedily packs adjacent
+/// blocks into *pages* of roughly that many fixed-width code bytes, and
+/// compresses each page as its own frame; the manifest carries a
+/// per-function page table. The cache then faults, evicts, pins, and
+/// single-flights at page granularity: faultSpan() decodes only the page
+/// holding the requested instruction (the vm::FunctionResolver hook the
+/// interpreter drives), while fault() assembles the full body from its
+/// pages — byte-identical to what an unpaged store would decode.
 ///
 /// Frames are produced by any registered pipeline::Codec chain whose
 /// first codec accepts per-function payloads (Raw, FixedCode or
 /// FuncImage). Module-granularity codecs (wire) cannot represent a
 /// single function and are rejected at build/load time with a clear
 /// error. The on-disk form is a standard CCPK container whose frame 0 is
-/// the store manifest (globals/entry skeleton plus per-function headers)
-/// and whose frames 1..N are the compressed function bodies.
+/// the store manifest (globals/entry skeleton plus per-function headers,
+/// manifest version 2 when paged) and whose frames 1..N are the
+/// compressed bodies (functions, or pages in manifest order).
 ///
 /// Frames live behind a FrameSource (store/FrameSource.h), so the same
 /// fault path serves frames held in memory (LocalFrameSource), read on
@@ -53,6 +67,7 @@
 #include "store/FrameSource.h"
 #include "support/Error.h"
 #include "support/Span.h"
+#include "vm/Machine.h"
 #include "vm/Program.h"
 
 #include <cstdint>
@@ -78,13 +93,21 @@ enum class EvictPolicy : uint8_t {
 
 /// Store construction knobs.
 struct StoreOptions {
-  /// Total decoded-bytes budget, split evenly across shards. The budget
-  /// is a target, not a hard cap: the entry faulted in most recently is
-  /// never evicted, so any budget >= 1 function still executes.
+  /// Total decoded-bytes budget, split across shards (remainder bytes go
+  /// one each to the first shards, so the shard budgets always sum to
+  /// this value). The budget is a target, not a hard cap: the entry
+  /// faulted in most recently is never evicted, so any budget >= 1
+  /// frame still executes.
   size_t CacheBudgetBytes = 1u << 20;
-  unsigned Shards = 8;       ///< Clamped to [1, functionCount].
+  unsigned Shards = 8;       ///< Clamped to [1, frame count].
   EvictPolicy Policy = EvictPolicy::PinAwareLRU;
   unsigned BuildJobs = 1;    ///< Compression fan-out in build().
+  /// build() only: when nonzero, split functions at basic-block
+  /// boundaries into pages of at most this many fixed-width code bytes
+  /// (an oversized single block still forms one page) and compress each
+  /// page as its own frame. Zero keeps whole-function frames. Loading
+  /// infers the granularity from the container's manifest version.
+  size_t PageTargetBytes = 0;
   /// How frame fetches behave on a flaky source (ignored by sources that
   /// cannot fail transiently).
   RetryPolicy Retry;
@@ -92,12 +115,16 @@ struct StoreOptions {
 
 /// Monotonic counters plus residency gauges. Snapshots are consistent:
 /// the counters are plain integers mutated under the shard locks, and
-/// stats() locks every shard before summing.
+/// stats() locks every shard before summing. Hits/Misses/Decodes count
+/// cache entries — whole functions, or pages for a paged store.
 struct StoreStats {
   uint64_t Hits = 0;
-  uint64_t Misses = 0;            ///< Faults (cold or re-fetch after evict).
-  uint64_t Decodes = 0;           ///< Decodes executed (<= Misses).
-  uint64_t SingleFlightWaits = 0; ///< Faults served by another thread's decode.
+  uint64_t Misses = 0;            ///< Demand faults (cold or re-fetch after evict).
+  uint64_t Decodes = 0;           ///< All decodes executed (demand + prefetch).
+  uint64_t PrefetchDecodes = 0;   ///< Decodes issued by prefetch() warms; these
+                                  ///< never count as Hits/Misses, so miss-rate
+                                  ///< lines reflect demand traffic only.
+  uint64_t SingleFlightWaits = 0; ///< Demand faults served by another thread's decode.
   uint64_t DecodeErrors = 0;
   uint64_t Evictions = 0;
   uint64_t DecodeNanos = 0;  ///< Wall time inside frame decodes.
@@ -111,8 +138,8 @@ struct StoreStats {
   uint64_t FetchVirtualNanos = 0; ///< Virtual link clock: transfer + backoff.
   // Gauges (current state, unaffected by resetStats).
   uint64_t ResidentBytes = 0;
-  uint64_t ResidentFunctions = 0;
-  uint64_t PinnedFunctions = 0;
+  uint64_t ResidentFunctions = 0; ///< Resident cache entries (functions or pages).
+  uint64_t PinnedFunctions = 0;   ///< Pinned cache entries (functions or pages).
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -121,12 +148,13 @@ struct StoreStats {
 };
 
 /// A module's functions as compressed frames with a decode-on-fault
-/// cache in front. Thread-safe: fault/pin/prefetch/stats may be called
-/// concurrently.
+/// cache in front. Thread-safe: fault/faultSpan/pin/prefetch/stats may
+/// be called concurrently.
 class CodeStore {
 public:
-  /// Compresses every function of \p P through \p ChainSpec. Returns
-  /// null and sets \p Error if the chain does not exist or cannot serve
+  /// Compresses every function of \p P through \p ChainSpec (splitting
+  /// into pages first when Opts.PageTargetBytes is set). Returns null
+  /// and sets \p Error if the chain does not exist or cannot serve
   /// per-function frames (module-granularity first codec).
   static std::unique_ptr<CodeStore> build(const vm::VMProgram &P,
                                           const std::string &ChainSpec,
@@ -172,29 +200,57 @@ public:
   }
   const std::string &chainSpec() const { return Spec; }
 
+  /// True when this store serves sub-function pages (built with
+  /// PageTargetBytes, or loaded from a version-2 container).
+  bool paged() const { return Paged; }
+  /// Total frames behind the source: pages when paged, else functions.
+  uint32_t frameCount() const {
+    return Paged ? TotalPages : functionCount();
+  }
+  /// Number of pages function \p Id was split into (1 when not paged).
+  uint32_t pageCountOf(uint32_t Id) const {
+    return Paged ? static_cast<uint32_t>(Funcs[Id].Pages.size()) : 1;
+  }
+
   /// Where this store's frames come from.
   const FrameSource &source() const { return *Source; }
 
   /// Total compressed frame bytes held by the store's source.
   size_t frameBytes() const { return Source->frameBytes(); }
 
-  /// The fault path: returns the decoded function, decoding at most once
-  /// no matter how many threads fault it concurrently. A corrupt frame
-  /// fails this call (and every retry) with a typed error; other
+  /// Effective cache capacity: the sum of all shard budgets. Always
+  /// equals the configured CacheBudgetBytes.
+  size_t cacheBudgetBytes() const;
+
+  /// The fault path: returns the decoded function, decoding each frame
+  /// at most once no matter how many threads fault it concurrently. On
+  /// a paged store this assembles the body from its pages (faulting
+  /// every page in) — byte-identical to the unpaged decode. A corrupt
+  /// frame fails this call (and every retry) with a typed error; other
   /// functions stay servable.
   Result<std::shared_ptr<const vm::VMFunction>> fault(uint32_t Id);
 
-  /// Faults \p Id in and marks it pinned; pinned entries are never
-  /// evicted under EvictPolicy::PinAwareLRU.
+  /// Page-granular fault: decodes only the page of function \p Fn
+  /// holding instruction \p Idx and returns it as an executable span
+  /// (whole body when not paged). An \p Idx past the end of the
+  /// function clamps to the last page, so the interpreter can trap on
+  /// the out-of-range Pc itself.
+  Result<vm::CodeSpan> faultSpan(uint32_t Fn, uint32_t Idx);
+
+  /// Faults \p Id in and marks it pinned (every page of it, when
+  /// paged); pinned entries are never evicted under
+  /// EvictPolicy::PinAwareLRU.
   Result<std::shared_ptr<const vm::VMFunction>> pin(uint32_t Id);
   void unpin(uint32_t Id);
 
-  /// Warms \p Ids through \p Pool (one fault per job); call Pool.wait()
-  /// to block until done. Decode failures are absorbed into the
-  /// DecodeErrors counter.
+  /// Warms \p Ids (function ids; all their pages when paged) through
+  /// \p Pool; call Pool.wait() to block until done. Prefetch warms are
+  /// accounted as PrefetchDecodes, never as demand Hits/Misses. Decode
+  /// failures are absorbed into the DecodeErrors counter.
   void prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool);
 
-  /// True if \p Id is decoded and resident right now (no LRU effect).
+  /// True if \p Id (every page of it, when paged) is decoded and
+  /// resident right now (no LRU effect).
   bool isResident(uint32_t Id) const;
 
   /// Consistent totals across all shards (locks every shard).
@@ -205,20 +261,41 @@ public:
 private:
   CodeStore() = default;
   void initRuntime(StoreOptions Opts);
+  void indexPages();
 
   using FaultOutcome = Result<std::shared_ptr<const vm::VMFunction>>;
-  FaultOutcome faultImpl(uint32_t Id, bool Pin);
+  /// Faults one cache entry (a function frame, or a page frame when
+  /// paged). \p Prefetch suppresses the demand Hit/Miss/wait counters
+  /// and counts successful decodes as PrefetchDecodes.
+  FaultOutcome faultImpl(uint32_t Id, bool Pin, bool Prefetch);
+  /// Faults every page of \p Fn and concatenates them into a full body.
+  FaultOutcome assembleFunction(uint32_t Fn, bool Pin);
   /// Fetches frame \p Id from the source (under Opts.Retry, charging \p
   /// M) and decodes it through the chain.
   FaultOutcome decodeFrame(uint32_t Id, FetchMetrics &M);
+  void unpinEntry(uint32_t Id);
+  bool entryResident(uint32_t Id) const;
+
+  /// One page's manifest entry: which slice of the function it holds,
+  /// and (FuncImage chains only) the rank -> function-label-index list
+  /// its payload's branch targets were rewritten through.
+  struct PageRec {
+    uint32_t FirstInstr = 0;
+    uint32_t InstrCount = 0;
+    std::vector<uint32_t> Labels;
+  };
 
   /// One compressed function's manifest header: what decodeFrame needs
-  /// to reassemble a VMFunction when the payload is code-only. The frame
-  /// itself lives in the FrameSource.
+  /// to reassemble a VMFunction when the payload is code-only. The
+  /// frames themselves live in the FrameSource.
   struct FuncRecord {
     std::string Name;
     uint32_t FrameSize = 0;
-    std::vector<uint32_t> LabelPos; ///< Empty for FuncImage payloads.
+    std::vector<uint32_t> LabelPos; ///< Empty for unpaged FuncImage payloads.
+    // Paged stores only:
+    uint32_t CodeLen = 0;   ///< Total instruction count.
+    uint32_t FirstPage = 0; ///< Frame id of this function's first page.
+    std::vector<PageRec> Pages;
   };
 
   struct Entry {
@@ -246,13 +323,17 @@ private:
   pipeline::PayloadKind Kind = pipeline::PayloadKind::FuncImage;
   vm::VMProgram Skel;
   std::vector<FuncRecord> Funcs;
+  bool Paged = false;
+  uint32_t TotalPages = 0;
+  std::vector<uint32_t> FrameFunc; ///< Frame id -> owning function (paged).
   std::unique_ptr<FrameSource> Source;
 
   StoreOptions Opts;
   std::vector<Shard> Shards;
 };
 
-/// Decoded in-memory footprint we charge the cache for one function.
+/// Decoded in-memory footprint we charge the cache for one function (or
+/// one page body).
 size_t decodedCostBytes(const vm::VMFunction &F);
 
 } // namespace store

@@ -19,6 +19,17 @@ StoreBackedResolver::resolve(uint32_t Fn, std::string &Err) {
   return R.take();
 }
 
+bool StoreBackedResolver::resolveSpan(uint32_t Fn, uint32_t Idx,
+                                      vm::CodeSpan &Out, std::string &Err) {
+  Result<vm::CodeSpan> R = Store.faultSpan(Fn, Idx);
+  if (!R.ok()) {
+    Err = R.error().message();
+    return false;
+  }
+  Out = R.take();
+  return true;
+}
+
 vm::RunResult store::runFromStore(CodeStore &S, vm::RunOptions Opts) {
   StoreBackedResolver Rv(S);
   Opts.Resolver = &Rv;

@@ -34,6 +34,12 @@ public:
   std::shared_ptr<const vm::VMFunction> resolve(uint32_t Fn,
                                                 std::string &Err) override;
 
+  /// Page-granular resolve: on a paged store only the page holding \p
+  /// Idx is decoded (hot pages of the same function stay resident while
+  /// cold ones fault on first touch); otherwise this is the whole body.
+  bool resolveSpan(uint32_t Fn, uint32_t Idx, vm::CodeSpan &Out,
+                   std::string &Err) override;
+
 private:
   CodeStore &Store;
 };

@@ -15,6 +15,22 @@ using namespace ccomp::vm;
 
 FunctionResolver::~FunctionResolver() = default;
 
+bool FunctionResolver::resolveSpan(uint32_t Fn, uint32_t Idx, CodeSpan &Out,
+                                   std::string &Err) {
+  (void)Idx; // Whole-function resolvers serve every index from one span.
+  std::shared_ptr<const VMFunction> H = resolve(Fn, Err);
+  if (!H)
+    return false;
+  Out.Code = H->Code.data();
+  Out.Begin = 0;
+  Out.End = static_cast<uint32_t>(H->Code.size());
+  Out.FuncLen = Out.End;
+  Out.Labels = &H->LabelPos;
+  Out.Name = &H->Name;
+  Out.Keep = std::move(H);
+  return true;
+}
+
 Machine::Machine(const VMProgram &P, RunOptions Options)
     : Prog(P), Opts(Options) {
   resetState();
@@ -340,63 +356,125 @@ RunResult Machine::run() {
   uint32_t Pc = 0;
   uint64_t Steps = 0;
 
-  // The currently executing function. With a resolver, Keep pins the
-  // decoded body for exactly as long as we execute inside it; every
-  // cross-function transfer (CALL/RJR/EPI) re-resolves, so an evicted
-  // callee or caller faults back in on return — the decode-on-fault
-  // behaviour the store measures.
-  const VMFunction *F = nullptr;
-  std::shared_ptr<const VMFunction> Keep;
-  auto Enter = [&](uint32_t NewFn) -> bool {
+  // The span of code currently executing. Without a resolver (or with a
+  // whole-function one) this is the entire body; a page-granular
+  // resolver hands out one decoded page at a time, and Span.Keep pins
+  // exactly that page while control stays inside it. Any transfer that
+  // leaves the span — call, return, a branch to a cold page, or
+  // fallthrough off the page's end — re-resolves, so evicted code
+  // faults back in at the resolver's granularity.
+  CodeSpan Span;
+  auto Resolve = [&](uint32_t Id, uint32_t Idx, CodeSpan &Out) -> bool {
+    if (!Rv) {
+      const VMFunction &Body = Prog.Functions[Id];
+      Out = CodeSpan();
+      Out.Code = Body.Code.data();
+      Out.Begin = 0;
+      Out.End = static_cast<uint32_t>(Body.Code.size());
+      Out.FuncLen = Out.End;
+      Out.Labels = &Body.LabelPos;
+      Out.Name = &Body.Name;
+      return true;
+    }
+    std::string Err;
+    Out = CodeSpan();
+    if (!Rv->resolveSpan(Id, Idx, Out, Err)) {
+      trap("resolve function " + std::to_string(Id) + ": " + Err);
+      return false;
+    }
+    return true;
+  };
+  auto Enter = [&](uint32_t NewFn, uint32_t NewPc) -> bool {
     if (NewFn >= FnCount) {
       trap("transfer to unknown function " + std::to_string(NewFn));
       return false;
     }
-    if (!Rv) {
-      F = &Prog.Functions[NewFn];
-      return true;
-    }
-    std::string Err;
-    std::shared_ptr<const VMFunction> H = Rv->resolve(NewFn, Err);
-    if (!H) {
-      trap("resolve function " + std::to_string(NewFn) + ": " + Err);
+    if (!Resolve(NewFn, NewPc, Span))
       return false;
-    }
-    Keep = std::move(H);
-    F = Keep.get();
+    Fn = NewFn;
+    Pc = NewPc;
     return true;
   };
-  auto MetaOf = [&](uint32_t Id) -> const FuncMeta & {
-    if (!MetaKnown[Id]) {
-      Metas[Id] = deriveMeta(*F); // F is the body of the current Id.
-      MetaKnown[Id] = 1;
+  // EPI metadata scan: walk the prologue (ENTER at instruction 0, then
+  // SPILLs) across spans, so a page-granular resolver only decodes the
+  // page(s) the prologue occupies. Reuses the executing span when it
+  // already covers the scan position. Null on a resolve failure (trap
+  // is already set).
+  auto MetaOf = [&](uint32_t Id) -> const FuncMeta * {
+    if (MetaKnown[Id])
+      return &Metas[Id];
+    FuncMeta M;
+    uint32_t I = 0;
+    bool More = true;
+    while (More) {
+      CodeSpan Local;
+      const CodeSpan *S;
+      if (Id == Fn && Span.contains(I)) {
+        S = &Span;
+      } else {
+        if (!Resolve(Id, I, Local))
+          return nullptr;
+        S = &Local;
+      }
+      More = false;
+      while (I < S->End) {
+        const Instr &In = S->Code[I - S->Begin];
+        if (I == 0 && In.Op == VMOp::ENTER) {
+          M.FrameSize = static_cast<uint32_t>(In.Imm);
+          ++I;
+          continue;
+        }
+        if (In.Op == VMOp::SPILL) {
+          M.Saves.push_back({In.Rd, In.Imm});
+          ++I;
+          continue;
+        }
+        break; // First non-prologue instruction ends the scan.
+      }
+      // The prologue ran to the span's edge with function left to scan.
+      if (I == S->End && I < S->FuncLen)
+        More = true;
     }
-    return Metas[Id];
+    Metas[Id] = std::move(M);
+    MetaKnown[Id] = 1;
+    return &Metas[Id];
   };
 
-  if (!Enter(Fn)) {
+  if (!Enter(Fn, 0)) {
     Res.Trap = TrapMsg;
     return Res;
   }
 
   while (!Halted && !Trapped) {
-    if (Pc >= F->Code.size()) {
-      trap("fell off the end of function " + F->Name);
-      break;
+    if (!Span.contains(Pc)) {
+      if (Pc >= Span.FuncLen) {
+        trap("fell off the end of function " +
+             (Span.Name ? *Span.Name : std::string("?")));
+        break;
+      }
+      // Pc is a valid instruction outside the resident span: a page
+      // fault. Re-resolve; the resolver decodes just that page.
+      if (!Resolve(Fn, Pc, Span))
+        break;
+      if (!Span.contains(Pc)) {
+        trap("resolver span does not cover instruction " +
+             std::to_string(Pc));
+        break;
+      }
     }
     if (++Steps > Opts.MaxSteps) {
       trap("step limit exceeded");
       break;
     }
     touchCode(Fn, Pc);
-    const Instr &In = F->Code[Pc];
+    const Instr &In = Span.Code[Pc - Span.Begin];
     if (dataStep(In)) {
       ++Pc;
       continue;
     }
     switch (In.Op) {
     case VMOp::JMP:
-      Pc = F->LabelPos[In.Target];
+      Pc = (*Span.Labels)[In.Target];
       break;
     case VMOp::BEQ: case VMOp::BNE: case VMOp::BLT: case VMOp::BLE:
     case VMOp::BGT: case VMOp::BGE: case VMOp::BLTU: case VMOp::BLEU:
@@ -404,17 +482,14 @@ RunResult Machine::run() {
     case VMOp::BEQI: case VMOp::BNEI: case VMOp::BLTI: case VMOp::BLEI:
     case VMOp::BGTI: case VMOp::BGEI: case VMOp::BLTUI: case VMOp::BLEUI:
     case VMOp::BGTUI: case VMOp::BGEUI:
-      Pc = branchTaken(In) ? F->LabelPos[In.Target] : Pc + 1;
+      Pc = branchTaken(In) ? (*Span.Labels)[In.Target] : Pc + 1;
       break;
     case VMOp::CALL: {
-      // Copy the target out first: Enter() releases the current body,
+      // Copy the target out first: Enter() releases the current span,
       // and In points into it.
       uint32_t Callee = In.Target;
       setReg(RA, encodeRet(Fn, Pc + 1));
-      if (!Enter(Callee))
-        break;
-      Fn = Callee;
-      Pc = 0;
+      Enter(Callee, 0);
       break;
     }
     case VMOp::RJR: {
@@ -428,14 +503,14 @@ RunResult Machine::run() {
         trap("rjr through non-code address");
         break;
       }
-      if (!Enter(retFunc(Addr)))
-        break;
-      Fn = retFunc(Addr);
-      Pc = retIdx(Addr);
+      Enter(retFunc(Addr), retIdx(Addr));
       break;
     }
     case VMOp::EPI: {
-      uint32_t Addr = execEpi(MetaOf(Fn));
+      const FuncMeta *Meta = MetaOf(Fn);
+      if (!Meta)
+        break; // Trapped while resolving the prologue.
+      uint32_t Addr = execEpi(*Meta);
       if (Addr == HaltRA) {
         Halted = true;
         Exit = static_cast<int32_t>(R[N0]);
@@ -445,10 +520,7 @@ RunResult Machine::run() {
         trap("epi return through non-code address");
         break;
       }
-      if (!Enter(retFunc(Addr)))
-        break;
-      Fn = retFunc(Addr);
-      Pc = retIdx(Addr);
+      Enter(retFunc(Addr), retIdx(Addr));
       break;
     }
     default:

@@ -29,15 +29,39 @@
 namespace ccomp {
 namespace vm {
 
+/// A resolved, contiguous slice of one function's code — the unit the
+/// interpreter executes from. A whole-function resolver hands out the
+/// entire body as one span; a page-granular resolver (a paged CodeStore)
+/// hands out the decoded page containing the requested instruction, so
+/// control transfers into cold pages fault only that page in.
+///
+/// Code points at the instructions of [Begin, End); indexing is
+/// Code[Pc - Begin]. Labels and Name describe the *whole* function (a
+/// branch target may land outside this span, which makes the
+/// interpreter re-resolve). Keep pins whatever storage Code points
+/// into; Labels/Name must outlive the span's use (they typically point
+/// into the resolver's own tables or into *Keep).
+struct CodeSpan {
+  std::shared_ptr<const VMFunction> Keep;
+  const Instr *Code = nullptr;
+  uint32_t Begin = 0;   ///< First instruction index covered.
+  uint32_t End = 0;     ///< One past the last instruction covered.
+  uint32_t FuncLen = 0; ///< Total instruction count of the function.
+  const std::vector<uint32_t> *Labels = nullptr; ///< Function label table.
+  const std::string *Name = nullptr;             ///< For diagnostics.
+
+  bool contains(uint32_t Idx) const { return Idx >= Begin && Idx < End; }
+};
+
 /// Supplies function bodies to the interpreter on demand. The default
 /// (no resolver) executes straight out of VMProgram::Functions; a
 /// resolver lets call/return transfers fault bodies in lazily from a
 /// compressed store (store::StoreBackedResolver) instead of requiring a
 /// fully decoded module up front.
 ///
-/// Thread-safety: resolve() may be called from whichever thread runs the
-/// Machine; implementations shared between machines must synchronize
-/// internally.
+/// Thread-safety: resolve()/resolveSpan() may be called from whichever
+/// thread runs the Machine; implementations shared between machines must
+/// synchronize internally.
 class FunctionResolver {
 public:
   virtual ~FunctionResolver();
@@ -51,6 +75,17 @@ public:
   /// and the process carries on.
   virtual std::shared_ptr<const VMFunction> resolve(uint32_t Fn,
                                                     std::string &Err) = 0;
+
+  /// Resolves the span containing instruction \p Idx of function \p Fn.
+  /// The base implementation forwards to resolve() and returns the whole
+  /// body as one span; page-granular resolvers override it to decode
+  /// only the page holding \p Idx. An \p Idx at or past the end of the
+  /// function must still yield a valid span (clamp to the last page) —
+  /// the interpreter detects the out-of-range Pc against FuncLen and
+  /// traps with the function's name. Returns false with \p Err set on a
+  /// recoverable failure.
+  virtual bool resolveSpan(uint32_t Fn, uint32_t Idx, CodeSpan &Out,
+                           std::string &Err);
 };
 
 /// Optional mapping from (function, instruction) to code byte offsets in

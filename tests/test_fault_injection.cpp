@@ -20,6 +20,7 @@
 
 #include "brisc/Brisc.h"
 #include "flate/Flate.h"
+#include "pipeline/Pipeline.h"
 #include "store/CodeStore.h"
 #include "store/FrameSource.h"
 #include "support/ByteIO.h"
@@ -233,6 +234,233 @@ TEST(FaultInjection, StoreFileSurvivesCorruptionOnDisk) {
   ASSERT_TRUE(OpenCorrupt(Img)) << "the uncorrupted file must serve";
 
   sweep(Img, 5100, OpenCorrupt, "store tryOpenFile");
+}
+
+// Paged containers (manifest version 2): the per-function page table is
+// attacker-controlled input too. Seeded corruption of the whole image
+// must stay recoverable through load, whole-function assembly, and
+// page-granular spans.
+TEST(FaultInjection, PagedStoreContainerSurvivesCorruption) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  for (const char *Chain : {"flate", "brisc+flate"}) {
+    std::string Err;
+    store::StoreOptions SO;
+    SO.PageTargetBytes = 64; // Many small pages: a dense page table.
+    std::unique_ptr<store::CodeStore> Built =
+        store::CodeStore::build(P, Chain, SO, Err);
+    ASSERT_NE(Built, nullptr) << Chain << ": " << Err;
+    std::vector<uint8_t> Img = Built->save();
+
+    auto FaultAllSpans = [](Result<std::unique_ptr<store::CodeStore>> L) {
+      if (!L.ok())
+        return false;
+      std::unique_ptr<store::CodeStore> S = L.take();
+      for (uint32_t I = 0; I != S->functionCount(); ++I) {
+        if (!S->fault(I).ok())
+          return false;
+        if (!S->faultSpan(I, 0).ok())
+          return false;
+      }
+      return true;
+    };
+    ASSERT_TRUE(
+        FaultAllSpans(store::CodeStore::tryLoad(Img, store::StoreOptions())))
+        << Chain << ": the uncorrupted paged image must serve";
+
+    sweep(Img, 5200, [&](const std::vector<uint8_t> &Bad) {
+      return FaultAllSpans(
+          store::CodeStore::tryLoad(Bad, store::StoreOptions()));
+    }, "paged store tryLoad");
+  }
+}
+
+namespace {
+
+/// Packs a crafted version-2 (paged) store manifest plus \p NumFrames
+/// junk frames into a flate container, for targeted page-table attacks.
+/// \p BodyTag is 1 for fixed-code chains (flate), 0 for function images.
+std::vector<uint8_t>
+craftedPagedImage(const std::function<void(ByteWriter &)> &WriteFuncs,
+                  size_t NumFrames, const std::string &Chain = "flate",
+                  uint8_t BodyTag = 1) {
+  ByteWriter W;
+  W.writeU32(0x4D534343); // CCSM
+  W.writeU8(2);           // paged manifest version
+  W.writeU8(BodyTag);
+  W.writeVarU(0); // Entry
+  W.writeVarU(0); // GlobalBase
+  W.writeVarU(0); // GlobalEnd
+  W.writeVarU(0); // no globals
+  WriteFuncs(W);
+  std::vector<std::vector<uint8_t>> Frames;
+  Frames.push_back(W.take());
+  for (size_t I = 0; I != NumFrames; ++I)
+    Frames.push_back({1, 2, 3}); // Junk every codec rejects.
+  return pipeline::packContainer(Chain, Frames);
+}
+
+} // namespace
+
+// Hand-built page-table attacks: truncated tables, out-of-range page
+// extents, and reserve-bomb counts must all surface as typed errors —
+// at load where the manifest itself is inconsistent, at fault where
+// only the frame bytes can prove the lie — and never abort or allocate
+// ahead of decoded content. The asan preset runs these with the
+// allocator checked.
+TEST(FaultInjection, PagedManifestRejectsCraftedAttacks) {
+  store::StoreOptions SO;
+
+  auto ExpectLoadFails = [&](const std::vector<uint8_t> &Img,
+                             const char *Needle) {
+    Result<std::unique_ptr<store::CodeStore>> L = store::CodeStore::tryLoad(Img, SO);
+    ASSERT_FALSE(L.ok()) << Needle;
+    EXPECT_NE(L.error().message().find(Needle), std::string::npos)
+        << L.error().message();
+  };
+
+  // Truncated page table: the function claims two pages, the manifest
+  // ends after the first entry.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1); // one function
+                        W.writeStr("f");
+                        W.writeVarU(0); // FrameSize
+                        W.writeVarU(4); // CodeLen
+                        W.writeVarU(0); // no labels
+                        W.writeVarU(2); // two pages...
+                        W.writeVarU(2); // ...but only one entry
+                      },
+                      2),
+                  "past end");
+
+  // Reserve-bomb page count.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4);
+                        W.writeVarU(0);
+                        W.writeVarU(uint64_t(1) << 50); // page count bomb
+                      },
+                      1),
+                  "inflated page count");
+
+  // A page extending past the function.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4); // CodeLen 4
+                        W.writeVarU(0);
+                        W.writeVarU(1);
+                        W.writeVarU(10); // one 10-instruction page
+                      },
+                      1),
+                  "overruns the function");
+
+  // A page table that stops short of the function's end.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4);
+                        W.writeVarU(0);
+                        W.writeVarU(1);
+                        W.writeVarU(2); // covers 2 of 4 instructions
+                      },
+                      1),
+                  "does not cover");
+
+  // An empty page inside a nonempty function.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4);
+                        W.writeVarU(0);
+                        W.writeVarU(2);
+                        W.writeVarU(0); // empty page
+                        W.writeVarU(4);
+                      },
+                      2),
+                  "empty page");
+
+  // A branch label landing past the function's end.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4);
+                        W.writeVarU(1);
+                        W.writeVarU(9); // label at 9 of 4
+                        W.writeVarU(1);
+                        W.writeVarU(4);
+                      },
+                      1),
+                  "label past the end");
+
+  // A page-label rank pointing outside the function's label table
+  // (image chains only).
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(2);
+                        W.writeVarU(1);
+                        W.writeVarU(0); // one label, at 0
+                        W.writeVarU(1);
+                        W.writeVarU(2); // one 2-instruction page
+                        W.writeVarU(1);
+                        W.writeVarU(5); // page label 5 of 1
+                      },
+                      1, "brisc", /*BodyTag=*/0),
+                  "page label out of range");
+
+  // Page count disagreeing with the container's frame count.
+  ExpectLoadFails(craftedPagedImage(
+                      [](ByteWriter &W) {
+                        W.writeVarU(1);
+                        W.writeStr("f");
+                        W.writeVarU(0);
+                        W.writeVarU(4);
+                        W.writeVarU(0);
+                        W.writeVarU(1);
+                        W.writeVarU(4);
+                      },
+                      3),
+                  "does not match");
+
+  // A consistent-but-absurd page table (2^31 instructions in one page)
+  // parses, but faulting it must fail typed on the junk frame without
+  // allocating 2^31 instructions first.
+  {
+    std::vector<uint8_t> Img = craftedPagedImage(
+        [](ByteWriter &W) {
+          W.writeVarU(1);
+          W.writeStr("f");
+          W.writeVarU(0);
+          W.writeVarU(uint64_t(1) << 31);
+          W.writeVarU(0);
+          W.writeVarU(1);
+          W.writeVarU(uint64_t(1) << 31);
+        },
+        1);
+    Result<std::unique_ptr<store::CodeStore>> L =
+        store::CodeStore::tryLoad(Img, SO);
+    ASSERT_TRUE(L.ok()) << L.error().message();
+    std::unique_ptr<store::CodeStore> S = L.take();
+    Result<std::shared_ptr<const vm::VMFunction>> F = S->fault(0);
+    ASSERT_FALSE(F.ok());
+    Result<vm::CodeSpan> Sp = S->faultSpan(0, 5);
+    ASSERT_FALSE(Sp.ok());
+    EXPECT_EQ(S->stats().DecodeErrors, 2u);
+  }
 }
 
 // A corrupt length prefix must never turn into an allocation: every

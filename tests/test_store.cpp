@@ -371,6 +371,58 @@ TEST(Store, CorruptFrameFailsRecoverablyOthersServable) {
   EXPECT_NE(R.Trap.find("resolve function"), std::string::npos) << R.Trap;
 }
 
+// The shard split must not truncate: budget/N drops up to N-1 bytes, so
+// a 7-byte budget over 4 shards would quietly behave as 4 bytes. The
+// remainder is distributed one byte per shard and the effective
+// capacity always equals the configured budget.
+TEST(Store, ShardBudgetDistributesRemainder) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  for (unsigned Shards : {1u, 3u, 4u, 7u}) {
+    for (size_t Budget : {size_t(7), size_t(1), size_t(64) + 3,
+                          size_t(1) << 20}) {
+      StoreOptions Opts;
+      Opts.Shards = Shards;
+      Opts.CacheBudgetBytes = Budget;
+      std::unique_ptr<CodeStore> S = mustBuildStore(P, "flate", Opts);
+      ASSERT_NE(S, nullptr);
+      EXPECT_EQ(S->cacheBudgetBytes(), Budget)
+          << Shards << " shards, budget " << Budget;
+    }
+  }
+}
+
+// Prefetch warms must not masquerade as demand traffic: a prefetched
+// frame is neither a Hit nor a Miss, and its decode is tallied
+// separately as a PrefetchDecode.
+TEST(Store, PrefetchAccountsSeparatelyFromDemand) {
+  vm::VMProgram P = buildVM(syntheticSource(6));
+  std::unique_ptr<CodeStore> S = mustBuildStore(P, "flate", StoreOptions());
+  ASSERT_NE(S, nullptr);
+  std::vector<uint32_t> All;
+  for (uint32_t I = 0; I != S->functionCount(); ++I)
+    All.push_back(I);
+
+  ThreadPool Pool(4);
+  S->prefetch(All, Pool);
+  Pool.wait();
+
+  StoreStats St = S->stats();
+  EXPECT_EQ(St.Misses, 0u) << "prefetch warms are not cold misses";
+  EXPECT_EQ(St.Hits, 0u);
+  EXPECT_EQ(St.Decodes, uint64_t(All.size()));
+  EXPECT_EQ(St.PrefetchDecodes, uint64_t(All.size()));
+  EXPECT_EQ(St.ResidentFunctions, uint64_t(All.size()));
+
+  // Demand traffic after the warm-up is pure hits, and demand decodes
+  // (here: none) stay out of PrefetchDecodes.
+  ASSERT_TRUE(S->fault(0).ok());
+  St = S->stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 0u);
+  EXPECT_EQ(St.Decodes, uint64_t(All.size()));
+  EXPECT_EQ(St.PrefetchDecodes, uint64_t(All.size()));
+}
+
 TEST(Store, PrefetchWarmsTheCache) {
   vm::VMProgram P = buildVM(syntheticSource(8));
   vm::RunResult Eager = vm::runProgram(P);
