@@ -15,6 +15,13 @@
 // find the crossover where interpreting compressed code wins on total
 // time.
 //
+// Five acts, selectable with --act=N[,N...] (default: all):
+//   1  intro paging table (native vs interpreted, LRU simulator)
+//   2  decode-on-fault store vs simulator prediction
+//   3  sub-function page-size sweep
+//   4  hot-loop residency payoff (asserted)
+//   5  tiered native execution of the hot set (asserted speedup)
+//
 //===----------------------------------------------------------------------===//
 
 #include "../bench/BenchUtil.h"
@@ -26,7 +33,10 @@
 #include "sim/Paging.h"
 #include "store/CodeStore.h"
 #include "store/Resolver.h"
+#include "store/Tiered.h"
 #include "vm/Encode.h"
+
+#include <set>
 
 using namespace ccomp;
 using namespace ccomp::bench;
@@ -48,9 +58,40 @@ vm::CodeLayout functionLayout(const vm::VMProgram &P) {
   return L;
 }
 
+/// Parses --act=N[,N...]; no argument selects every act.
+std::set<int> parseActs(int Argc, char **Argv) {
+  std::set<int> Acts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--act=", 0) != 0)
+      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-5)");
+    std::string List = Arg.substr(6);
+    size_t Pos = 0;
+    while (Pos < List.size()) {
+      size_t Comma = List.find(',', Pos);
+      std::string Tok = List.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      if (Tok.empty() || Tok.find_first_not_of("0123456789") !=
+                             std::string::npos)
+        reportFatal("bench_paging: bad act '" + Tok + "'");
+      int N = std::atoi(Tok.c_str());
+      if (N < 1 || N > 5)
+        reportFatal("bench_paging: act out of range: " + Tok);
+      Acts.insert(N);
+      Pos = Comma == std::string::npos ? List.size() : Comma + 1;
+    }
+  }
+  if (Acts.empty())
+    Acts = {1, 2, 3, 4, 5};
+  return Acts;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::set<int> Acts = parseActs(Argc, Argv);
+  auto runAct = [&](int N) { return Acts.count(N) != 0; };
+
   const uint32_t PageSize = 512;
   sim::DiskModel Disk; // 12ms per fault.
 
@@ -58,61 +99,84 @@ int main() {
   // the synthetic icc class (calls a spread of its functions once).
   std::string Src = corpus::sizeClassSource("icc");
   vm::VMProgram P = mustBuild(Src);
+  const char *ChainSpec = "brisc+flate";
 
-  vm::CodeLayout L = vm::nativeLayout(P);
-  vm::RunOptions NOpts;
-  NOpts.Layout = &L;
-  NOpts.PageSize = PageSize;
-  vm::RunResult NR = vm::runProgram(P, NOpts);
+  // The reference result every store-backed act must reproduce.
+  vm::RunResult Eager = vm::runProgram(P);
+  if (!Eager.Ok)
+    reportFatal("eager baseline run failed: " + Eager.Trap);
 
-  brisc::BriscProgram B = brisc::compress(P);
-  vm::RunOptions BOpts;
-  BOpts.PageSize = PageSize;
-  vm::RunResult BR = brisc::interpret(B, BOpts);
-  if (!NR.Ok || !BR.Ok)
-    reportFatal("paging bench run failed");
+  size_t DecodedBytes = 0;
+  for (const vm::VMFunction &F : P.Functions)
+    DecodedBytes += store::decodedCostBytes(F);
 
-  // CPU seconds, measured on the wall clock (native = threaded code).
-  native::NProgram N = native::generate(P);
-  double NativeCpu = timeStable([&] { native::run(N); }, 0.1);
-  double InterpCpu = timeStable([&] { brisc::interpret(B); }, 0.1);
+  if (runAct(1)) {
+    vm::CodeLayout L = vm::nativeLayout(P);
+    vm::RunOptions NOpts;
+    NOpts.Layout = &L;
+    NOpts.PageSize = PageSize;
+    vm::RunResult NR = vm::runProgram(P, NOpts);
 
-  std::printf("Paging scenario (intro): total time = CPU + fault service\n");
-  std::printf("(page %u B, fault %.0f ms; interp CPU %.1fx native)\n\n",
-              PageSize, Disk.FaultSeconds * 1000,
-              InterpCpu / NativeCpu);
-  // Distinct pages = compulsory (cold-start) faults; the warm columns
-  // exclude them (steady-state behaviour once the program has loaded).
-  uint64_t NDistinct = NR.PagesTouched, BDistinct = BR.PagesTouched;
+    brisc::BriscProgram B = brisc::compress(P);
+    vm::RunOptions BOpts;
+    BOpts.PageSize = PageSize;
+    vm::RunResult BR = brisc::interpret(B, BOpts);
+    if (!NR.Ok || !BR.Ok)
+      reportFatal("paging bench run failed");
 
-  std::printf("%8s | %10s %10s | %10s %10s | %10s %10s\n", "resident",
-              "nat cold s", "int cold s", "nat warm s", "int warm s",
-              "cold win", "warm win");
-  hr();
-  for (unsigned Resident :
-       {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-    sim::PagingResult PN = sim::simulateLRU(NR.PageTrace, Resident);
-    sim::PagingResult PB = sim::simulateLRU(BR.PageTrace, Resident);
-    sim::TotalTime TN = sim::totalTime(NativeCpu, PN, Disk);
-    sim::TotalTime TB = sim::totalTime(InterpCpu, PB, Disk);
-    double NWarm = NativeCpu +
-                   double(PN.Faults > NDistinct ? PN.Faults - NDistinct
-                                                : 0) *
-                       Disk.FaultSeconds;
-    double BWarm = InterpCpu +
-                   double(PB.Faults > BDistinct ? PB.Faults - BDistinct
-                                                : 0) *
-                       Disk.FaultSeconds;
-    std::printf("%8u | %10.3f %10.3f | %10.3f %10.3f | %10s %10s\n",
-                Resident, TN.total(), TB.total(), NWarm, BWarm,
-                TB.total() < TN.total() ? "compressed" : "native",
-                BWarm < NWarm ? "compressed" : "native");
+    // CPU seconds, measured on the wall clock (native = threaded code).
+    native::NProgram N = native::generate(P);
+    double NativeCpu = timeStable([&] { native::run(N); }, 0.1);
+    double InterpCpu = timeStable([&] { brisc::interpret(B); }, 0.1);
+
+    std::printf("Paging scenario (intro): total time = CPU + fault service\n");
+    std::printf("(page %u B, fault %.0f ms; interp CPU %.1fx native)\n\n",
+                PageSize, Disk.FaultSeconds * 1000, InterpCpu / NativeCpu);
+    // Distinct pages = compulsory (cold-start) faults; the warm columns
+    // exclude them (steady-state behaviour once the program has loaded).
+    uint64_t NDistinct = NR.PagesTouched, BDistinct = BR.PagesTouched;
+
+    std::printf("%8s | %10s %10s | %10s %10s | %10s %10s\n", "resident",
+                "nat cold s", "int cold s", "nat warm s", "int warm s",
+                "cold win", "warm win");
+    hr();
+    for (unsigned Resident :
+         {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+      sim::PagingResult PN = sim::simulateLRU(NR.PageTrace, Resident);
+      sim::PagingResult PB = sim::simulateLRU(BR.PageTrace, Resident);
+      sim::TotalTime TN = sim::totalTime(NativeCpu, PN, Disk);
+      sim::TotalTime TB = sim::totalTime(InterpCpu, PB, Disk);
+      double NWarm = NativeCpu +
+                     double(PN.Faults > NDistinct ? PN.Faults - NDistinct
+                                                  : 0) *
+                         Disk.FaultSeconds;
+      double BWarm = InterpCpu +
+                     double(PB.Faults > BDistinct ? PB.Faults - BDistinct
+                                                  : 0) *
+                         Disk.FaultSeconds;
+      std::printf("%8u | %10.3f %10.3f | %10.3f %10.3f | %10s %10s\n",
+                  Resident, TN.total(), TB.total(), NWarm, BWarm,
+                  TB.total() < TN.total() ? "compressed" : "native",
+                  BWarm < NWarm ? "compressed" : "native");
+    }
+    hr();
+    std::printf("\nexpected shape: under memory pressure the compressed "
+                "form wins (fewer, denser\npages to fault); with ample "
+                "memory and a warm cache native wins (only the\n"
+                "interpretation overhead remains)\n");
+    // The intro act's machine-readable summary; the CI smoke step runs
+    // only this act and fails on a malformed line.
+    char Json[512];
+    std::snprintf(Json, sizeof(Json),
+                  "{\"bench\":\"paging_intro\",\"page_bytes\":%u,"
+                  "\"fault_ms\":%.1f,\"native_cpu_s\":%.4f,"
+                  "\"interp_cpu_s\":%.4f,\"cpu_ratio\":%.2f,"
+                  "\"native_pages\":%llu,\"interp_pages\":%llu}",
+                  PageSize, Disk.FaultSeconds * 1000, NativeCpu, InterpCpu,
+                  InterpCpu / NativeCpu, (unsigned long long)NDistinct,
+                  (unsigned long long)BDistinct);
+    emitStats(Json);
   }
-  hr();
-  std::printf("\nexpected shape: under memory pressure the compressed "
-              "form wins (fewer, denser\npages to fault); with ample "
-              "memory and a warm cache native wins (only the\n"
-              "interpretation overhead remains)\n");
 
   // Second act: the simulator's prediction against the real thing. The
   // decode-on-fault CodeStore executes the same program with function
@@ -120,79 +184,77 @@ int main() {
   // simulator replays a function-granularity reference string through a
   // uniform-slot LRU. Store misses should track predicted faults, with
   // the gap owed to unequal function sizes.
-  const char *ChainSpec = "brisc+flate";
-  std::string Err;
-  std::unique_ptr<store::CodeStore> Built =
-      store::CodeStore::build(P, ChainSpec, store::StoreOptions(), Err);
-  if (!Built)
-    reportFatal("store build failed: " + Err);
-  std::vector<uint8_t> Image = Built->save();
+  if (runAct(2)) {
+    std::string Err;
+    std::unique_ptr<store::CodeStore> Built =
+        store::CodeStore::build(P, ChainSpec, store::StoreOptions(), Err);
+    if (!Built)
+      reportFatal("store build failed: " + Err);
+    std::vector<uint8_t> Image = Built->save();
 
-  vm::CodeLayout FL = functionLayout(P);
-  vm::RunOptions FOpts;
-  FOpts.Layout = &FL;
-  FOpts.PageSize = 1;
-  vm::RunResult FR = vm::runProgram(P, FOpts);
-  if (!FR.Ok)
-    reportFatal("function-trace run failed");
+    vm::CodeLayout FL = functionLayout(P);
+    vm::RunOptions FOpts;
+    FOpts.Layout = &FL;
+    FOpts.PageSize = 1;
+    vm::RunResult FR = vm::runProgram(P, FOpts);
+    if (!FR.Ok)
+      reportFatal("function-trace run failed");
 
-  size_t DecodedBytes = 0;
-  for (const vm::VMFunction &F : P.Functions)
-    DecodedBytes += store::decodedCostBytes(F);
-  size_t MeanCost = DecodedBytes / P.Functions.size();
+    size_t MeanCost = DecodedBytes / P.Functions.size();
 
-  std::printf("\nDecode-on-fault store vs simulator (chain %s, %zu funcs, "
-              "%zu -> %zu bytes)\n",
-              ChainSpec, P.Functions.size(), DecodedBytes,
-              Built->frameBytes());
-  std::printf("%8s %12s | %10s %10s | %10s %10s %12s\n", "resident",
-              "budget B", "sim fault", "real miss", "hit rate", "decode ms",
-              "est total s");
-  hr();
-  for (unsigned Resident : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    if (Resident > P.Functions.size())
-      break;
-    uint64_t SimFaults = sim::simulateLRU(FR.PageTrace, Resident).Faults;
+    std::printf("\nDecode-on-fault store vs simulator (chain %s, %zu funcs, "
+                "%zu -> %zu bytes)\n",
+                ChainSpec, P.Functions.size(), DecodedBytes,
+                Built->frameBytes());
+    std::printf("%8s %12s | %10s %10s | %10s %10s %12s\n", "resident",
+                "budget B", "sim fault", "real miss", "hit rate", "decode ms",
+                "est total s");
+    hr();
+    for (unsigned Resident : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      if (Resident > P.Functions.size())
+        break;
+      uint64_t SimFaults = sim::simulateLRU(FR.PageTrace, Resident).Faults;
 
-    store::StoreOptions SO;
-    SO.Shards = 1; // One LRU list, same policy shape as the simulator.
-    SO.CacheBudgetBytes = Resident * MeanCost;
-    Result<std::unique_ptr<store::CodeStore>> L =
-        store::CodeStore::tryLoad(Image, SO);
-    if (!L.ok())
-      reportFatal("store load failed: " + L.error().message());
-    std::unique_ptr<store::CodeStore> S = L.take();
+      store::StoreOptions SO;
+      SO.Shards = 1; // One LRU list, same policy shape as the simulator.
+      SO.CacheBudgetBytes = Resident * MeanCost;
+      Result<std::unique_ptr<store::CodeStore>> L =
+          store::CodeStore::tryLoad(Image, SO);
+      if (!L.ok())
+        reportFatal("store load failed: " + L.error().message());
+      std::unique_ptr<store::CodeStore> S = L.take();
 
-    vm::RunResult R;
-    double Cpu = timeIt([&] { R = store::runFromStore(*S); });
-    if (!R.Ok || R.Output != NR.Output || R.ExitCode != NR.ExitCode)
-      reportFatal("store-backed run diverged: " + R.Trap);
-    store::StoreStats St = S->stats();
-    sim::TotalTime T =
-        sim::storeTotalTime(Cpu, St.Misses, St.DecodeNanos, Disk);
-    std::printf("%8u %12zu | %10llu %10llu | %9.1f%% %10.2f %12.3f\n",
-                Resident, SO.CacheBudgetBytes,
-                (unsigned long long)SimFaults, (unsigned long long)St.Misses,
-                St.hitRate() * 100, double(St.DecodeNanos) / 1e6, T.total());
-    // One machine-readable line per configuration for harness scripts;
-    // emitStats validates the JSON so the format stays locked.
-    char Json[512];
-    std::snprintf(Json, sizeof(Json),
-                  "{\"bench\":\"paging_store\",\"chain\":\"%s\","
-                  "\"resident_funcs\":%u,\"budget_bytes\":%zu,\"faults\":%llu,"
-                  "\"hits\":%llu,\"hit_rate\":%.4f,\"decodes\":%llu,"
-                  "\"evictions\":%llu,\"decode_ms\":%.3f,\"cpu_s\":%.4f,"
-                  "\"est_total_s\":%.4f,\"sim_faults\":%llu}",
-                  jsonEscape(ChainSpec).c_str(), Resident,
-                  SO.CacheBudgetBytes, (unsigned long long)St.Misses,
-                  (unsigned long long)St.Hits, St.hitRate(),
-                  (unsigned long long)St.Decodes,
-                  (unsigned long long)St.Evictions,
-                  double(St.DecodeNanos) / 1e6, Cpu, T.total(),
-                  (unsigned long long)SimFaults);
-    emitStats(Json);
+      vm::RunResult R;
+      double Cpu = timeIt([&] { R = store::runFromStore(*S); });
+      if (!R.Ok || R.Output != Eager.Output || R.ExitCode != Eager.ExitCode)
+        reportFatal("store-backed run diverged: " + R.Trap);
+      store::StoreStats St = S->stats();
+      sim::TotalTime T =
+          sim::storeTotalTime(Cpu, St.Misses, St.DecodeNanos, Disk);
+      std::printf("%8u %12zu | %10llu %10llu | %9.1f%% %10.2f %12.3f\n",
+                  Resident, SO.CacheBudgetBytes,
+                  (unsigned long long)SimFaults, (unsigned long long)St.Misses,
+                  St.hitRate() * 100, double(St.DecodeNanos) / 1e6, T.total());
+      // One machine-readable line per configuration for harness scripts;
+      // emitStats validates the JSON so the format stays locked.
+      char Json[512];
+      std::snprintf(Json, sizeof(Json),
+                    "{\"bench\":\"paging_store\",\"chain\":\"%s\","
+                    "\"resident_funcs\":%u,\"budget_bytes\":%zu,\"faults\":%llu,"
+                    "\"hits\":%llu,\"hit_rate\":%.4f,\"decodes\":%llu,"
+                    "\"evictions\":%llu,\"decode_ms\":%.3f,\"cpu_s\":%.4f,"
+                    "\"est_total_s\":%.4f,\"sim_faults\":%llu}",
+                    jsonEscape(ChainSpec).c_str(), Resident,
+                    SO.CacheBudgetBytes, (unsigned long long)St.Misses,
+                    (unsigned long long)St.Hits, St.hitRate(),
+                    (unsigned long long)St.Decodes,
+                    (unsigned long long)St.Evictions,
+                    double(St.DecodeNanos) / 1e6, Cpu, T.total(),
+                    (unsigned long long)SimFaults);
+      emitStats(Json);
+    }
+    hr();
   }
-  hr();
 
   // Third act: sub-function fault granularity. The same program pages at
   // several page-size targets under one constrained budget; smaller
@@ -200,49 +262,52 @@ int main() {
   // the resident set tracks the hot *blocks* instead of whole
   // functions. The time model charges a seek per fault plus transfer
   // for the compressed bytes actually fetched.
-  size_t SweepBudget = DecodedBytes / 8;
-  std::printf("\nPage-size sweep (chain %s, budget %zu B)\n", ChainSpec,
-              SweepBudget);
-  std::printf("%10s | %7s %12s | %10s %10s | %10s %12s\n", "page B",
-              "frames", "frame B", "miss", "hit rate", "decode ms",
-              "est total s");
-  hr();
-  for (size_t Target : {size_t(64), size_t(256), size_t(4096), size_t(0)}) {
-    store::StoreOptions SO;
-    SO.Shards = 1;
-    SO.CacheBudgetBytes = SweepBudget;
-    SO.PageTargetBytes = Target;
-    std::unique_ptr<store::CodeStore> S =
-        store::CodeStore::build(P, ChainSpec, SO, Err);
-    if (!S)
-      reportFatal("paged store build failed: " + Err);
-    vm::RunResult R;
-    double Cpu = timeIt([&] { R = store::runFromStore(*S); });
-    if (!R.Ok || R.Output != NR.Output || R.ExitCode != NR.ExitCode)
-      reportFatal("paged store run diverged: " + R.Trap);
-    store::StoreStats St = S->stats();
-    sim::TotalTime T = sim::pagedStoreTotalTime(Cpu, St.Misses,
-                                                St.FetchedBytes,
-                                                St.DecodeNanos, Disk);
-    std::printf("%10zu | %7u %12zu | %10llu %9.1f%% | %10.2f %12.3f\n",
-                Target, S->frameCount(), S->frameBytes(),
-                (unsigned long long)St.Misses, St.hitRate() * 100,
-                double(St.DecodeNanos) / 1e6, T.total());
-    char Json[512];
-    std::snprintf(Json, sizeof(Json),
-                  "{\"bench\":\"paging_page_sweep\",\"chain\":\"%s\","
-                  "\"page_target\":%zu,\"budget_bytes\":%zu,\"frames\":%u,"
-                  "\"frame_bytes\":%zu,\"decoded_bytes\":%zu,"
-                  "\"faults\":%llu,\"hit_rate\":%.4f,\"fetched_bytes\":%llu,"
-                  "\"decode_ms\":%.3f,\"cpu_s\":%.4f,\"est_total_s\":%.4f}",
-                  jsonEscape(ChainSpec).c_str(), Target, SweepBudget,
-                  S->frameCount(), S->frameBytes(), DecodedBytes,
-                  (unsigned long long)St.Misses, St.hitRate(),
-                  (unsigned long long)St.FetchedBytes,
-                  double(St.DecodeNanos) / 1e6, Cpu, T.total());
-    emitStats(Json);
+  if (runAct(3)) {
+    std::string Err;
+    size_t SweepBudget = DecodedBytes / 8;
+    std::printf("\nPage-size sweep (chain %s, budget %zu B)\n", ChainSpec,
+                SweepBudget);
+    std::printf("%10s | %7s %12s | %10s %10s | %10s %12s\n", "page B",
+                "frames", "frame B", "miss", "hit rate", "decode ms",
+                "est total s");
+    hr();
+    for (size_t Target : {size_t(64), size_t(256), size_t(4096), size_t(0)}) {
+      store::StoreOptions SO;
+      SO.Shards = 1;
+      SO.CacheBudgetBytes = SweepBudget;
+      SO.PageTargetBytes = Target;
+      std::unique_ptr<store::CodeStore> S =
+          store::CodeStore::build(P, ChainSpec, SO, Err);
+      if (!S)
+        reportFatal("paged store build failed: " + Err);
+      vm::RunResult R;
+      double Cpu = timeIt([&] { R = store::runFromStore(*S); });
+      if (!R.Ok || R.Output != Eager.Output || R.ExitCode != Eager.ExitCode)
+        reportFatal("paged store run diverged: " + R.Trap);
+      store::StoreStats St = S->stats();
+      sim::TotalTime T = sim::pagedStoreTotalTime(Cpu, St.Misses,
+                                                  St.FetchedBytes,
+                                                  St.DecodeNanos, Disk);
+      std::printf("%10zu | %7u %12zu | %10llu %9.1f%% | %10.2f %12.3f\n",
+                  Target, S->frameCount(), S->frameBytes(),
+                  (unsigned long long)St.Misses, St.hitRate() * 100,
+                  double(St.DecodeNanos) / 1e6, T.total());
+      char Json[512];
+      std::snprintf(Json, sizeof(Json),
+                    "{\"bench\":\"paging_page_sweep\",\"chain\":\"%s\","
+                    "\"page_target\":%zu,\"budget_bytes\":%zu,\"frames\":%u,"
+                    "\"frame_bytes\":%zu,\"decoded_bytes\":%zu,"
+                    "\"faults\":%llu,\"hit_rate\":%.4f,\"fetched_bytes\":%llu,"
+                    "\"decode_ms\":%.3f,\"cpu_s\":%.4f,\"est_total_s\":%.4f}",
+                    jsonEscape(ChainSpec).c_str(), Target, SweepBudget,
+                    S->frameCount(), S->frameBytes(), DecodedBytes,
+                    (unsigned long long)St.Misses, St.hitRate(),
+                    (unsigned long long)St.FetchedBytes,
+                    double(St.DecodeNanos) / 1e6, Cpu, T.total());
+      emitStats(Json);
+    }
+    hr();
   }
-  hr();
 
   // Fourth act (the granularity payoff, asserted): a function bigger
   // than one page executes its hot loop with strictly fewer decoded
@@ -250,7 +315,8 @@ int main() {
   // budget, because only the loop's page needs to stay in. The wep
   // class is used here: its largest function (main) exceeds one 4 KiB
   // page.
-  {
+  if (runAct(4)) {
+    std::string Err;
     const size_t PageTarget = 4096;
     vm::VMProgram WP = mustBuild(corpus::sizeClassSource("wep"));
     size_t BigId = 0, BigFixed = 0;
@@ -320,6 +386,92 @@ int main() {
     if (PagedResident >= WholeResident)
       reportFatal("hot-loop act: page-granular residency is not strictly "
                   "below function-granular residency");
+  }
+
+  // Fifth act (the tier payoff, asserted): on the hot-loop workload a
+  // persistent TieredResolver — warm heat counters, compiled units kept
+  // across reps, fresh Machine per rep, exactly how a resident runtime
+  // would serve repeated requests — must beat interpret-only execution
+  // out of the same store on the wall clock, and must produce the
+  // byte-identical RunResult it promises.
+  if (runAct(5)) {
+    std::string Err;
+    vm::VMProgram WP = mustBuild(corpus::sizeClassSource("wep"));
+    vm::RunResult WEager = vm::runProgram(WP);
+    if (!WEager.Ok)
+      reportFatal("tiered act: eager wep run failed: " + WEager.Trap);
+
+    // Two stores from one image so the tier's heat/stats cannot bleed
+    // into the interpret-only baseline.
+    std::unique_ptr<store::CodeStore> Built =
+        store::CodeStore::build(WP, ChainSpec, store::StoreOptions(), Err);
+    if (!Built)
+      reportFatal("tiered act: store build failed: " + Err);
+    std::vector<uint8_t> Image = Built->save();
+    auto loadStore = [&]() {
+      Result<std::unique_ptr<store::CodeStore>> L =
+          store::CodeStore::tryLoad(Image, store::StoreOptions());
+      if (!L.ok())
+        reportFatal("tiered act: store load failed: " + L.error().message());
+      return L.take();
+    };
+    std::unique_ptr<store::CodeStore> SInterp = loadStore();
+    std::unique_ptr<store::CodeStore> STier = loadStore();
+
+    store::TierOptions TO;
+    TO.HotThreshold = 4;
+    store::TieredResolver Rv(*STier, TO);
+    auto tieredOnce = [&]() {
+      vm::RunOptions O;
+      O.Resolver = &Rv;
+      vm::Machine M(STier->skeleton(), O);
+      return M.run();
+    };
+
+    // Correctness before speed: the tiered result must equal eager
+    // interpretation bit for bit, including the step count.
+    vm::RunResult TR = tieredOnce();
+    if (!TR.Ok || TR.Output != WEager.Output ||
+        TR.ExitCode != WEager.ExitCode || TR.Steps != WEager.Steps)
+      reportFatal("tiered act: tiered run diverged from eager: " + TR.Trap);
+
+    double InterpS =
+        timeStable([&] { store::runFromStore(*SInterp); }, 0.2);
+    double TieredS = timeStable([&] { tieredOnce(); }, 0.2);
+
+    store::TierStats TS = Rv.tierStats();
+    double Speedup = InterpS / TieredS;
+    store::StoreStats St = STier->stats();
+    sim::JitModel Jit;
+    sim::TotalTime T = sim::tieredTotalTime(TieredS, St.Misses,
+                                            St.FetchedBytes, St.DecodeNanos,
+                                            TS.CompiledBytesTotal, Disk, Jit);
+    std::printf("\nTiered execution (wep, chain %s, hot threshold %llu)\n",
+                ChainSpec, (unsigned long long)TO.HotThreshold);
+    std::printf("  interpret-only: %.4f s/run, tiered: %.4f s/run "
+                "(%.2fx), %llu compiles, %llu native steps\n",
+                InterpS, TieredS, Speedup,
+                (unsigned long long)TS.Compiles,
+                (unsigned long long)TS.NativeSteps);
+    char Json[512];
+    std::snprintf(Json, sizeof(Json),
+                  "{\"bench\":\"paging_tiered\",\"chain\":\"%s\","
+                  "\"hot_threshold\":%llu,\"interp_s\":%.5f,"
+                  "\"tiered_s\":%.5f,\"speedup\":%.3f,\"compiles\":%llu,"
+                  "\"compiled_bytes\":%llu,\"native_steps\":%llu,"
+                  "\"tier_transfers\":%llu,\"est_total_s\":%.4f}",
+                  jsonEscape(ChainSpec).c_str(),
+                  (unsigned long long)TO.HotThreshold, InterpS, TieredS,
+                  Speedup, (unsigned long long)TS.Compiles,
+                  (unsigned long long)TS.CompiledBytesTotal,
+                  (unsigned long long)TS.NativeSteps,
+                  (unsigned long long)TS.TierTransfers, T.total());
+    emitStats(Json);
+    if (TS.Compiles == 0)
+      reportFatal("tiered act: nothing compiled; the tier never engaged");
+    if (TieredS >= InterpS)
+      reportFatal("tiered act: tiered wall time is not strictly below "
+                  "interpret-only");
   }
   return 0;
 }

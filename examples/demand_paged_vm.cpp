@@ -21,6 +21,7 @@
 #include "sim/Paging.h"
 #include "store/CodeStore.h"
 #include "store/Resolver.h"
+#include "store/Tiered.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -180,11 +181,56 @@ int main(int argc, char **argv) {
   }
   hr();
 
+  // Tiered sweep: the same store with the native tier layered on top,
+  // at three hot thresholds — compile-everything (0), the default-ish
+  // mid-point (4), and never-compile (~0). Execution must stay
+  // byte-identical at every threshold; the stats show where the compile
+  // work went.
+  std::printf("\ntiered sweep (hot threshold -> compiles):\n");
+  std::printf("%12s | %8s %10s %12s %12s %10s\n", "threshold", "compiles",
+              "unit hits", "native steps", "xfers", "code B");
+  hr();
+  for (uint64_t Threshold : {uint64_t(0), uint64_t(4), ~uint64_t(0)}) {
+    Result<std::unique_ptr<store::CodeStore>> Loaded =
+        store::CodeStore::tryLoad(Image, store::StoreOptions());
+    if (!Loaded.ok()) {
+      std::printf("tiered store load failed: %s\n",
+                  Loaded.error().message().c_str());
+      return 1;
+    }
+    std::unique_ptr<store::CodeStore> S = Loaded.take();
+    store::TierOptions TO;
+    TO.HotThreshold = Threshold;
+    store::TierStats TS;
+    vm::RunResult R =
+        store::runTieredFromStore(*S, TO, vm::RunOptions(), &TS);
+    if (!R.Ok) {
+      std::printf("tiered run trapped: %s\n", R.Trap.c_str());
+      return 1;
+    }
+    if (R.Output != Eager.Output || R.ExitCode != Eager.ExitCode ||
+        R.Steps != Eager.Steps)
+      AllMatch = false;
+    char Label[32];
+    if (Threshold == ~uint64_t(0))
+      std::snprintf(Label, sizeof(Label), "%s", "never");
+    else
+      std::snprintf(Label, sizeof(Label), "%llu",
+                    (unsigned long long)Threshold);
+    std::printf("%12s | %8llu %10llu %12llu %12llu %10llu\n", Label,
+                (unsigned long long)TS.Compiles,
+                (unsigned long long)TS.UnitHits,
+                (unsigned long long)TS.NativeSteps,
+                (unsigned long long)TS.TierTransfers,
+                (unsigned long long)TS.CompiledBytesTotal);
+  }
+  hr();
+
   if (!AllMatch) {
     std::printf("\nERROR: store-backed execution diverged from eager\n");
     return 1;
   }
-  std::printf("\nevery budget and page size produced byte-identical output "
-              "to the eager run\n");
+  std::printf("\nevery budget, page size, and tier threshold produced "
+              "byte-identical output to the eager run\n");
   return 0;
 }

@@ -16,67 +16,6 @@ using namespace ccomp::native;
 using vm::Instr;
 using vm::VMOp;
 
-//===----------------------------------------------------------------------===//
-// Execution state
-//===----------------------------------------------------------------------===//
-
-namespace ccomp {
-namespace native {
-
-/// Register/memory state for threaded execution. Semantics mirror
-/// vm::Machine exactly; the three engines are cross-checked by the
-/// differential test suite.
-struct State {
-  uint32_t R[16] = {0};
-  std::vector<uint8_t> Mem;
-  uint32_t HeapPtr = 0;
-  std::string Out;
-  bool Halted = false;
-  bool Trapped = false;
-  int32_t Exit = 0;
-  std::string TrapMsg;
-  const NProgram *Prog = nullptr;
-  uint64_t Steps = 0;
-  uint64_t MaxSteps = 0;
-
-  void trap(const char *Msg) {
-    if (!Trapped) {
-      Trapped = true;
-      TrapMsg = Msg;
-    }
-    Halted = true;
-  }
-
-  uint32_t load(uint32_t Addr, unsigned Size, bool Sign) {
-    if (Addr < 0x100 || Addr + Size > Mem.size()) {
-      trap("memory load out of range");
-      return 0;
-    }
-    uint32_t V = 0;
-    std::memcpy(&V, Mem.data() + Addr, Size);
-    if (Sign) {
-      if (Size == 1)
-        V = static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int8_t>(V)));
-      else if (Size == 2)
-        V = static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int16_t>(V)));
-    }
-    return V;
-  }
-
-  void store(uint32_t Addr, unsigned Size, uint32_t V) {
-    if (Addr < 0x100 || Addr + Size > Mem.size()) {
-      trap("memory store out of range");
-      return;
-    }
-    std::memcpy(Mem.data() + Addr, &V, Size);
-  }
-};
-
-} // namespace native
-} // namespace ccomp
-
 namespace {
 
 constexpr uint32_t HaltRA = 0xFFFFFFFFu;
@@ -330,23 +269,23 @@ uint32_t hReload(State &S, const NInstr &I, uint32_t Pc) {
 uint32_t hMcpy(State &S, const NInstr &I, uint32_t Pc) {
   uint32_t Dst = S.R[I.Rd], Src = S.R[I.Rs1];
   uint32_t Len = static_cast<uint32_t>(I.Imm);
-  if (Dst < 0x100 || Src < 0x100 || Dst + Len > S.Mem.size() ||
-      Src + Len > S.Mem.size()) {
+  if (Dst < 0x100 || Src < 0x100 || Dst + Len > S.MemSize ||
+      Src + Len > S.MemSize) {
     S.trap("mcpy out of range");
     return Pc;
   }
-  std::memmove(S.Mem.data() + Dst, S.Mem.data() + Src, Len);
+  std::memmove(S.Mem + Dst, S.Mem + Src, Len);
   return Pc + 1;
 }
 
 uint32_t hMset(State &S, const NInstr &I, uint32_t Pc) {
   uint32_t Dst = S.R[I.Rd];
   uint32_t Len = static_cast<uint32_t>(I.Imm);
-  if (Dst < 0x100 || Dst + Len > S.Mem.size()) {
+  if (Dst < 0x100 || Dst + Len > S.MemSize) {
     S.trap("mset out of range");
     return Pc;
   }
-  std::memset(S.Mem.data() + Dst, static_cast<int>(S.R[I.Rs1] & 0xFF), Len);
+  std::memset(S.Mem + Dst, static_cast<int>(S.R[I.Rs1] & 0xFF), Len);
   return Pc + 1;
 }
 
@@ -357,17 +296,17 @@ uint32_t hSys(State &S, const NInstr &I, uint32_t Pc) {
     S.Exit = S32(S.R[vm::N0]);
     return Pc;
   case vm::Sys::PutInt:
-    S.Out += std::to_string(S32(S.R[vm::N0]));
+    *S.Out += std::to_string(S32(S.R[vm::N0]));
     return Pc + 1;
   case vm::Sys::PutChar:
-    S.Out.push_back(static_cast<char>(S.R[vm::N0] & 0xFF));
+    S.Out->push_back(static_cast<char>(S.R[vm::N0] & 0xFF));
     return Pc + 1;
   case vm::Sys::PutStr: {
     uint32_t Addr = S.R[vm::N0];
     unsigned Guard = 0;
-    while (Addr >= 0x100 && Addr < S.Mem.size() && S.Mem[Addr] != 0 &&
+    while (Addr >= 0x100 && Addr < S.MemSize && S.Mem[Addr] != 0 &&
            Guard++ < (1u << 20))
-      S.Out.push_back(static_cast<char>(S.Mem[Addr++]));
+      S.Out->push_back(static_cast<char>(S.Mem[Addr++]));
     return Pc + 1;
   }
   case vm::Sys::Alloc: {
@@ -385,8 +324,10 @@ uint32_t hSys(State &S, const NInstr &I, uint32_t Pc) {
   return Pc;
 }
 
+} // namespace
+
 /// Handler table indexed by VMOp.
-Handler handlerFor(VMOp Op) {
+Handler native::detail::handlerFor(VMOp Op) {
   switch (Op) {
   case VMOp::LD_B: return hLoad<1, true>;
   case VMOp::LD_BU: return hLoad<1, false>;
@@ -461,8 +402,6 @@ Handler handlerFor(VMOp Op) {
   return hTrap;
 }
 
-} // namespace
-
 //===----------------------------------------------------------------------===//
 // Code generation
 //===----------------------------------------------------------------------===//
@@ -483,7 +422,7 @@ NProgram native::generate(const vm::VMProgram &P, GenStats *Stats) {
     N.Metas.push_back(vm::deriveMeta(F));
     for (const Instr &In : F.Code) {
       NInstr NI;
-      NI.H = handlerFor(In.Op);
+      NI.H = detail::handlerFor(In.Op);
       NI.Rd = In.Rd;
       NI.Rs1 = In.Rs1;
       NI.Rs2 = In.Rs2;
@@ -540,19 +479,26 @@ vm::RunResult native::run(const NProgram &P, vm::RunOptions Opts) {
     Res.Trap = "empty program";
     return Res;
   }
+  // The standalone run owns the storage the State borrows.
+  uint32_t Regs[16] = {0};
+  std::vector<uint8_t> MemStore(Opts.MemBytes, 0);
+  std::string OutStore;
   State S;
   S.Prog = &P;
-  S.Mem.assign(Opts.MemBytes, 0);
+  S.R = Regs;
+  S.Mem = MemStore.data();
+  S.MemSize = MemStore.size();
+  S.Out = &OutStore;
   for (const vm::VMGlobal &G : P.Globals) {
-    if (G.Addr + G.Size > S.Mem.size()) {
+    if (G.Addr + G.Size > S.MemSize) {
       Res.Trap = "global does not fit in memory";
       return Res;
     }
     if (!G.Init.empty())
-      std::memcpy(S.Mem.data() + G.Addr, G.Init.data(), G.Init.size());
+      std::memcpy(S.Mem + G.Addr, G.Init.data(), G.Init.size());
   }
   S.HeapPtr = (P.GlobalEnd + 15) & ~15u;
-  S.R[vm::SP] = static_cast<uint32_t>(S.Mem.size()) & ~15u;
+  S.R[vm::SP] = static_cast<uint32_t>(S.MemSize) & ~15u;
   S.R[vm::RA] = HaltRA;
 
   uint32_t Pc = P.FuncEntry[P.Entry];
@@ -590,6 +536,6 @@ vm::RunResult native::run(const NProgram &P, vm::RunOptions Opts) {
   Res.ExitCode = S.Exit;
   Res.Steps = Steps;
   Res.Trap = S.TrapMsg;
-  Res.Output = std::move(S.Out);
+  Res.Output = std::move(OutStore);
   return Res;
 }

@@ -30,11 +30,14 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 namespace ccomp {
 namespace native {
 
-struct State;
 struct NInstr;
+struct NProgram;
+struct State;
 
 /// Instruction handler: executes one instruction, returns the next pc.
 using Handler = uint32_t (*)(State &, const NInstr &, uint32_t);
@@ -69,6 +72,78 @@ struct GenStats {
   uint64_t OutputBytes = 0;
   double Seconds = 0;
 };
+
+/// Register/memory state for threaded execution. Semantics mirror
+/// vm::Machine exactly; the engines are cross-checked by the
+/// differential test suite.
+///
+/// The state *borrows* its storage: R/Mem/Out point at buffers owned by
+/// the caller. native::run() aims them at scratch buffers for a
+/// standalone whole-program run; the tiered entry point
+/// (native/Tiered.h) aims them at a live vm::Machine, so threaded code
+/// executes directly on the interpreter's architectural state and the
+/// two tiers can hand control back and forth mid-run.
+struct State {
+  uint32_t *R = nullptr;   ///< The 16 architectural registers.
+  uint8_t *Mem = nullptr;  ///< Flat little-endian memory.
+  size_t MemSize = 0;
+  std::string *Out = nullptr; ///< Put* system-call sink.
+  uint32_t HeapPtr = 0;
+  bool Halted = false;
+  bool Trapped = false;
+  int32_t Exit = 0;
+  std::string TrapMsg;
+  const NProgram *Prog = nullptr; ///< Whole-program runs (native::run).
+
+  // Tiered (per-function unit) execution only — see native/Tiered.h.
+  uint32_t CurFn = 0;                    ///< Function the unit executes.
+  const vm::FuncMeta *CurMeta = nullptr; ///< EPI metadata for CurFn.
+  bool Transfer = false;                 ///< Cross-function transfer pending.
+  uint32_t XferFn = 0;                   ///< Pending transfer target...
+  uint32_t XferIdx = 0;                  ///< ...and instruction index.
+
+  void trap(const char *Msg) {
+    if (!Trapped) {
+      Trapped = true;
+      TrapMsg = Msg;
+    }
+    Halted = true;
+  }
+
+  uint32_t load(uint32_t Addr, unsigned Size, bool Sign) {
+    if (Addr < 0x100 || Addr + Size > MemSize) {
+      trap("memory load out of range");
+      return 0;
+    }
+    uint32_t V = 0;
+    std::memcpy(&V, Mem + Addr, Size);
+    if (Sign) {
+      if (Size == 1)
+        V = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(V)));
+      else if (Size == 2)
+        V = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(V)));
+    }
+    return V;
+  }
+
+  void store(uint32_t Addr, unsigned Size, uint32_t V) {
+    if (Addr < 0x100 || Addr + Size > MemSize) {
+      trap("memory store out of range");
+      return;
+    }
+    std::memcpy(Mem + Addr, &V, Size);
+  }
+};
+
+namespace detail {
+/// The shared VMOp -> handler table (Threaded.cpp). Tiered codegen
+/// (native/Tiered.h) reuses every data/branch handler from it and swaps
+/// in its own transfer handlers (call/rjr/epi) that speak the
+/// vm::Machine synthetic return-address encoding.
+Handler handlerFor(vm::VMOp Op);
+} // namespace detail
 
 /// Generates threaded code from a decoded VM program.
 NProgram generate(const vm::VMProgram &P, GenStats *Stats = nullptr);

@@ -1,0 +1,199 @@
+//===- native/Tiered.cpp - Function-granular threaded units ---------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Tiered.h"
+
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::native;
+using vm::VMOp;
+
+UnitSource::~UnitSource() = default;
+
+//===----------------------------------------------------------------------===//
+// Tier transfer handlers
+//===----------------------------------------------------------------------===//
+//
+// These replace NProgram's hCall/hRjr/hEpi inside a unit. NProgram
+// encodes return addresses as RetBit | absolute-threaded-pc, which only
+// means something inside one monolithic code array; a tiered unit
+// instead writes the vm::Machine encoding (bit 31 | fn << 16 | idx) so
+// a return address produced natively decodes in the interpreter and
+// vice versa. The handlers never transfer directly: they record the
+// (function, index) target in the State and let the dispatch loop in
+// runTiered switch units or exit to the interpreter.
+
+namespace {
+
+inline int32_t S32(uint32_t V) { return static_cast<int32_t>(V); }
+
+/// Common return-address decode for tRjr/tEpi. Mirrors the
+/// interpreter's RJR/EPI tails, including the trap wording.
+uint32_t tRet(State &S, uint32_t Addr, uint32_t Pc, const char *BadMsg) {
+  if (Addr == vm::Machine::HaltRA) {
+    S.Halted = true;
+    S.Exit = S32(S.R[vm::N0]);
+    return Pc;
+  }
+  if (!(Addr & 0x80000000u)) {
+    S.trap(BadMsg);
+    return Pc;
+  }
+  S.Transfer = true;
+  S.XferFn = vm::Machine::retFunc(Addr);
+  S.XferIdx = vm::Machine::retIdx(Addr);
+  return Pc;
+}
+
+uint32_t tCall(State &S, const NInstr &I, uint32_t Pc) {
+  S.R[vm::RA] = vm::Machine::encodeRet(S.CurFn, Pc + 1);
+  S.Transfer = true;
+  S.XferFn = I.Target;
+  S.XferIdx = 0;
+  return Pc;
+}
+
+uint32_t tRjr(State &S, const NInstr &I, uint32_t Pc) {
+  return tRet(S, S.R[I.Rd], Pc, "rjr through non-code address");
+}
+
+uint32_t tEpi(State &S, const NInstr &, uint32_t Pc) {
+  const vm::FuncMeta &Meta = *S.CurMeta;
+  for (const vm::FuncMeta::Save &Sv : Meta.Saves)
+    S.R[Sv.Reg] = S.load(S.R[vm::SP] + Sv.Off, 4, false);
+  S.R[vm::SP] += Meta.FrameSize;
+  S.R[vm::ZR] = 0;
+  if (S.Trapped)
+    return Pc; // A reload faulted; the loop observes the trap.
+  return tRet(S, S.R[vm::RA], Pc, "epi return through non-code address");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Unit generation
+//===----------------------------------------------------------------------===//
+
+NUnit native::generateUnit(const vm::VMFunction &F, uint32_t FuncIdx,
+                           GenStats *Stats) {
+  auto T0 = std::chrono::steady_clock::now();
+  NUnit U;
+  U.Name = F.Name;
+  U.FuncIdx = FuncIdx;
+  U.Meta = vm::deriveMeta(F);
+  U.Code.reserve(F.Code.size());
+  for (const vm::Instr &In : F.Code) {
+    NInstr NI;
+    NI.H = detail::handlerFor(In.Op);
+    NI.Rd = In.Rd;
+    NI.Rs1 = In.Rs1;
+    NI.Rs2 = In.Rs2;
+    NI.Imm = In.Imm;
+    if (vm::isBranch(In.Op))
+      NI.Target = F.LabelPos[In.Target]; // Function-local target.
+    else
+      NI.Target = In.Target; // CALL keeps the raw function index.
+    switch (In.Op) {
+    case VMOp::CALL:
+      NI.H = tCall;
+      break;
+    case VMOp::RJR:
+      NI.H = tRjr;
+      break;
+    case VMOp::EPI:
+      NI.H = tEpi;
+      break;
+    default:
+      break;
+    }
+    U.Code.push_back(NI);
+  }
+  if (Stats) {
+    auto T1 = std::chrono::steady_clock::now();
+    Stats->InputInstrs += F.Code.size();
+    Stats->OutputBytes += U.codeBytes();
+    Stats->Seconds += std::chrono::duration<double>(T1 - T0).count();
+  }
+  return U;
+}
+
+//===----------------------------------------------------------------------===//
+// Tiered execution
+//===----------------------------------------------------------------------===//
+
+bool native::runTiered(vm::Machine &M, UnitSource &Units, uint32_t &Fn,
+                       uint32_t &Idx, uint64_t &Steps, TierRunStats *TS) {
+  std::shared_ptr<const NUnit> U = Units.unitFor(Fn);
+  if (!U)
+    return false;
+
+  State S;
+  S.R = M.regs();
+  S.Mem = M.memData();
+  S.MemSize = M.memSize();
+  S.Out = &M.outputBuffer();
+  S.HeapPtr = M.heapPtr();
+  S.CurFn = Fn;
+  S.CurMeta = &U->Meta;
+
+  const uint64_t MaxSteps = M.options().MaxSteps;
+  uint32_t Pc = Idx;
+  uint64_t Executed = 0;
+  uint64_t TransfersTaken = 0;
+  // A falloff is detected mid-loop but must trap with Machine::trap's
+  // std::string overload; carry the message out instead of allocating
+  // inside the hot loop's failure path twice.
+  std::string PendingTrap;
+
+  for (;;) {
+    // Check order mirrors Machine::run: an out-of-range pc traps as a
+    // falloff *without* counting a step; then the step limit; then the
+    // instruction executes.
+    if (Pc >= U->Code.size()) {
+      PendingTrap = "fell off the end of function " + U->Name;
+      break;
+    }
+    if (++Steps > MaxSteps) {
+      PendingTrap = "step limit exceeded";
+      break;
+    }
+    ++Executed;
+    const NInstr &In = U->Code[Pc];
+    Pc = In.H(S, In, Pc);
+    if (S.Halted)
+      break;
+    if (S.Transfer) {
+      S.Transfer = false;
+      ++TransfersTaken;
+      std::shared_ptr<const NUnit> Next = Units.unitFor(S.XferFn);
+      if (!Next) {
+        // Cold target: hand control back to the interpreter there.
+        Fn = S.XferFn;
+        Idx = S.XferIdx;
+        break;
+      }
+      U = std::move(Next);
+      S.CurFn = S.XferFn;
+      S.CurMeta = &U->Meta;
+      Pc = S.XferIdx;
+    }
+  }
+
+  // Commit borrowed state the handlers mutated by value.
+  M.setHeapPtr(S.HeapPtr);
+  if (!PendingTrap.empty())
+    M.trap(PendingTrap);
+  else if (S.Trapped)
+    M.trap(S.TrapMsg);
+  else if (S.Halted)
+    M.haltWithExit(S.Exit);
+  if (TS) {
+    TS->Steps += Executed;
+    TS->Transfers += TransfersTaken;
+  }
+  return true;
+}

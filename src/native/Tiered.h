@@ -1,0 +1,93 @@
+//===- native/Tiered.h - Function-granular threaded units -------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry-at-function threaded execution for the tiered runtime. Instead
+/// of one whole-program NProgram, each hot function compiles to its own
+/// NUnit: branch targets are function-local instruction indices, and
+/// the call/return handlers speak the vm::Machine synthetic code
+/// addresses (bit 31 | fn << 16 | idx) rather than NProgram's absolute
+/// threaded pcs. Interpreted and native frames therefore interoperate
+/// on one call stack — a native CALL can land in a cold (interpreted)
+/// callee, and an interpreted RJR/EPI can return into the middle of a
+/// compiled unit.
+///
+/// runTiered() borrows a live vm::Machine's architectural state and
+/// executes units until control reaches a function with no unit (the
+/// interpreter resumes there), the program halts/traps, or the step
+/// budget runs out. Step accounting and the control-flow trap messages
+/// (step limit, falling off a function's end, returns through non-code
+/// addresses) mirror Machine::run exactly, so a tiered run's RunResult
+/// is byte-identical to pure interpretation on any non-trapping
+/// program; data-fault diagnostics (memory range traps) may differ in
+/// wording only, never in whether they fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_NATIVE_TIERED_H
+#define CCOMP_NATIVE_TIERED_H
+
+#include "native/Threaded.h"
+#include "vm/Machine.h"
+#include "vm/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccomp {
+namespace native {
+
+/// One function compiled to threaded code. Self-contained: carries its
+/// own epilogue metadata and name, so a unit outlives any decode-cache
+/// entry it was compiled from.
+struct NUnit {
+  std::vector<NInstr> Code; ///< Branch targets are function-local.
+  vm::FuncMeta Meta;        ///< EPI reloads / frame pop for this function.
+  std::string Name;         ///< For falloff diagnostics.
+  uint32_t FuncIdx = 0;
+
+  /// Bytes of produced code (what a compiled-code cache charges).
+  size_t codeBytes() const { return Code.size() * sizeof(NInstr); }
+};
+
+/// Compiles one decoded function body to a threaded unit. \p Stats
+/// accumulates the JIT-rate numbers (input instructions, produced
+/// bytes, seconds).
+NUnit generateUnit(const vm::VMFunction &F, uint32_t FuncIdx,
+                   GenStats *Stats = nullptr);
+
+/// Where runTiered gets compiled units. unitFor is consulted at tier
+/// entry and at every cross-function transfer while native; returning
+/// null sends that function (back) to the interpreter. Out-of-range ids
+/// must yield null. The returned shared_ptr keeps the unit alive while
+/// it executes even if a compiled-code cache evicts it concurrently.
+class UnitSource {
+public:
+  virtual ~UnitSource();
+  virtual std::shared_ptr<const NUnit> unitFor(uint32_t Fn) = 0;
+};
+
+/// What one runTiered entry did, for the tier's stats.
+struct TierRunStats {
+  uint64_t Steps = 0;     ///< Instructions executed natively.
+  uint64_t Transfers = 0; ///< Cross-function transfers taken natively.
+};
+
+/// Executes from (\p Fn, \p Idx) on compiled units, borrowing \p M's
+/// architectural state. Returns false without executing anything when
+/// \p Units has no unit for Fn. Otherwise returns true with \p Steps
+/// charged one per executed instruction and either (a) M halted or
+/// trapped, or (b) Fn/Idx advanced to the cold location where control
+/// left the tier — the caller (Machine::run's transfer path) resumes
+/// interpreting there.
+bool runTiered(vm::Machine &M, UnitSource &Units, uint32_t &Fn,
+               uint32_t &Idx, uint64_t &Steps, TierRunStats *TS = nullptr);
+
+} // namespace native
+} // namespace ccomp
+
+#endif // CCOMP_NATIVE_TIERED_H

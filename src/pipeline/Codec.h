@@ -96,9 +96,6 @@ public:
   /// consistent set. This is what every stats output path should use.
   CodecStats snapshot() const;
 
-  /// Deprecated spelling of snapshot(), kept for existing callers.
-  CodecStats stats() const { return snapshot(); }
-
   void resetStats() const;
 
 protected:

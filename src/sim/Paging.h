@@ -99,6 +99,30 @@ inline TotalTime remoteTotalTime(double CpuSeconds, uint64_t DecodeNanos,
           static_cast<double>(FetchVirtualNanos) / 1e9};
 }
 
+/// JIT cost model: what compiling hot code to native form charges. The
+/// paper's generator produces ~2.5 MB/s of native code, so a tiered run
+/// pays CompiledBytes / BytesPerSecond of CPU before the hot set runs
+/// at native speed.
+struct JitModel {
+  double BytesPerSecond = 2.5e6; ///< Paper's JIT rate headline.
+};
+
+/// Tiered-execution variant: the paged-store time model plus a compile
+/// charge on the CPU term. \p CompiledBytes is the threaded code the
+/// tier produced (store::TierStats::CompiledBytesTotal); compilation
+/// runs on the CPU like decode does, while the paging terms are
+/// unchanged — tiering trades a one-time compile charge for the
+/// interpretation penalty on every hot instruction.
+inline TotalTime tieredTotalTime(double CpuSeconds, uint64_t Faults,
+                                 uint64_t FetchedCompressedBytes,
+                                 uint64_t DecodeNanos, uint64_t CompiledBytes,
+                                 const DiskModel &D, const JitModel &J) {
+  TotalTime T = pagedStoreTotalTime(CpuSeconds, Faults,
+                                    FetchedCompressedBytes, DecodeNanos, D);
+  T.CpuSeconds += static_cast<double>(CompiledBytes) / J.BytesPerSecond;
+  return T;
+}
+
 } // namespace sim
 } // namespace ccomp
 

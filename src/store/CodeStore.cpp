@@ -62,6 +62,24 @@ void CodeStore::initRuntime(StoreOptions O) {
   size_t Rem = Opts.CacheBudgetBytes % N;
   for (unsigned I = 0; I != N; ++I)
     Shards[I].Budget = Base + (I < Rem ? 1 : 0);
+  FrameHeat = std::make_unique<std::atomic<uint64_t>[]>(
+      std::max<uint32_t>(1, frameCount()));
+  FuncHeat = std::make_unique<std::atomic<uint64_t>[]>(
+      std::max<uint32_t>(1, functionCount()));
+  for (uint32_t I = 0; I != frameCount(); ++I)
+    FrameHeat[I].store(0, std::memory_order_relaxed);
+  for (uint32_t I = 0; I != functionCount(); ++I)
+    FuncHeat[I].store(0, std::memory_order_relaxed);
+}
+
+uint64_t CodeStore::frameHeat(uint32_t Id) const {
+  return Id < frameCount() ? FrameHeat[Id].load(std::memory_order_relaxed)
+                           : 0;
+}
+
+uint64_t CodeStore::functionHeat(uint32_t Fn) const {
+  return Fn < functionCount() ? FuncHeat[Fn].load(std::memory_order_relaxed)
+                              : 0;
 }
 
 void CodeStore::indexPages() {
@@ -504,6 +522,13 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin,
   if (Id >= frameCount())
     return DecodeError("store: frame id " + std::to_string(Id) +
                        " out of range");
+  if (!Prefetch) {
+    // Heat accrues on every demand touch — hit or miss — so the signal
+    // tracks the access pattern, not the cache's current luck.
+    FrameHeat[Id].fetch_add(1, std::memory_order_relaxed);
+    FuncHeat[Paged ? FrameFunc[Id] : Id].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
   Shard &Sh = shardOf(Id);
   for (;;) {
     std::shared_future<FaultOutcome> Wait;

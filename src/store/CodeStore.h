@@ -70,6 +70,7 @@
 #include "vm/Machine.h"
 #include "vm/Program.h"
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -256,7 +257,17 @@ public:
   /// Consistent totals across all shards (locks every shard).
   StoreStats stats() const;
   /// Zeroes the monotonic counters; residency gauges are preserved.
+  /// Heat counters (frameHeat/functionHeat) are *not* cleared: they are
+  /// the tiered runtime's access-pattern signal, and resetting the
+  /// stats between benchmark phases must not cool compiled code.
   void resetStats();
+
+  /// Demand touches (hits + misses, prefetch excluded) of frame \p Id.
+  /// Monotonic; approximate under concurrency (relaxed atomics).
+  uint64_t frameHeat(uint32_t Id) const;
+  /// Demand touches summed over every frame of function \p Fn — the
+  /// hotness signal a TieredResolver's HotThreshold tests.
+  uint64_t functionHeat(uint32_t Fn) const;
 
 private:
   CodeStore() = default;
@@ -330,6 +341,12 @@ private:
 
   StoreOptions Opts;
   std::vector<Shard> Shards;
+  /// Hotness signal for the tiered runtime: demand touches per frame
+  /// and per owning function, accumulated relaxed outside the shard
+  /// counters (ordering does not matter — the values only gate when a
+  /// function is worth compiling). Sized at initRuntime.
+  std::unique_ptr<std::atomic<uint64_t>[]> FrameHeat;
+  std::unique_ptr<std::atomic<uint64_t>[]> FuncHeat;
 };
 
 /// Decoded in-memory footprint we charge the cache for one function (or

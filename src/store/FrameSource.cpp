@@ -47,17 +47,37 @@ double unitDouble(uint64_t H) {
 
 } // namespace
 
+uint64_t store::drawKey(uint64_t Seed, uint32_t Frame, unsigned Attempt,
+                        DrawPurpose Purpose) {
+  uint64_t Pair = (static_cast<uint64_t>(Frame) << 32) |
+                  (static_cast<uint64_t>(Attempt) & 0xFFFFFFFFu);
+  return mix64(Seed ^ mix64(Pair) ^
+               (static_cast<uint64_t>(Purpose) << 60));
+}
+
 double RetryPolicy::backoffSeconds(uint32_t Frame, unsigned Attempt) const {
-  double Base = BaseBackoffSeconds;
-  for (unsigned I = 0; I != Attempt && Base < MaxBackoffSeconds; ++I)
-    Base *= BackoffMultiplier;
-  Base = std::min(Base, MaxBackoffSeconds);
+  // Grow the base in closed form. The loop this replaces ran for
+  // Attempt iterations whenever BackoffMultiplier <= 1 (the growth
+  // never reached the cap), so a degenerate policy combined with a huge
+  // attempt count could spin for billions of iterations. A multiplier
+  // at or below 1 now means flat backoff (never decay), and growth
+  // saturates at the cap in O(1) regardless of Attempt; pow overflowing
+  // to +inf is caught by the same clamp.
+  double Grown = BaseBackoffSeconds;
+  if (BackoffMultiplier > 1.0 && Grown > 0.0 && Attempt > 0)
+    Grown *= std::pow(BackoffMultiplier, static_cast<double>(Attempt));
+  // Once growth saturates (or the base already exceeds the cap), every
+  // later attempt charges exactly the cap: jittering at the ceiling
+  // would let the sequence dip back below it non-monotonically.
+  if (Grown >= MaxBackoffSeconds)
+    return std::max(0.0, MaxBackoffSeconds);
   // Jitter is a pure function of (seed, frame, attempt): concurrent
   // fetches replay the same delays no matter how threads interleave.
-  uint64_t H = mix64(JitterSeed ^ mix64(Frame) ^
-                     (static_cast<uint64_t>(Attempt) << 32));
+  uint64_t H = drawKey(JitterSeed, Frame, Attempt, DrawPurpose::BackoffJitter);
   double Factor = 1.0 + JitterFraction * (2.0 * unitDouble(H) - 1.0);
-  return std::max(0.0, Base * Factor);
+  // Clamp after jitter too: MaxBackoffSeconds is a hard bound on the
+  // charged delay.
+  return std::min(std::max(0.0, Grown * Factor), MaxBackoffSeconds);
 }
 
 FetchResult store::fetchWithRetry(FrameSource &Src, uint32_t Id,
@@ -295,9 +315,10 @@ FetchResult SimulatedRemoteFrameSource::transport(uint32_t DrawId,
   uint32_t Attempt = Attempts[Slot].fetch_add(1, std::memory_order_relaxed);
   // The failure draw is a pure function of (seed, frame, attempt#): the
   // Nth attempt at a frame behaves identically across runs and thread
-  // schedules.
-  uint64_t H = mix64(Opts.FaultSeed ^ mix64(DrawId) ^
-                     (static_cast<uint64_t>(Attempt) << 33));
+  // schedules. The shared drawKey guarantees it can never alias the
+  // backoff-jitter stream for the same (seed, frame, attempt).
+  uint64_t H = drawKey(Opts.FaultSeed, DrawId, Attempt,
+                       DrawPurpose::TransportFault);
   double Transfer = payloadSeconds(FromOrigin.Bytes.size());
   if (unitDouble(H) >= Opts.TransientFailureRate)
     return FetchResult::success(std::move(FromOrigin.Bytes), Transfer);

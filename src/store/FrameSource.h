@@ -173,6 +173,24 @@ struct FetchMetrics {
 FetchResult fetchWithRetry(FrameSource &Src, uint32_t Id,
                            const RetryPolicy &Policy, FetchMetrics &M);
 
+/// Which deterministic draw a key feeds. Each purpose salts the key so
+/// independent random streams over the same (seed, frame, attempt)
+/// never share a value even when the caller reuses one seed for both.
+enum class DrawPurpose : uint64_t {
+  BackoffJitter = 1,  ///< RetryPolicy::backoffSeconds' jitter factor.
+  TransportFault = 2, ///< SimulatedRemoteFrameSource's failure draws.
+};
+
+/// The single key function behind every deterministic per-attempt draw
+/// in the fetch stack. (Frame, Attempt) packs injectively into one
+/// 64-bit word — frame in the high half, attempt in the low half — so
+/// two distinct (frame, attempt) pairs can never hash the same key.
+/// The old per-site packings shifted Attempt by 32 or 33 bits, which
+/// collided with the frame id for large attempt counts and could alias
+/// the two streams for the same (seed, frame, attempt).
+uint64_t drawKey(uint64_t Seed, uint32_t Frame, unsigned Attempt,
+                 DrawPurpose Purpose);
+
 /// Sentinel id for fetchWithRetry/SimulatedRemoteFrameSource: the
 /// manifest rather than a function frame.
 constexpr uint32_t ManifestFrameId = ~0u;

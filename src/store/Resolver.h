@@ -24,8 +24,9 @@ namespace store {
 /// Routes vm::Machine call/return faults through a CodeStore. A decode
 /// failure surfaces as a resolver failure, which the interpreter turns
 /// into a trap for that run — the process (and the store's other
-/// functions) carry on.
-class StoreBackedResolver final : public vm::FunctionResolver {
+/// functions) carry on. Subclassable: store::TieredResolver layers the
+/// native execution tier on this fault path.
+class StoreBackedResolver : public vm::FunctionResolver {
 public:
   explicit StoreBackedResolver(CodeStore &S) : Store(S) {}
 
@@ -40,7 +41,7 @@ public:
   bool resolveSpan(uint32_t Fn, uint32_t Idx, vm::CodeSpan &Out,
                    std::string &Err) override;
 
-private:
+protected:
   CodeStore &Store;
 };
 

@@ -1,0 +1,204 @@
+//===- store/Tiered.cpp - Hotness-driven tiered execution -----------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Tiered.h"
+
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::store;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+TieredResolver::TieredResolver(CodeStore &S, TierOptions Opts)
+    : StoreBackedResolver(S), TO(Opts) {}
+
+TieredResolver::~TieredResolver() = default;
+
+bool TieredResolver::enterNative(vm::Machine &M, uint32_t &Fn, uint32_t &Idx,
+                                 uint64_t &Steps) {
+  // Page tracking (RunOptions::Layout) records per-instruction code
+  // touches the native tier cannot observe; those runs interpret.
+  if (!TO.Enabled || M.options().Layout)
+    return false;
+  native::TierRunStats TS;
+  if (!native::runTiered(M, *this, Fn, Idx, Steps, &TS))
+    return false;
+  std::lock_guard<std::mutex> L(Mu);
+  ++St.NativeEnters;
+  St.NativeSteps += TS.Steps;
+  St.TierTransfers += TS.Transfers;
+  return true;
+}
+
+TieredResolver::UnitPtr TieredResolver::unitFor(uint32_t Fn) {
+  // Called at tier entry and at every native cross-function transfer:
+  // the hotness gate applies here too, so a callee that crossed the
+  // threshold compiles at the call boundary and control never has to
+  // leave the tier for it.
+  return unitForExecution(Fn, /*Force=*/false, /*Pin=*/false);
+}
+
+TieredResolver::UnitPtr TieredResolver::unitForExecution(uint32_t Fn,
+                                                         bool Force,
+                                                         bool Pin) {
+  if (Fn >= Store.functionCount())
+    return nullptr;
+  for (;;) {
+    std::shared_future<UnitPtr> Wait;
+    std::promise<UnitPtr> Pr;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      auto It = Units.find(Fn);
+      if (It != Units.end()) {
+        Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+        ++St.UnitHits;
+        if (Pin && !It->second.Pinned) {
+          It->second.Pinned = true;
+          ++St.PinnedUnits;
+        }
+        return It->second.Unit;
+      }
+      if (Failed.count(Fn))
+        return nullptr;
+      auto FIt = InFlight.find(Fn);
+      if (FIt != InFlight.end()) {
+        ++St.SingleFlightWaits;
+        Wait = FIt->second;
+      } else {
+        if (!Force && Store.functionHeat(Fn) < TO.HotThreshold)
+          return nullptr; // Still cold: keep interpreting.
+        InFlight.emplace(Fn, Pr.get_future().share());
+      }
+    }
+    if (Wait.valid()) {
+      UnitPtr Out = Wait.get();
+      if (!Out || !Pin)
+        return Out;
+      continue; // Pin requested: mark it through the hit path.
+    }
+
+    // Single-flight leader: decode the body and generate the unit
+    // outside the lock. The store's own single-flight dedups the
+    // decode; this layer dedups the compile.
+    uint64_t T0 = nowNanos();
+    UnitPtr Unit;
+    Result<std::shared_ptr<const vm::VMFunction>> Body = Store.fault(Fn);
+    if (Body.ok()) {
+      native::GenStats G;
+      Unit = std::make_shared<native::NUnit>(
+          native::generateUnit(*Body.value(), Fn, &G));
+    }
+    uint64_t Nanos = nowNanos() - T0;
+
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      InFlight.erase(Fn);
+      St.CompileNanos += Nanos;
+      if (!Unit) {
+        // A body that cannot decode will not improve; remember the
+        // failure so a hot broken function does not retry its decode
+        // at every entry. The interpreter's own fault path surfaces
+        // the typed error as a trap.
+        ++St.CompileErrors;
+        Failed.insert(Fn);
+      } else {
+        ++St.Compiles;
+        St.CompiledBytesTotal += Unit->codeBytes();
+        auto [MIt, Inserted] =
+            Units.emplace(Fn, CacheEntry{Unit, Unit->codeBytes(), Pin, {}});
+        (void)Inserted; // InFlight excluded any concurrent compile of Fn.
+        Lru.push_front(Fn);
+        MIt->second.LruIt = Lru.begin();
+        St.ResidentBytes += MIt->second.Cost;
+        ++St.ResidentUnits;
+        if (Pin)
+          ++St.PinnedUnits;
+        evictOverBudget(Fn);
+      }
+    }
+    Pr.set_value(Unit);
+    return Unit;
+  }
+}
+
+void TieredResolver::evictOverBudget(uint32_t Keep) {
+  // Mirror of CodeStore::evictOver for compiled units: evict from the
+  // cold end until under budget, never the just-compiled unit, never a
+  // pinned one.
+  while (St.ResidentBytes > TO.CompiledBudgetBytes && Units.size() > 1) {
+    auto VictimIt = Lru.end();
+    for (auto R = Lru.rbegin(); R != Lru.rend(); ++R) {
+      if (*R == Keep)
+        continue;
+      if (Units.find(*R)->second.Pinned)
+        continue;
+      VictimIt = std::prev(R.base());
+      break;
+    }
+    if (VictimIt == Lru.end())
+      return; // Everything else is pinned; stay over budget.
+    auto MIt = Units.find(*VictimIt);
+    St.ResidentBytes -= MIt->second.Cost;
+    --St.ResidentUnits;
+    Units.erase(MIt);
+    Lru.erase(VictimIt);
+    ++St.Evictions;
+  }
+}
+
+bool TieredResolver::pinCompiled(uint32_t Fn) {
+  return unitForExecution(Fn, /*Force=*/true, /*Pin=*/true) != nullptr;
+}
+
+void TieredResolver::unpinCompiled(uint32_t Fn) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Units.find(Fn);
+  if (It != Units.end() && It->second.Pinned) {
+    It->second.Pinned = false;
+    --St.PinnedUnits;
+  }
+}
+
+bool TieredResolver::isCompiled(uint32_t Fn) const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Units.count(Fn) != 0;
+}
+
+TierStats TieredResolver::tierStats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return St;
+}
+
+void TieredResolver::resetTierStats() {
+  std::lock_guard<std::mutex> L(Mu);
+  TierStats Fresh;
+  Fresh.ResidentUnits = St.ResidentUnits;
+  Fresh.ResidentBytes = St.ResidentBytes;
+  Fresh.PinnedUnits = St.PinnedUnits;
+  St = Fresh;
+}
+
+vm::RunResult store::runTieredFromStore(CodeStore &S, TierOptions TO,
+                                        vm::RunOptions Opts,
+                                        TierStats *StatsOut) {
+  TieredResolver Rv(S, TO);
+  Opts.Resolver = &Rv;
+  vm::Machine M(S.skeleton(), Opts);
+  vm::RunResult Res = M.run();
+  if (StatsOut)
+    *StatsOut = Rv.tierStats();
+  return Res;
+}

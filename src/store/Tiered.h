@@ -1,0 +1,148 @@
+//===- store/Tiered.h - Hotness-driven tiered execution ---------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's endgame wired together: interpret cold code straight out
+/// of the compressed store, and JIT what gets hot. A TieredResolver
+/// layers the native tier on StoreBackedResolver's fault path through
+/// the vm::FunctionResolver::enterNative hook — at every cross-function
+/// transfer the interpreter makes, the resolver checks whether the
+/// target function's demand heat (CodeStore::functionHeat, fed by the
+/// page cache's fault/hit counters) has crossed HotThreshold, compiles
+/// the decoded body to a native::NUnit when it has, and runs compiled
+/// functions on the threaded backend until control reaches a cold one.
+///
+/// Compiled units live in their own pin-aware LRU cache beside the
+/// decode cache: byte-budgeted, single-flighted (N threads racing a hot
+/// function produce exactly one compile), with pinCompiled/unpinCompiled
+/// mirroring the decode cache's pin semantics. Fall-back rules: a
+/// function with no unit (cold, over-budget-evicted, or failed to
+/// decode) interprets via the span path; traps and halts inside
+/// compiled code commit back to the Machine so RunResults are
+/// byte-identical to interpret-only execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_STORE_TIERED_H
+#define CCOMP_STORE_TIERED_H
+
+#include "native/Tiered.h"
+#include "store/CodeStore.h"
+#include "store/Resolver.h"
+
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccomp {
+namespace store {
+
+/// Tiering knobs.
+struct TierOptions {
+  bool Enabled = true;
+  /// Compile a function once its demand heat (page faults + hits) is at
+  /// least this. 0 compiles at first entry.
+  uint64_t HotThreshold = 8;
+  /// Byte budget for compiled units. Like the decode cache's budget,
+  /// it is a target: the most recently compiled unit is never evicted,
+  /// and pinned units are skipped.
+  size_t CompiledBudgetBytes = 16u << 20;
+};
+
+/// Monotonic counters plus gauges for the compiled-code cache. Guarded
+/// by the resolver's mutex; tierStats() snapshots are consistent.
+struct TierStats {
+  uint64_t Compiles = 0;          ///< Units generated (one per function).
+  uint64_t CompileErrors = 0;     ///< Decode failures on the compile path.
+  uint64_t CompileNanos = 0;      ///< Wall time inside generateUnit + decode.
+  uint64_t CompiledBytesTotal = 0; ///< Bytes of threaded code produced.
+  uint64_t UnitHits = 0;          ///< Unit lookups served from the cache.
+  uint64_t SingleFlightWaits = 0; ///< Lookups that waited on another compile.
+  uint64_t Evictions = 0;         ///< Units evicted over budget.
+  uint64_t NativeEnters = 0;      ///< enterNative calls that ran natively.
+  uint64_t NativeSteps = 0;       ///< Instructions executed on the tier.
+  uint64_t TierTransfers = 0;     ///< Cross-function transfers taken natively.
+  // Gauges (current state, unaffected by resetTierStats).
+  uint64_t ResidentUnits = 0;
+  uint64_t ResidentBytes = 0;
+  uint64_t PinnedUnits = 0;
+};
+
+/// StoreBackedResolver plus the native tier. Thread-safe like its base:
+/// one TieredResolver may serve several Machines concurrently, and the
+/// compiled cache single-flights so each function compiles once.
+class TieredResolver : public StoreBackedResolver,
+                       private native::UnitSource {
+public:
+  explicit TieredResolver(CodeStore &S, TierOptions TO = TierOptions());
+  ~TieredResolver() override;
+
+  /// The tier gate. Declines (interprets) when tiering is disabled or
+  /// the run needs interpreter-only instrumentation (page tracking via
+  /// RunOptions::Layout); otherwise compiles-on-hot and executes.
+  bool enterNative(vm::Machine &M, uint32_t &Fn, uint32_t &Idx,
+                   uint64_t &Steps) override;
+
+  /// Compiles \p Fn now (ignoring HotThreshold) and marks its unit
+  /// pinned: never evicted over budget. Returns false if the body
+  /// cannot be decoded.
+  bool pinCompiled(uint32_t Fn);
+  void unpinCompiled(uint32_t Fn);
+
+  /// True if \p Fn's unit is resident right now (no LRU effect).
+  bool isCompiled(uint32_t Fn) const;
+
+  const TierOptions &tierOptions() const { return TO; }
+  TierStats tierStats() const;
+  /// Zeroes the monotonic counters; residency gauges are preserved.
+  void resetTierStats();
+
+private:
+  using UnitPtr = std::shared_ptr<const native::NUnit>;
+
+  /// native::UnitSource for runTiered: cache lookup without the
+  /// hotness gate (already-compiled functions stay native even when an
+  /// entry's heat is below threshold).
+  UnitPtr unitFor(uint32_t Fn) override;
+
+  /// The compile path: cache lookup, hotness gate (bypassed when \p
+  /// Force), single-flight compile, insert + evict.
+  UnitPtr unitForExecution(uint32_t Fn, bool Force, bool Pin);
+  void evictOverBudget(uint32_t Keep);
+
+  struct CacheEntry {
+    UnitPtr Unit;
+    size_t Cost = 0;
+    bool Pinned = false;
+    std::list<uint32_t>::iterator LruIt;
+  };
+
+  TierOptions TO;
+  mutable std::mutex Mu;
+  std::unordered_map<uint32_t, CacheEntry> Units;
+  std::list<uint32_t> Lru; ///< Front = most recently used.
+  std::unordered_map<uint32_t, std::shared_future<UnitPtr>> InFlight;
+  /// Functions whose body failed to decode on the compile path: do not
+  /// retry every entry, the interpreter's own fault will surface the
+  /// typed error.
+  std::unordered_set<uint32_t> Failed;
+  TierStats St;
+};
+
+/// Convenience: run the store's program end-to-end with tiering.
+/// Opts.Resolver is overwritten. \p StatsOut (optional) receives the
+/// final tier stats.
+vm::RunResult runTieredFromStore(CodeStore &S, TierOptions TO,
+                                 vm::RunOptions Opts = vm::RunOptions(),
+                                 TierStats *StatsOut = nullptr);
+
+} // namespace store
+} // namespace ccomp
+
+#endif // CCOMP_STORE_TIERED_H

@@ -15,6 +15,11 @@ using namespace ccomp::vm;
 
 FunctionResolver::~FunctionResolver() = default;
 
+bool FunctionResolver::enterNative(Machine &, uint32_t &, uint32_t &,
+                                   uint64_t &) {
+  return false; // Default tier: interpret everything.
+}
+
 bool FunctionResolver::resolveSpan(uint32_t Fn, uint32_t Idx, CodeSpan &Out,
                                    std::string &Err) {
   (void)Idx; // Whole-function resolvers serve every index from one span.
@@ -385,9 +390,24 @@ RunResult Machine::run() {
     return true;
   };
   auto Enter = [&](uint32_t NewFn, uint32_t NewPc) -> bool {
-    if (NewFn >= FnCount) {
-      trap("transfer to unknown function " + std::to_string(NewFn));
-      return false;
+    // A tiering resolver may run hot functions on a faster backend:
+    // each time control leaves the fast tier at a cross-function
+    // transfer, the hook is consulted again with the new target, until
+    // the target is cold (the hook declines) or the run ended inside
+    // the tier.
+    for (;;) {
+      if (NewFn >= FnCount) {
+        trap("transfer to unknown function " + std::to_string(NewFn));
+        return false;
+      }
+      if (!Rv || !Rv->enterNative(*this, NewFn, NewPc, Steps))
+        break;
+      if (Halted || Trapped) {
+        // The main loop observes the halt/trap; no span is needed.
+        Fn = NewFn;
+        Pc = NewPc;
+        return true;
+      }
     }
     if (!Resolve(NewFn, NewPc, Span))
       return false;

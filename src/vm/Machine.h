@@ -29,6 +29,8 @@
 namespace ccomp {
 namespace vm {
 
+class Machine;
+
 /// A resolved, contiguous slice of one function's code — the unit the
 /// interpreter executes from. A whole-function resolver hands out the
 /// entire body as one span; a page-granular resolver (a paged CodeStore)
@@ -86,6 +88,19 @@ public:
   /// recoverable failure.
   virtual bool resolveSpan(uint32_t Fn, uint32_t Idx, CodeSpan &Out,
                            std::string &Err);
+
+  /// Optional execution-tier hook, consulted at every cross-function
+  /// transfer (initial entry, call, return) before the span resolve. A
+  /// tiering resolver (store::TieredResolver) may run (\p Fn, \p Idx)
+  /// on a faster backend: if it executed anything it returns true with
+  /// Fn/Idx advanced to where control left the fast tier (or with \p M
+  /// halted/trapped), and \p Steps charged one step per executed
+  /// instruction exactly as the interpreter would have. The interpreter
+  /// re-consults the hook with the updated target, so an implementation
+  /// must either make progress or decline. The default declines:
+  /// everything interprets.
+  virtual bool enterNative(Machine &M, uint32_t &Fn, uint32_t &Idx,
+                           uint64_t &Steps);
 };
 
 /// Optional mapping from (function, instruction) to code byte offsets in
@@ -160,6 +175,13 @@ public:
     Exit = static_cast<int32_t>(R[N0]);
   }
 
+  /// Halts with an explicit exit status; how the native tier commits a
+  /// Sys::Exit or halt-through-ra it executed on borrowed state.
+  void haltWithExit(int32_t Code) {
+    Halted = true;
+    Exit = Code;
+  }
+
   void trap(const std::string &Msg) {
     if (Trapped)
       return;
@@ -181,6 +203,19 @@ public:
 
   const VMProgram &program() const { return Prog; }
   const RunOptions &options() const { return Opts; }
+
+  //===--------------------------------------------------------------------===
+  // Raw architectural state, for the native tier (native::runTiered):
+  // threaded code borrows the register file, memory, heap pointer, and
+  // output buffer, executes in place, and commits halts/traps back
+  // through haltWithExit()/trap().
+  //===--------------------------------------------------------------------===
+  uint32_t *regs() { return R; }
+  uint8_t *memData() { return Mem.data(); }
+  size_t memSize() const { return Mem.size(); }
+  uint32_t heapPtr() const { return HeapPtr; }
+  void setHeapPtr(uint32_t V) { HeapPtr = V; }
+  std::string &outputBuffer() { return Out; }
 
   /// Records execution of code byte range for instruction \p Idx of
   /// function \p Fn (no-op unless a layout is configured).

@@ -90,14 +90,14 @@ TEST(Codec, StatsCountCallsAndBytes) {
   std::vector<uint8_t> Frame = Flate->compress(Payload);
   ASSERT_TRUE(Flate->tryDecompress(Frame).ok());
   EXPECT_FALSE(Flate->tryDecompress(std::vector<uint8_t>{1, 2, 3}).ok());
-  CodecStats S = Flate->stats();
+  CodecStats S = Flate->snapshot();
   EXPECT_EQ(S.CompressCalls, 1u);
   EXPECT_EQ(S.BytesIn, Payload.size());
   EXPECT_EQ(S.BytesOut, Frame.size());
   EXPECT_EQ(S.DecompressCalls, 2u);
   EXPECT_EQ(S.DecodeErrors, 1u);
   Flate->resetStats();
-  EXPECT_EQ(Flate->stats().CompressCalls, 0u);
+  EXPECT_EQ(Flate->snapshot().CompressCalls, 0u);
 }
 
 TEST(Codec, CorruptFramesYieldTypedErrors) {

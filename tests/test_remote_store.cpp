@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <set>
 #include <thread>
 
 using namespace ccomp;
@@ -127,6 +128,83 @@ TEST(RemoteStore, BackoffIsBoundedDeterministicAndJittered) {
   // Different frames draw different jitter (that is the point of
   // seeding by frame: concurrent retries must not synchronize).
   EXPECT_NE(P.backoffSeconds(0, 3), P.backoffSeconds(1, 3));
+}
+
+// Regression: the old loop-based growth ran Attempt iterations, so a
+// multiplier <= 1.0 never reached the cap and a huge Attempt (a
+// corrupted counter, or a policy driven by an external retry budget)
+// spun for minutes. The closed form must return instantly and clamped
+// for any input.
+TEST(RemoteStore, BackoffTerminatesAndClampsForDegenerateInputs) {
+  for (double Mult : {1.0, 0.5, 0.0}) {
+    RetryPolicy P;
+    P.BackoffMultiplier = Mult;
+    for (unsigned A : {0u, 1u, 7u, 1u << 31, ~0u}) {
+      double B = P.backoffSeconds(3, A);
+      // No growth: every attempt waits the jittered base.
+      EXPECT_GE(B, P.BaseBackoffSeconds * (1.0 - P.JitterFraction) - 1e-12)
+          << "mult=" << Mult << " attempt=" << A;
+      EXPECT_LE(B, P.BaseBackoffSeconds * (1.0 + P.JitterFraction) + 1e-12)
+          << "mult=" << Mult << " attempt=" << A;
+    }
+  }
+  // Growing policy, astronomically large attempt: pow overflows to inf,
+  // which must clamp to exactly the cap, not NaN or a hang.
+  RetryPolicy P;
+  EXPECT_EQ(P.backoffSeconds(0, ~0u), P.MaxBackoffSeconds);
+  EXPECT_EQ(P.backoffSeconds(0, 1u << 31), P.MaxBackoffSeconds);
+  // A non-positive cap still terminates and never goes negative.
+  RetryPolicy Z;
+  Z.MaxBackoffSeconds = 0.0;
+  EXPECT_EQ(Z.backoffSeconds(0, 50), 0.0);
+  Z.MaxBackoffSeconds = -1.0;
+  EXPECT_GE(Z.backoffSeconds(0, 50), 0.0);
+}
+
+// Regression: the clamped backoff sequence must be monotone
+// non-decreasing in Attempt for the default policy — jitter may wiggle
+// a single draw but never below the previous attempt's draw, and once
+// the cap is reached every later attempt returns exactly the cap.
+TEST(RemoteStore, BackoffIsMonotoneNonDecreasing) {
+  RetryPolicy P;
+  for (uint32_t Frame : {0u, 7u, 123u, 4096u}) {
+    double Prev = -1.0;
+    for (unsigned A = 0; A != 64; ++A) {
+      double B = P.backoffSeconds(Frame, A);
+      EXPECT_GE(B, Prev - 1e-12)
+          << "frame " << Frame << ": backoff shrank at attempt " << A;
+      Prev = B;
+    }
+    EXPECT_EQ(Prev, P.MaxBackoffSeconds) << "saturates at the cap";
+  }
+}
+
+// The unified jitter/fault draw: purposes must not alias (the old code
+// XORed Frame<<32 with Attempt<<33, so (frame, attempt) pairs could
+// collide across the two draw sites), and distinct inputs must draw
+// distinct keys.
+TEST(RemoteStore, DrawKeySeparatesPurposesAndInputs) {
+  const uint64_t Seed = 0x1234;
+  std::set<uint64_t> Keys;
+  unsigned Total = 0;
+  for (uint32_t Frame : {0u, 1u, 2u, 77u}) {
+    for (unsigned A = 0; A != 8; ++A) {
+      for (DrawPurpose Pu :
+           {DrawPurpose::BackoffJitter, DrawPurpose::TransportFault}) {
+        Keys.insert(drawKey(Seed, Frame, A, Pu));
+        ++Total;
+      }
+    }
+  }
+  EXPECT_EQ(Keys.size(), Total) << "drawKey collided on distinct inputs";
+  // The historical collision class: (Frame, Attempt) vs (Frame', Attempt')
+  // where Frame<<32 == Attempt'<<33 style packings overlapped. The
+  // injective pack keys (1,0) and (0, 1<<31)-like pairs apart too.
+  EXPECT_NE(drawKey(Seed, 1, 0, DrawPurpose::BackoffJitter),
+            drawKey(Seed, 0, 1u << 31, DrawPurpose::BackoffJitter));
+  // Purpose matters even for identical (seed, frame, attempt).
+  EXPECT_NE(drawKey(Seed, 5, 2, DrawPurpose::BackoffJitter),
+            drawKey(Seed, 5, 2, DrawPurpose::TransportFault));
 }
 
 TEST(RemoteStore, ErrorTaxonomy) {
