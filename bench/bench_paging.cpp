@@ -15,12 +15,13 @@
 // find the crossover where interpreting compressed code wins on total
 // time.
 //
-// Five acts, selectable with --act=N[,N...] (default: all):
+// Six acts, selectable with --act=N[,N...] (default: all):
 //   1  intro paging table (native vs interpreted, LRU simulator)
 //   2  decode-on-fault store vs simulator prediction
 //   3  sub-function page-size sweep
 //   4  hot-loop residency payoff (asserted)
 //   5  tiered native execution of the hot set (asserted speedup)
+//   6  multi-tenant shared frame registry vs private stores (asserted)
 //
 //===----------------------------------------------------------------------===//
 
@@ -64,7 +65,7 @@ std::set<int> parseActs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--act=", 0) != 0)
-      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-5)");
+      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-6)");
     std::string List = Arg.substr(6);
     size_t Pos = 0;
     while (Pos < List.size()) {
@@ -75,14 +76,14 @@ std::set<int> parseActs(int Argc, char **Argv) {
                              std::string::npos)
         reportFatal("bench_paging: bad act '" + Tok + "'");
       int N = std::atoi(Tok.c_str());
-      if (N < 1 || N > 5)
+      if (N < 1 || N > 6)
         reportFatal("bench_paging: act out of range: " + Tok);
       Acts.insert(N);
       Pos = Comma == std::string::npos ? List.size() : Comma + 1;
     }
   }
   if (Acts.empty())
-    Acts = {1, 2, 3, 4, 5};
+    Acts = {1, 2, 3, 4, 5, 6};
   return Acts;
 }
 
@@ -472,6 +473,114 @@ int main(int Argc, char **Argv) {
     if (TieredS >= InterpS)
       reportFatal("tiered act: tiered wall time is not strictly below "
                   "interpret-only");
+  }
+
+  // Sixth act (multi-tenant sharing, asserted): N CodeStore views over
+  // one shared FrameRegistry serve the same program as N private
+  // stores, but the registry decodes each frame once process-wide and
+  // keeps one resident copy. Under a budget that holds the whole
+  // module, the shared decode count must equal the single-tenant count
+  // — independent of N — and shared resident bytes must stay strictly
+  // below N times the private figure for every N >= 2. A tight budget
+  // sweeps the other end: tenants contend for one small cache instead
+  // of each owning a small cache.
+  if (runAct(6)) {
+    std::string Err;
+    std::unique_ptr<store::CodeStore> Built =
+        store::CodeStore::build(P, ChainSpec, store::StoreOptions(), Err);
+    if (!Built)
+      reportFatal("shared act: store build failed: " + Err);
+    std::vector<uint8_t> Image = Built->save();
+
+    const size_t HugeBudget = DecodedBytes * 2;
+    const size_t TightBudget = DecodedBytes / 8;
+    uint64_t OneTenantDecodes = 0; // Huge-budget N=1 reference.
+
+    std::printf("\nMulti-tenant shared registry (chain %s, %zu decoded B)\n",
+                ChainSpec, DecodedBytes);
+    std::printf("%7s %10s | %10s %12s | %10s %12s\n", "tenants", "budget B",
+                "shr decode", "shr res B", "prv decode", "prv res B");
+    hr();
+    for (size_t Budget : {HugeBudget, TightBudget}) {
+      for (unsigned N : {1u, 2u, 8u}) {
+        store::RegistryOptions RO;
+        RO.CacheBudgetBytes = Budget;
+        auto Reg = std::make_shared<store::FrameRegistry>(RO);
+        std::vector<std::unique_ptr<store::CodeStore>> Tenants;
+        for (unsigned I = 0; I != N; ++I) {
+          store::StoreOptions SO;
+          SO.SharedRegistry = Reg;
+          Result<std::unique_ptr<store::CodeStore>> L =
+              store::CodeStore::tryLoad(Image, SO);
+          if (!L.ok())
+            reportFatal("shared act: tenant load failed: " +
+                        L.error().message());
+          Tenants.push_back(L.take());
+        }
+        double Cpu = timeIt([&] {
+          for (auto &S : Tenants) {
+            vm::RunResult R = store::runFromStore(*S);
+            if (!R.Ok || R.Output != Eager.Output ||
+                R.ExitCode != Eager.ExitCode || R.Steps != Eager.Steps)
+              reportFatal("shared act: tenant run diverged: " + R.Trap);
+          }
+        });
+        store::RegistryStats RS = Reg->stats();
+
+        // The private control: the same N runs, each store owning a
+        // cache of the same budget.
+        uint64_t PrivDecodes = 0, PrivResident = 0;
+        for (unsigned I = 0; I != N; ++I) {
+          store::StoreOptions SO;
+          SO.CacheBudgetBytes = Budget;
+          Result<std::unique_ptr<store::CodeStore>> L =
+              store::CodeStore::tryLoad(Image, SO);
+          if (!L.ok())
+            reportFatal("shared act: private load failed: " +
+                        L.error().message());
+          std::unique_ptr<store::CodeStore> S = L.take();
+          vm::RunResult R = store::runFromStore(*S);
+          if (!R.Ok || R.Output != Eager.Output)
+            reportFatal("shared act: private run diverged: " + R.Trap);
+          store::StoreStats St = S->stats();
+          PrivDecodes += St.Decodes;
+          PrivResident += St.ResidentBytes;
+        }
+
+        sim::TotalTime T = sim::sharedStoreTotalTime(Cpu, RS.Decodes,
+                                                     RS.DecodeNanos, Disk);
+        std::printf("%7u %10zu | %10llu %12llu | %10llu %12llu\n", N, Budget,
+                    (unsigned long long)RS.Decodes,
+                    (unsigned long long)RS.ResidentBytes,
+                    (unsigned long long)PrivDecodes,
+                    (unsigned long long)PrivResident);
+        char Json[512];
+        std::snprintf(Json, sizeof(Json),
+                      "{\"bench\":\"paging_shared\",\"chain\":\"%s\","
+                      "\"tenants\":%u,\"budget_bytes\":%zu,"
+                      "\"shared_decodes\":%llu,\"shared_resident\":%llu,"
+                      "\"private_decodes\":%llu,\"private_resident\":%llu,"
+                      "\"cpu_s\":%.4f,\"est_total_s\":%.4f}",
+                      jsonEscape(ChainSpec).c_str(), N, Budget,
+                      (unsigned long long)RS.Decodes,
+                      (unsigned long long)RS.ResidentBytes,
+                      (unsigned long long)PrivDecodes,
+                      (unsigned long long)PrivResident, Cpu, T.total());
+        emitStats(Json);
+
+        if (Budget == HugeBudget) {
+          if (N == 1)
+            OneTenantDecodes = RS.Decodes;
+          else if (RS.Decodes != OneTenantDecodes)
+            reportFatal("shared act: shared decode count scaled with "
+                        "tenants under a full-module budget");
+        }
+        if (N >= 2 && RS.ResidentBytes >= PrivResident)
+          reportFatal("shared act: shared resident bytes are not strictly "
+                      "below N private stores'");
+      }
+    }
+    hr();
   }
   return 0;
 }

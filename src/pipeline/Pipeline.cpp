@@ -7,6 +7,7 @@
 #include "pipeline/Pipeline.h"
 
 #include "support/ByteIO.h"
+#include "support/PRNG.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
@@ -125,4 +126,35 @@ Result<Container> pipeline::tryUnpackContainer(ByteSpan Bytes) {
       decodeFail("container: trailing bytes");
     return C;
   });
+}
+
+uint64_t
+pipeline::hashContainerFrames(const std::string &ChainSpec,
+                              const std::vector<std::vector<uint8_t>> &Frames) {
+  // FNV-1a 64: simple, dependency-free, and byte-order independent of
+  // the host. The length prefix keeps frame boundaries in the identity
+  // (frames {"ab",""} and {"a","b"} must not collide structurally).
+  constexpr uint64_t Offset = 0xcbf29ce484222325ull;
+  constexpr uint64_t Prime = 0x100000001b3ull;
+  uint64_t H = Offset;
+  auto Fold = [&H](const uint8_t *P, size_t N) {
+    for (size_t I = 0; I != N; ++I) {
+      H ^= P[I];
+      H *= Prime;
+    }
+  };
+  auto FoldU64 = [&Fold](uint64_t V) {
+    uint8_t B[8];
+    for (int I = 0; I != 8; ++I)
+      B[I] = static_cast<uint8_t>(V >> (8 * I));
+    Fold(B, 8);
+  };
+  FoldU64(ChainSpec.size());
+  Fold(reinterpret_cast<const uint8_t *>(ChainSpec.data()), ChainSpec.size());
+  FoldU64(Frames.size());
+  for (const std::vector<uint8_t> &F : Frames) {
+    FoldU64(F.size());
+    Fold(F.data(), F.size());
+  }
+  return mix64(H);
 }

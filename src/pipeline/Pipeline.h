@@ -59,6 +59,18 @@ struct Container {
 /// typed DecodeError.
 Result<Container> tryUnpackContainer(ByteSpan Bytes);
 
+/// Content hash of a store container's payload: the chain spec plus
+/// every compressed frame, in frame order, each frame prefixed by its
+/// length so frame boundaries are part of the identity. FNV-1a over
+/// the bytes, avalanched through a final mixer. Deterministic across
+/// platforms and builds — two containers hash equal iff spec and
+/// frames are byte-identical — so the value can serve as the
+/// content-addressed key of a process-wide frame registry. The store
+/// excludes its manifest frame from \p Frames: the hash rides *inside*
+/// the manifest (manifest v3), so it cannot cover it.
+uint64_t hashContainerFrames(const std::string &ChainSpec,
+                             const std::vector<std::vector<uint8_t>> &Frames);
+
 } // namespace pipeline
 } // namespace ccomp
 

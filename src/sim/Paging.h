@@ -99,6 +99,24 @@ inline TotalTime remoteTotalTime(double CpuSeconds, uint64_t DecodeNanos,
           static_cast<double>(FetchVirtualNanos) / 1e9};
 }
 
+/// Multi-tenant variant: N tenant stores share one FrameRegistry, so the
+/// decode and fault bills are *registry-global* — a frame decoded for
+/// one tenant is a free hit for every other. \p TenantsCpuSeconds is the
+/// summed interpreter CPU across tenants (each tenant still executes its
+/// own instructions); \p RegistryDecodes and \p RegistryDecodeNanos come
+/// from store::RegistryStats, which bill each shared decode exactly
+/// once, process-wide. Contrast with N private stores, whose time is N
+/// independent storeTotalTime bills: the difference is the paper's
+/// memory-economics argument applied across tenants instead of across
+/// functions.
+inline TotalTime sharedStoreTotalTime(double TenantsCpuSeconds,
+                                      uint64_t RegistryDecodes,
+                                      uint64_t RegistryDecodeNanos,
+                                      const DiskModel &D) {
+  return {TenantsCpuSeconds + static_cast<double>(RegistryDecodeNanos) / 1e9,
+          static_cast<double>(RegistryDecodes) * D.FaultSeconds};
+}
+
 /// JIT cost model: what compiling hot code to native form charges. The
 /// paper's generator produces ~2.5 MB/s of native code, so a tiered run
 /// pays CompiledBytes / BytesPerSecond of CPU before the hot set runs

@@ -14,7 +14,6 @@
 #include "vm/Encode.h"
 
 #include <algorithm>
-#include <chrono>
 
 using namespace ccomp;
 using namespace ccomp::store;
@@ -23,15 +22,11 @@ using pipeline::PayloadKind;
 namespace {
 
 constexpr uint32_t ManifestMagic = 0x4D534343; // "CCSM".
-constexpr uint8_t ManifestVersion = 1;      // Whole-function frames.
-constexpr uint8_t ManifestVersionPaged = 2; // Sub-function page frames.
+constexpr uint8_t ManifestVersion = 1;       // Whole-function frames.
+constexpr uint8_t ManifestVersionPaged = 2;  // Sub-function page frames.
+constexpr uint8_t ManifestVersionHashed = 3; // Flags + content-hash claim.
 
-uint64_t nowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+constexpr uint8_t ManifestFlagPaged = 1; // v3 flags bit 0.
 
 /// Manifest tag for what the decompressed frame body holds.
 uint8_t bodyTag(PayloadKind K) {
@@ -49,37 +44,45 @@ size_t store::decodedCostBytes(const vm::VMFunction &F) {
 // Build / save / load
 //===----------------------------------------------------------------------===//
 
-void CodeStore::initRuntime(StoreOptions O) {
+Result<bool> CodeStore::initRuntime(StoreOptions O) {
   Opts = O;
-  unsigned N = std::max(1u, Opts.Shards);
-  N = std::min<unsigned>(N, std::max<uint32_t>(1, frameCount()));
-  Shards = std::vector<Shard>(N);
-  // Split the budget so the shard budgets sum to exactly the configured
-  // bytes: budget/N each, with the remainder spread one byte per shard.
-  // (A plain budget/N truncates — a 7-byte budget over 4 shards would
-  // silently serve only 4 bytes of capacity.)
-  size_t Base = Opts.CacheBudgetBytes / N;
-  size_t Rem = Opts.CacheBudgetBytes % N;
-  for (unsigned I = 0; I != N; ++I)
-    Shards[I].Budget = Base + (I < Rem ? 1 : 0);
-  FrameHeat = std::make_unique<std::atomic<uint64_t>[]>(
-      std::max<uint32_t>(1, frameCount()));
-  FuncHeat = std::make_unique<std::atomic<uint64_t>[]>(
-      std::max<uint32_t>(1, functionCount()));
-  for (uint32_t I = 0; I != frameCount(); ++I)
-    FrameHeat[I].store(0, std::memory_order_relaxed);
-  for (uint32_t I = 0; I != functionCount(); ++I)
-    FuncHeat[I].store(0, std::memory_order_relaxed);
+  if (O.SharedRegistry) {
+    Reg = O.SharedRegistry;
+    PrivateReg = false;
+  } else {
+    RegistryOptions RO;
+    RO.CacheBudgetBytes = O.CacheBudgetBytes;
+    unsigned N = std::max(1u, O.Shards);
+    N = std::min<unsigned>(N, std::max<uint32_t>(1, frameCount()));
+    RO.Shards = N;
+    RO.Policy = O.Policy;
+    Reg = std::make_shared<FrameRegistry>(RO);
+    PrivateReg = true;
+  }
+  ModuleIdent Id;
+  Id.ChainSpec = Spec;
+  Id.FrameCount = frameCount();
+  Id.FuncCount = functionCount();
+  Id.Paged = Paged;
+  Result<std::shared_ptr<ModuleHeat>> H = Reg->registerModule(Hash, Id);
+  if (!H.ok())
+    return H.error();
+  Heat = H.take();
+  PinnedByMe.assign(frameCount(), 0);
+  PinGens.assign(frameCount(), 0);
+  return true;
 }
 
-uint64_t CodeStore::frameHeat(uint32_t Id) const {
-  return Id < frameCount() ? FrameHeat[Id].load(std::memory_order_relaxed)
-                           : 0;
-}
-
-uint64_t CodeStore::functionHeat(uint32_t Fn) const {
-  return Fn < functionCount() ? FuncHeat[Fn].load(std::memory_order_relaxed)
-                              : 0;
+CodeStore::~CodeStore() {
+  // A private registry dies with the store. On a shared one, release
+  // every pin this tenant still holds so a departed tenant cannot keep
+  // frames unevictable forever.
+  if (PrivateReg || !Reg)
+    return;
+  std::lock_guard<std::mutex> L(PinMu);
+  for (uint32_t I = 0; I != PinnedByMe.size(); ++I)
+    if (PinnedByMe[I])
+      Reg->unpin(keyOf(I), PinGens[I]);
 }
 
 void CodeStore::indexPages() {
@@ -90,13 +93,6 @@ void CodeStore::indexPages() {
   for (uint32_t F = 0; F != Funcs.size(); ++F)
     for (size_t K = 0; K != Funcs[F].Pages.size(); ++K)
       FrameFunc.push_back(F);
-}
-
-size_t CodeStore::cacheBudgetBytes() const {
-  size_t Total = 0;
-  for (const Shard &Sh : Shards)
-    Total += Sh.Budget;
-  return Total;
 }
 
 std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
@@ -195,17 +191,30 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
   std::vector<std::vector<uint8_t>> Frames =
       pipeline::compressAll(S->Chain, Payloads, Opts.BuildJobs);
 
+  // The content identity under which the registry knows this module:
+  // rebuilds of the same program through the same chain produce the
+  // same frames, so they land on the same key and share.
+  S->Hash = pipeline::hashContainerFrames(ChainSpec, Frames);
   S->indexPages();
   S->Source =
       std::make_unique<LocalFrameSource>(ChainSpec, std::move(Frames));
-  S->initRuntime(Opts);
+  Result<bool> Init = S->initRuntime(Opts);
+  if (!Init.ok()) {
+    Error = Init.error().message();
+    return nullptr;
+  }
   return S;
 }
 
 Result<std::vector<uint8_t>> CodeStore::trySave() {
   ByteWriter W;
   W.writeU32(ManifestMagic);
-  W.writeU8(Paged ? ManifestVersionPaged : ManifestVersion);
+  W.writeU8(ManifestVersionHashed);
+  W.writeU8(Paged ? ManifestFlagPaged : 0);
+  // The claim a loader checks against the frames it can hash itself,
+  // and trusts when it cannot. Written at a fixed offset (6) right
+  // after magic/version/flags, so fault-injection tests can target it.
+  W.writeU64(Hash);
   W.writeU8(bodyTag(Kind));
   W.writeVarU(Skel.Entry);
   W.writeVarU(Skel.GlobalBase);
@@ -311,9 +320,21 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
     if (R.readU32() != ManifestMagic)
       decodeFail("store: bad manifest magic");
     uint8_t Version = R.readU8();
-    if (Version != ManifestVersion && Version != ManifestVersionPaged)
+    bool HaveClaim = false;
+    uint64_t Claim = 0;
+    if (Version == ManifestVersionHashed) {
+      uint8_t Flags = R.readU8();
+      if (Flags & ~uint8_t(ManifestFlagPaged))
+        decodeFail("store: unknown manifest flags");
+      S->Paged = (Flags & ManifestFlagPaged) != 0;
+      Claim = R.readU64();
+      HaveClaim = true;
+    } else if (Version == ManifestVersion ||
+               Version == ManifestVersionPaged) {
+      S->Paged = Version == ManifestVersionPaged;
+    } else {
       decodeFail("store: unsupported manifest version");
-    S->Paged = Version == ManifestVersionPaged;
+    }
     if (R.readU8() != bodyTag(S->Kind))
       decodeFail("store: manifest payload kind does not match codec chain");
     S->Skel.Entry = static_cast<uint32_t>(R.readVarU());
@@ -410,17 +431,48 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
     size_t WantFrames = S->Paged ? S->TotalPages : S->Funcs.size();
     if (WantFrames != Src->functionFrameCount())
       decodeFail("store: manifest frame count does not match container");
+
+    // Resolve the module's content identity. Recomputing from the
+    // frames is the ground truth; the manifest claim is checked against
+    // it before this store may join a *shared* registry (a forged or
+    // corrupt claim must not key into another tenant's frames), and
+    // trusted only when the source cannot be hashed (on-demand files).
+    // A private store tolerates a mismatched claim — its registry
+    // serves only itself, and a corrupt frame still fails its fault
+    // typed.
+    uint64_t Computed = 0;
+    bool HaveComputed = Src->contentHash(Computed);
+    if (Opts.SharedRegistry && HaveClaim && HaveComputed &&
+        Claim != Computed)
+      decodeFail("store: manifest container hash does not match the "
+                 "frames; refusing to join the shared registry");
+    if (HaveComputed)
+      S->Hash = Computed;
+    else if (HaveClaim)
+      S->Hash = Claim;
+    else if (!Opts.SharedRegistry)
+      // Legacy container on an unhashable source: any stable value
+      // works for a private registry.
+      S->Hash = pipeline::hashContainerFrames(S->Spec, {Manifest});
+    else
+      decodeFail("store: legacy container carries no content hash and "
+                 "the source cannot be hashed; cannot join a shared "
+                 "registry");
+
     S->indexPages();
     S->Source = std::move(Src);
-    S->initRuntime(Opts);
-    // Charge the manifest's transport cost to shard 0 so stats() shows
-    // the whole session's fetch bill.
-    Shard &Sh0 = S->Shards.front();
-    Sh0.S.FetchAttempts += MM.Attempts;
-    Sh0.S.FetchRetries += MM.TransientFailures;
-    Sh0.S.FetchedBytes += MM.FetchedBytes;
-    Sh0.S.FetchVirtualNanos +=
-        static_cast<uint64_t>(MM.VirtualSeconds * 1e9);
+    Result<bool> Init = S->initRuntime(Opts);
+    if (!Init.ok())
+      decodeFail(Init.error().message());
+    // Charge the manifest's transport cost to this tenant so stats()
+    // shows the whole session's fetch bill.
+    S->Cnt.FetchAttempts.fetch_add(MM.Attempts, std::memory_order_relaxed);
+    S->Cnt.FetchRetries.fetch_add(MM.TransientFailures,
+                                  std::memory_order_relaxed);
+    S->Cnt.FetchedBytes.fetch_add(MM.FetchedBytes, std::memory_order_relaxed);
+    S->Cnt.FetchVirtualNanos.fetch_add(
+        static_cast<uint64_t>(MM.VirtualSeconds * 1e9),
+        std::memory_order_relaxed);
     return S;
   });
 }
@@ -488,33 +540,47 @@ CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
   return std::shared_ptr<const vm::VMFunction>(std::move(F));
 }
 
-void CodeStore::evictOver(Shard &Sh, uint32_t Keep) {
-  // Evict from the cold end until under budget. The entry faulted in
-  // most recently (Keep) is never a victim, so a budget smaller than one
-  // frame still serves; pinned entries are skipped under the pin-aware
-  // policy.
-  while (Sh.S.ResidentBytes > Sh.Budget && Sh.Map.size() > 1) {
-    auto VictimIt = Sh.Lru.end();
-    for (auto R = Sh.Lru.rbegin(); R != Sh.Lru.rend(); ++R) {
-      if (*R == Keep)
-        continue;
-      if (Opts.Policy == EvictPolicy::PinAwareLRU &&
-          Sh.Map.find(*R)->second.Pinned)
-        continue;
-      VictimIt = std::prev(R.base());
-      break;
-    }
-    if (VictimIt == Sh.Lru.end())
-      return; // Everything else is pinned; stay over budget.
-    auto MIt = Sh.Map.find(*VictimIt);
-    Sh.S.ResidentBytes -= MIt->second.Cost;
-    --Sh.S.ResidentFunctions;
-    if (MIt->second.Pinned)
-      --Sh.S.PinnedFunctions; // Only reachable under plain LRU.
-    Sh.Map.erase(MIt);
-    Sh.Lru.erase(VictimIt);
-    ++Sh.S.Evictions;
+CodeStore::FaultOutcome CodeStore::registryFault(uint32_t Id, bool Pin,
+                                                 uint64_t Held, bool Prefetch,
+                                                 uint64_t *PinGenOut) {
+  FrameRegistry::Info I;
+  FaultOutcome Out = Reg->fault(
+      keyOf(Id), Pin, Held, Prefetch,
+      [&](bool &DecoderRan) -> FaultOutcome {
+        FetchMetrics M;
+        FaultOutcome R = [&]() -> FaultOutcome {
+          try {
+            return decodeFrame(Id, M);
+          } catch (const std::bad_alloc &) {
+            return DecodeError("store: allocation failed while decoding");
+          }
+        }();
+        Cnt.FetchAttempts.fetch_add(M.Attempts, std::memory_order_relaxed);
+        Cnt.FetchRetries.fetch_add(M.TransientFailures,
+                                   std::memory_order_relaxed);
+        Cnt.FetchedBytes.fetch_add(M.FetchedBytes, std::memory_order_relaxed);
+        Cnt.FetchVirtualNanos.fetch_add(
+            static_cast<uint64_t>(M.VirtualSeconds * 1e9),
+            std::memory_order_relaxed);
+        // A failed fetch delivers no bytes, so no decode ran; a decode
+        // failure comes after a successful (byte-delivering) fetch.
+        if (M.Attempts > 0 && M.FetchedBytes == 0)
+          Cnt.FetchFailures.fetch_add(1, std::memory_order_relaxed);
+        else
+          DecoderRan = true;
+        return R;
+      },
+      I);
+  if (!Prefetch) {
+    Cnt.Hits.fetch_add(I.Hits, std::memory_order_relaxed);
+    Cnt.Misses.fetch_add(I.Misses, std::memory_order_relaxed);
+    Cnt.SingleFlightWaits.fetch_add(I.Waits, std::memory_order_relaxed);
   }
+  if (I.Led && !Out.ok())
+    Cnt.DecodeErrors.fetch_add(1, std::memory_order_relaxed);
+  if (PinGenOut)
+    *PinGenOut = I.PinGen;
+  return Out;
 }
 
 CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin,
@@ -522,98 +588,26 @@ CodeStore::FaultOutcome CodeStore::faultImpl(uint32_t Id, bool Pin,
   if (Id >= frameCount())
     return DecodeError("store: frame id " + std::to_string(Id) +
                        " out of range");
-  if (!Prefetch) {
+  if (!Prefetch)
     // Heat accrues on every demand touch — hit or miss — so the signal
     // tracks the access pattern, not the cache's current luck.
-    FrameHeat[Id].fetch_add(1, std::memory_order_relaxed);
-    FuncHeat[Paged ? FrameFunc[Id] : Id].fetch_add(1,
-                                                   std::memory_order_relaxed);
-  }
-  Shard &Sh = shardOf(Id);
-  for (;;) {
-    std::shared_future<FaultOutcome> Wait;
-    std::promise<FaultOutcome> Pr;
-    {
-      std::lock_guard<std::mutex> L(Sh.Mu);
-      auto It = Sh.Map.find(Id);
-      if (It != Sh.Map.end()) {
-        Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, It->second.LruIt);
-        if (!Prefetch)
-          ++Sh.S.Hits;
-        if (Pin && !It->second.Pinned) {
-          It->second.Pinned = true;
-          ++Sh.S.PinnedFunctions;
-        }
-        return It->second.Fn;
-      }
-      if (!Prefetch)
-        ++Sh.S.Misses;
-      auto FIt = Sh.InFlight.find(Id);
-      if (FIt != Sh.InFlight.end()) {
-        if (!Prefetch)
-          ++Sh.S.SingleFlightWaits;
-        Wait = FIt->second;
-      } else {
-        Sh.InFlight.emplace(Id, Pr.get_future().share());
-      }
-    }
-    if (Wait.valid()) {
-      FaultOutcome Out = Wait.get();
-      if (!Out.ok() || !Pin)
-        return Out;
-      continue; // Pin requested: mark it through the hit path.
-    }
+    Heat->touch(Id, Paged ? FrameFunc[Id] : Id);
+  if (!Pin)
+    return registryFault(Id, /*Pin=*/false, /*Held=*/0, Prefetch, nullptr);
 
-    // Single-flight leader: fetch + decode outside the lock.
-    uint64_t T0 = nowNanos();
-    FetchMetrics M;
-    FaultOutcome Out = [&]() -> FaultOutcome {
-      try {
-        return decodeFrame(Id, M);
-      } catch (const std::bad_alloc &) {
-        return DecodeError("store: allocation failed while decoding");
-      }
-    }();
-    uint64_t Nanos = nowNanos() - T0;
-
-    {
-      std::lock_guard<std::mutex> L(Sh.Mu);
-      Sh.InFlight.erase(Id);
-      Sh.S.FetchAttempts += M.Attempts;
-      Sh.S.FetchRetries += M.TransientFailures;
-      Sh.S.FetchedBytes += M.FetchedBytes;
-      Sh.S.FetchVirtualNanos +=
-          static_cast<uint64_t>(M.VirtualSeconds * 1e9);
-      // A failed fetch delivers no bytes, so no decode ran; a decode
-      // failure comes after a successful (byte-delivering) fetch.
-      if (M.Attempts > 0 && M.FetchedBytes == 0) {
-        ++Sh.S.FetchFailures;
-      } else {
-        ++Sh.S.Decodes;
-        if (Prefetch)
-          ++Sh.S.PrefetchDecodes;
-        Sh.S.DecodeNanos += Nanos;
-      }
-      if (!Out.ok()) {
-        ++Sh.S.DecodeErrors;
-      } else {
-        size_t Cost = decodedCostBytes(*Out.value());
-        Sh.S.DecodedBytes += Cost;
-        auto [MIt, Inserted] =
-            Sh.Map.emplace(Id, Entry{Out.value(), Cost, Pin, {}});
-        (void)Inserted; // InFlight excluded any concurrent decode of Id.
-        Sh.Lru.push_front(Id);
-        MIt->second.LruIt = Sh.Lru.begin();
-        Sh.S.ResidentBytes += Cost;
-        ++Sh.S.ResidentFunctions;
-        if (Pin)
-          ++Sh.S.PinnedFunctions;
-        evictOver(Sh, Id);
-      }
-    }
-    Pr.set_value(Out);
-    return Out;
+  // Pinning fault: PinMu serializes this tenant's pin bookkeeping so
+  // two threads pinning the same frame take exactly one registry
+  // reference. Lock order is always tenant PinMu -> registry shard
+  // locks, never the reverse.
+  std::lock_guard<std::mutex> L(PinMu);
+  uint64_t Held = PinnedByMe[Id] ? PinGens[Id] : 0;
+  uint64_t NewGen = 0;
+  FaultOutcome Out = registryFault(Id, /*Pin=*/true, Held, Prefetch, &NewGen);
+  if (Out.ok()) {
+    PinnedByMe[Id] = 1;
+    PinGens[Id] = NewGen;
   }
+  return Out;
 }
 
 CodeStore::FaultOutcome CodeStore::assembleFunction(uint32_t Fn, bool Pin) {
@@ -703,13 +697,15 @@ Result<std::shared_ptr<const vm::VMFunction>> CodeStore::pin(uint32_t Id) {
 }
 
 void CodeStore::unpinEntry(uint32_t Id) {
-  Shard &Sh = shardOf(Id);
-  std::lock_guard<std::mutex> L(Sh.Mu);
-  auto It = Sh.Map.find(Id);
-  if (It != Sh.Map.end() && It->second.Pinned) {
-    It->second.Pinned = false;
-    --Sh.S.PinnedFunctions;
-  }
+  std::lock_guard<std::mutex> L(PinMu);
+  if (!PinnedByMe[Id])
+    return;
+  PinnedByMe[Id] = 0;
+  // A stale generation (the pinned entry was evicted under plain LRU
+  // and possibly re-created) makes this a registry no-op — the pin
+  // died with the eviction.
+  Reg->unpin(keyOf(Id), PinGens[Id]);
+  PinGens[Id] = 0;
 }
 
 void CodeStore::unpin(uint32_t Id) {
@@ -746,9 +742,7 @@ void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
 }
 
 bool CodeStore::entryResident(uint32_t Id) const {
-  const Shard &Sh = shardOf(Id);
-  std::lock_guard<std::mutex> L(Sh.Mu);
-  return Sh.Map.count(Id) != 0;
+  return Reg->resident(keyOf(Id));
 }
 
 bool CodeStore::isResident(uint32_t Id) const {
@@ -764,45 +758,43 @@ bool CodeStore::isResident(uint32_t Id) const {
 }
 
 StoreStats CodeStore::stats() const {
-  // Lock every shard (in index order) so the totals are one consistent
-  // cut across the whole cache.
-  std::vector<std::unique_lock<std::mutex>> Locks;
-  Locks.reserve(Shards.size());
-  for (const Shard &Sh : Shards)
-    Locks.emplace_back(Sh.Mu);
   StoreStats T;
-  for (const Shard &Sh : Shards) {
-    T.Hits += Sh.S.Hits;
-    T.Misses += Sh.S.Misses;
-    T.Decodes += Sh.S.Decodes;
-    T.PrefetchDecodes += Sh.S.PrefetchDecodes;
-    T.SingleFlightWaits += Sh.S.SingleFlightWaits;
-    T.DecodeErrors += Sh.S.DecodeErrors;
-    T.Evictions += Sh.S.Evictions;
-    T.DecodeNanos += Sh.S.DecodeNanos;
-    T.DecodedBytes += Sh.S.DecodedBytes;
-    T.FetchAttempts += Sh.S.FetchAttempts;
-    T.FetchRetries += Sh.S.FetchRetries;
-    T.FetchFailures += Sh.S.FetchFailures;
-    T.FetchedBytes += Sh.S.FetchedBytes;
-    T.FetchVirtualNanos += Sh.S.FetchVirtualNanos;
-    T.ResidentBytes += Sh.S.ResidentBytes;
-    T.ResidentFunctions += Sh.S.ResidentFunctions;
-    T.PinnedFunctions += Sh.S.PinnedFunctions;
-  }
+  T.Hits = Cnt.Hits.load(std::memory_order_relaxed);
+  T.Misses = Cnt.Misses.load(std::memory_order_relaxed);
+  T.SingleFlightWaits =
+      Cnt.SingleFlightWaits.load(std::memory_order_relaxed);
+  T.DecodeErrors = Cnt.DecodeErrors.load(std::memory_order_relaxed);
+  T.FetchAttempts = Cnt.FetchAttempts.load(std::memory_order_relaxed);
+  T.FetchRetries = Cnt.FetchRetries.load(std::memory_order_relaxed);
+  T.FetchFailures = Cnt.FetchFailures.load(std::memory_order_relaxed);
+  T.FetchedBytes = Cnt.FetchedBytes.load(std::memory_order_relaxed);
+  T.FetchVirtualNanos =
+      Cnt.FetchVirtualNanos.load(std::memory_order_relaxed);
+  RegistryStats R = Reg->stats();
+  T.Decodes = R.Decodes;
+  T.PrefetchDecodes = R.PrefetchDecodes;
+  T.Evictions = R.Evictions;
+  T.DecodeNanos = R.DecodeNanos;
+  T.DecodedBytes = R.DecodedBytes;
+  T.ResidentBytes = R.ResidentBytes;
+  T.ResidentFunctions = R.ResidentFrames;
+  T.PinnedFunctions = R.PinnedFrames;
   return T;
 }
 
 void CodeStore::resetStats() {
-  std::vector<std::unique_lock<std::mutex>> Locks;
-  Locks.reserve(Shards.size());
-  for (Shard &Sh : Shards)
-    Locks.emplace_back(Sh.Mu);
-  for (Shard &Sh : Shards) {
-    StoreStats Keep;
-    Keep.ResidentBytes = Sh.S.ResidentBytes;
-    Keep.ResidentFunctions = Sh.S.ResidentFunctions;
-    Keep.PinnedFunctions = Sh.S.PinnedFunctions;
-    Sh.S = Keep;
-  }
+  Cnt.Hits.store(0, std::memory_order_relaxed);
+  Cnt.Misses.store(0, std::memory_order_relaxed);
+  Cnt.SingleFlightWaits.store(0, std::memory_order_relaxed);
+  Cnt.DecodeErrors.store(0, std::memory_order_relaxed);
+  Cnt.FetchAttempts.store(0, std::memory_order_relaxed);
+  Cnt.FetchRetries.store(0, std::memory_order_relaxed);
+  Cnt.FetchFailures.store(0, std::memory_order_relaxed);
+  Cnt.FetchedBytes.store(0, std::memory_order_relaxed);
+  Cnt.FetchVirtualNanos.store(0, std::memory_order_relaxed);
+  // The single-tenant contract: resetting the only view clears the
+  // decode counters too. A shared registry is deliberately untouched —
+  // its counters belong to every tenant.
+  if (PrivateReg)
+    Reg->resetStats();
 }

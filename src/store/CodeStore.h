@@ -12,22 +12,29 @@
 /// keep the compact form resident and pay a decode on fault instead of
 /// keeping every function decoded.
 ///
-/// Pieces:
-///   - a sharded, byte-budgeted LRU decode cache (shard = id mod N, the
-///     budget is split across shards with the remainder distributed so
-///     the effective capacity equals the configured bytes; each shard
-///     owns its own mutex and counters, so faults on different shards
-///     never contend);
-///   - single-flight deduplication: N threads faulting the same frame
-///     perform exactly one decode, the rest block on a shared_future;
-///   - recoverable errors: a corrupt frame fails that fault with a typed
-///     DecodeError while every other frame stays servable;
-///   - pin/prefetch: pinned entries are never evicted (under the
-///     pin-aware policy), prefetch warms ids through the support
-///     ThreadPool without skewing the demand hit/miss counters;
-///   - a Stats snapshot (consistent per construction: counters live
-///     under the shard locks) that feeds sim::DiskModel for end-to-end
-///     time estimates.
+/// Architecture. A CodeStore is a per-tenant *view* over a
+/// store::FrameRegistry (store/FrameRegistry.h), which owns the cache
+/// proper: a sharded, byte-budgeted, pin-aware LRU of decoded bodies
+/// with single-flight dedup, keyed by (container content hash, frame
+/// id). By default each store constructs a private registry sized from
+/// its StoreOptions — single-tenant behavior, indistinguishable from a
+/// store owning its cache outright. Injecting a registry via
+/// StoreOptions::SharedRegistry instead makes N stores of the same
+/// module (same content hash) share one decode, one resident copy, one
+/// global byte budget, and one heat table, while stores of different
+/// modules stay isolated by hash. The tenant keeps what is per-client:
+///   - its FrameSource and RetryPolicy — the faulting tenant fetches
+///     compressed bytes through its *own* transport, so two tenants of
+///     one module may pull frames from different media;
+///   - its pins, generation-tagged in the registry so tenants cannot
+///     release each other's;
+///   - its traffic counters: Hits/Misses/SingleFlightWaits and the
+///     fetch bill are attributed per tenant, while decode execution
+///     counters and residency gauges are registry-global (a shared
+///     decode ran once, so it is counted once). stats() merges both
+///     sides into one StoreStats; registryStats() exposes the global
+///     side alone. resetStats() clears this tenant's counters and only
+///     touches the registry's when it is private.
 ///
 /// Fault granularity. By default a frame is one whole function. With
 /// StoreOptions::PageTargetBytes set, build() splits each function at
@@ -45,9 +52,24 @@
 /// FuncImage). Module-granularity codecs (wire) cannot represent a
 /// single function and are rejected at build/load time with a clear
 /// error. The on-disk form is a standard CCPK container whose frame 0 is
-/// the store manifest (globals/entry skeleton plus per-function headers,
-/// manifest version 2 when paged) and whose frames 1..N are the
-/// compressed bodies (functions, or pages in manifest order).
+/// the store manifest (globals/entry skeleton plus per-function headers;
+/// manifest v3 additionally carries the container's content hash and a
+/// paged flag — v1/v2 containers still load) and whose frames 1..N are
+/// the compressed bodies (functions, or pages in manifest order).
+///
+/// Content addressing and trust. The registry key's hash half is
+/// pipeline::hashContainerFrames over (chain spec, frame bytes),
+/// computed by build() and recomputed at load time whenever the source
+/// can produce its content (in-memory containers; simulated-remote
+/// origins). A v3 manifest's *claimed* hash is checked against the
+/// recomputed one before a store may join a shared registry — a
+/// doctored or corrupt container fails typed instead of poisoning
+/// another tenant's frames. Sources that cannot be content-hashed
+/// (on-demand files) trust the manifest claim, and legacy v1/v2
+/// containers from such sources have no claim at all, so they are
+/// refused shared registration outright; private stores accept all of
+/// these (a corrupt frame still surfaces as a typed per-fault error,
+/// never anyone else's problem).
 ///
 /// Frames live behind a FrameSource (store/FrameSource.h), so the same
 /// fault path serves frames held in memory (LocalFrameSource), read on
@@ -64,6 +86,7 @@
 #define CCOMP_STORE_CODESTORE_H
 
 #include "pipeline/Codec.h"
+#include "store/FrameRegistry.h"
 #include "store/FrameSource.h"
 #include "support/Error.h"
 #include "support/Span.h"
@@ -72,12 +95,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace ccomp {
@@ -86,38 +106,44 @@ class ThreadPool;
 
 namespace store {
 
-/// Cache replacement policies.
-enum class EvictPolicy : uint8_t {
-  LRU,         ///< Strict LRU; pin marks are recorded but not honored.
-  PinAwareLRU, ///< LRU that skips pinned entries (the default).
-};
-
 /// Store construction knobs.
 struct StoreOptions {
-  /// Total decoded-bytes budget, split across shards (remainder bytes go
-  /// one each to the first shards, so the shard budgets always sum to
-  /// this value). The budget is a target, not a hard cap: the entry
-  /// faulted in most recently is never evicted, so any budget >= 1
-  /// frame still executes.
+  /// Total decoded-bytes budget for the store's *private* registry,
+  /// split across shards (remainder bytes go one each to the first
+  /// shards, so the shard budgets always sum to this value). The budget
+  /// is a target, not a hard cap: the entry faulted in most recently is
+  /// never evicted, so any budget >= 1 frame still executes. Ignored —
+  /// along with Shards and Policy — when SharedRegistry is set: a
+  /// shared registry brings its own RegistryOptions.
   size_t CacheBudgetBytes = 1u << 20;
-  unsigned Shards = 8;       ///< Clamped to [1, frame count].
+  unsigned Shards = 8; ///< Clamped to [1, frame count] (private registry).
   EvictPolicy Policy = EvictPolicy::PinAwareLRU;
-  unsigned BuildJobs = 1;    ///< Compression fan-out in build().
+  unsigned BuildJobs = 1; ///< Compression fan-out in build().
   /// build() only: when nonzero, split functions at basic-block
   /// boundaries into pages of at most this many fixed-width code bytes
   /// (an oversized single block still forms one page) and compress each
   /// page as its own frame. Zero keeps whole-function frames. Loading
-  /// infers the granularity from the container's manifest version.
+  /// infers the granularity from the container's manifest.
   size_t PageTargetBytes = 0;
   /// How frame fetches behave on a flaky source (ignored by sources that
   /// cannot fail transiently).
   RetryPolicy Retry;
+  /// The multi-tenant seam: when set, this store becomes a tenant view
+  /// over the given process-wide registry instead of constructing a
+  /// private one. Joining requires a trustworthy content hash (see the
+  /// file comment) and a module shape consistent with any tenant that
+  /// registered the same hash first.
+  std::shared_ptr<FrameRegistry> SharedRegistry;
 };
 
-/// Monotonic counters plus residency gauges. Snapshots are consistent:
-/// the counters are plain integers mutated under the shard locks, and
-/// stats() locks every shard before summing. Hits/Misses/Decodes count
-/// cache entries — whole functions, or pages for a paged store.
+/// Monotonic counters plus residency gauges, as seen by one store.
+/// Traffic counters (Hits/Misses/SingleFlightWaits/DecodeErrors and the
+/// Fetch* family) are this tenant's own; decode-execution counters
+/// (Decodes/PrefetchDecodes/DecodeNanos/DecodedBytes/Evictions) and the
+/// gauges come from the registry, so under a shared registry they
+/// aggregate every tenant (the decode ran once — it is counted once).
+/// Hits/Misses/Decodes count cache entries — whole functions, or pages
+/// for a paged store.
 struct StoreStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;            ///< Demand faults (cold or re-fetch after evict).
@@ -126,18 +152,20 @@ struct StoreStats {
                                   ///< never count as Hits/Misses, so miss-rate
                                   ///< lines reflect demand traffic only.
   uint64_t SingleFlightWaits = 0; ///< Demand faults served by another thread's decode.
-  uint64_t DecodeErrors = 0;
+  uint64_t DecodeErrors = 0;      ///< Failed faults this tenant led.
   uint64_t Evictions = 0;
   uint64_t DecodeNanos = 0;  ///< Wall time inside frame decodes.
   uint64_t DecodedBytes = 0; ///< Decoded cost bytes produced by decodes.
   // Frame-source fetch counters (all zero for in-memory sources unless a
-  // flaky link is injected in front).
+  // flaky link is injected in front). Always this tenant's own traffic:
+  // fetches run on the tenant's transport even when the decode cache is
+  // shared.
   uint64_t FetchAttempts = 0;     ///< Fetch attempts, including retries.
   uint64_t FetchRetries = 0;      ///< Transient failures masked by retry.
   uint64_t FetchFailures = 0;     ///< Fetches that failed for good.
   uint64_t FetchedBytes = 0;      ///< Compressed bytes fetched successfully.
   uint64_t FetchVirtualNanos = 0; ///< Virtual link clock: transfer + backoff.
-  // Gauges (current state, unaffected by resetStats).
+  // Gauges (current state, unaffected by resetStats; registry-global).
   uint64_t ResidentBytes = 0;
   uint64_t ResidentFunctions = 0; ///< Resident cache entries (functions or pages).
   uint64_t PinnedFunctions = 0;   ///< Pinned cache entries (functions or pages).
@@ -150,28 +178,35 @@ struct StoreStats {
 
 /// A module's functions as compressed frames with a decode-on-fault
 /// cache in front. Thread-safe: fault/faultSpan/pin/prefetch/stats may
-/// be called concurrently.
+/// be called concurrently, on one store or on several tenant views of
+/// one shared registry.
 class CodeStore {
 public:
   /// Compresses every function of \p P through \p ChainSpec (splitting
   /// into pages first when Opts.PageTargetBytes is set). Returns null
-  /// and sets \p Error if the chain does not exist or cannot serve
-  /// per-function frames (module-granularity first codec).
+  /// and sets \p Error if the chain does not exist, cannot serve
+  /// per-function frames (module-granularity first codec), or the
+  /// shared registry refuses the module (hash-collision shape check).
   static std::unique_ptr<CodeStore> build(const vm::VMProgram &P,
                                           const std::string &ChainSpec,
                                           StoreOptions Opts,
                                           std::string &Error);
 
+  ~CodeStore();
+
   /// Serializes manifest + frames into a CCPK container, fetching every
   /// frame from the source. Fails typed if the source cannot produce
-  /// some frame (e.g. a dead backing file).
+  /// some frame (e.g. a dead backing file). Always writes manifest v3
+  /// (with the content-hash claim), whatever version was loaded.
   Result<std::vector<uint8_t>> trySave();
   /// Aborting wrapper for stores whose source cannot fail (in-memory).
   std::vector<uint8_t> save();
 
   /// Parses a container of unknown provenance. Corrupt manifests yield a
   /// typed DecodeError here; corrupt *frames* surface later, as
-  /// recoverable per-fault errors.
+  /// recoverable per-fault errors — except when joining a shared
+  /// registry, where a frame/claim hash mismatch is refused at load
+  /// time (see the file comment).
   static Result<std::unique_ptr<CodeStore>> tryLoad(ByteSpan Bytes,
                                                     StoreOptions Opts);
 
@@ -202,7 +237,7 @@ public:
   const std::string &chainSpec() const { return Spec; }
 
   /// True when this store serves sub-function pages (built with
-  /// PageTargetBytes, or loaded from a version-2 container).
+  /// PageTargetBytes, or loaded from a paged container).
   bool paged() const { return Paged; }
   /// Total frames behind the source: pages when paged, else functions.
   uint32_t frameCount() const {
@@ -219,16 +254,30 @@ public:
   /// Total compressed frame bytes held by the store's source.
   size_t frameBytes() const { return Source->frameBytes(); }
 
-  /// Effective cache capacity: the sum of all shard budgets. Always
-  /// equals the configured CacheBudgetBytes.
-  size_t cacheBudgetBytes() const;
+  /// The container content hash this store's frames are registered
+  /// under — the module half of every registry key.
+  uint64_t containerHash() const { return Hash; }
+
+  /// The registry serving this store's decoded frames (private unless
+  /// StoreOptions::SharedRegistry was set).
+  FrameRegistry &registry() { return *Reg; }
+  const FrameRegistry &registry() const { return *Reg; }
+  /// True when the registry is shared with other stores.
+  bool sharesRegistry() const { return !PrivateReg; }
+  /// The registry-global side of the stats (shortcut for
+  /// registry().stats()).
+  RegistryStats registryStats() const { return Reg->stats(); }
+
+  /// Effective cache capacity: the registry's budget (equals the
+  /// configured CacheBudgetBytes for a private registry).
+  size_t cacheBudgetBytes() const { return Reg->cacheBudgetBytes(); }
 
   /// The fault path: returns the decoded function, decoding each frame
-  /// at most once no matter how many threads fault it concurrently. On
-  /// a paged store this assembles the body from its pages (faulting
-  /// every page in) — byte-identical to the unpaged decode. A corrupt
-  /// frame fails this call (and every retry) with a typed error; other
-  /// functions stay servable.
+  /// at most once no matter how many threads — or tenants — fault it
+  /// concurrently. On a paged store this assembles the body from its
+  /// pages (faulting every page in) — byte-identical to the unpaged
+  /// decode. A corrupt frame fails this call (and every retry) with a
+  /// typed error; other functions stay servable.
   Result<std::shared_ptr<const vm::VMFunction>> fault(uint32_t Id);
 
   /// Page-granular fault: decodes only the page of function \p Fn
@@ -240,7 +289,9 @@ public:
 
   /// Faults \p Id in and marks it pinned (every page of it, when
   /// paged); pinned entries are never evicted under
-  /// EvictPolicy::PinAwareLRU.
+  /// EvictPolicy::PinAwareLRU. Pins are per tenant: two stores pinning
+  /// the same shared frame hold independent references, and unpin
+  /// releases only this store's.
   Result<std::shared_ptr<const vm::VMFunction>> pin(uint32_t Id);
   void unpin(uint32_t Id);
 
@@ -254,24 +305,34 @@ public:
   /// resident right now (no LRU effect).
   bool isResident(uint32_t Id) const;
 
-  /// Consistent totals across all shards (locks every shard).
+  /// This tenant's traffic counters merged with the registry's decode
+  /// counters and gauges into one StoreStats (see the struct comment
+  /// for which is which).
   StoreStats stats() const;
-  /// Zeroes the monotonic counters; residency gauges are preserved.
-  /// Heat counters (frameHeat/functionHeat) are *not* cleared: they are
-  /// the tiered runtime's access-pattern signal, and resetting the
-  /// stats between benchmark phases must not cool compiled code.
+  /// Zeroes this tenant's monotonic counters. A *private* registry's
+  /// counters are cleared too (single-tenant behavior: stats() reads
+  /// zero decodes afterwards); a shared registry is left untouched —
+  /// one tenant resetting must not erase another tenant's view or the
+  /// process-wide decode bill. Residency gauges are preserved either
+  /// way, and heat counters (frameHeat/functionHeat) are *never*
+  /// cleared: they are the tiered runtime's access-pattern signal, and
+  /// resetting the stats between benchmark phases must not cool
+  /// compiled code.
   void resetStats();
 
-  /// Demand touches (hits + misses, prefetch excluded) of frame \p Id.
-  /// Monotonic; approximate under concurrency (relaxed atomics).
-  uint64_t frameHeat(uint32_t Id) const;
+  /// Demand touches (hits + misses, prefetch excluded) of frame \p Id,
+  /// pooled across every tenant of this module. Monotonic; approximate
+  /// under concurrency (relaxed atomics).
+  uint64_t frameHeat(uint32_t Id) const { return Heat->frameHeat(Id); }
   /// Demand touches summed over every frame of function \p Fn — the
   /// hotness signal a TieredResolver's HotThreshold tests.
-  uint64_t functionHeat(uint32_t Fn) const;
+  uint64_t functionHeat(uint32_t Fn) const { return Heat->functionHeat(Fn); }
 
 private:
   CodeStore() = default;
-  void initRuntime(StoreOptions Opts);
+  /// Joins or constructs the registry and registers the module; fails
+  /// typed on a shared-registry shape conflict.
+  Result<bool> initRuntime(StoreOptions Opts);
   void indexPages();
 
   using FaultOutcome = Result<std::shared_ptr<const vm::VMFunction>>;
@@ -279,6 +340,13 @@ private:
   /// paged). \p Prefetch suppresses the demand Hit/Miss/wait counters
   /// and counts successful decodes as PrefetchDecodes.
   FaultOutcome faultImpl(uint32_t Id, bool Pin, bool Prefetch);
+  /// The registry round trip for one frame: fetch+decode callback,
+  /// traffic attribution, pin-generation bookkeeping. \p Held is the
+  /// pin generation this tenant already holds (0 for none); on success
+  /// with \p Pin, \p PinGenOut receives the generation the pin now
+  /// holds. Caller holds PinMu when \p Pin is set.
+  FaultOutcome registryFault(uint32_t Id, bool Pin, uint64_t Held,
+                             bool Prefetch, uint64_t *PinGenOut);
   /// Faults every page of \p Fn and concatenates them into a full body.
   FaultOutcome assembleFunction(uint32_t Fn, bool Pin);
   /// Fetches frame \p Id from the source (under Opts.Retry, charging \p
@@ -286,6 +354,7 @@ private:
   FaultOutcome decodeFrame(uint32_t Id, FetchMetrics &M);
   void unpinEntry(uint32_t Id);
   bool entryResident(uint32_t Id) const;
+  FrameKey keyOf(uint32_t Id) const { return FrameKey{Hash, Id}; }
 
   /// One page's manifest entry: which slice of the function it holds,
   /// and (FuncImage chains only) the rank -> function-label-index list
@@ -309,25 +378,22 @@ private:
     std::vector<PageRec> Pages;
   };
 
-  struct Entry {
-    std::shared_ptr<const vm::VMFunction> Fn;
-    size_t Cost = 0;
-    bool Pinned = false;
-    std::list<uint32_t>::iterator LruIt;
+  /// This tenant's traffic counters. Relaxed atomics: each counter is
+  /// independently monotonic, and stats() takes an approximate-but-
+  /// monotone snapshot — the per-shard-lock consistency the old
+  /// embedded cache provided mattered only because gauges and counters
+  /// shared storage, which they no longer do.
+  struct TenantCounters {
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Misses{0};
+    std::atomic<uint64_t> SingleFlightWaits{0};
+    std::atomic<uint64_t> DecodeErrors{0};
+    std::atomic<uint64_t> FetchAttempts{0};
+    std::atomic<uint64_t> FetchRetries{0};
+    std::atomic<uint64_t> FetchFailures{0};
+    std::atomic<uint64_t> FetchedBytes{0};
+    std::atomic<uint64_t> FetchVirtualNanos{0};
   };
-
-  struct Shard {
-    mutable std::mutex Mu;
-    std::unordered_map<uint32_t, Entry> Map;
-    std::list<uint32_t> Lru; ///< Front = most recently used.
-    std::unordered_map<uint32_t, std::shared_future<FaultOutcome>> InFlight;
-    StoreStats S; ///< Counters + this shard's gauges, guarded by Mu.
-    size_t Budget = 0;
-  };
-
-  Shard &shardOf(uint32_t Id) { return Shards[Id % Shards.size()]; }
-  const Shard &shardOf(uint32_t Id) const { return Shards[Id % Shards.size()]; }
-  void evictOver(Shard &Sh, uint32_t Keep);
 
   std::string Spec;
   std::vector<const pipeline::Codec *> Chain;
@@ -340,13 +406,19 @@ private:
   std::unique_ptr<FrameSource> Source;
 
   StoreOptions Opts;
-  std::vector<Shard> Shards;
-  /// Hotness signal for the tiered runtime: demand touches per frame
-  /// and per owning function, accumulated relaxed outside the shard
-  /// counters (ordering does not matter — the values only gate when a
-  /// function is worth compiling). Sized at initRuntime.
-  std::unique_ptr<std::atomic<uint64_t>[]> FrameHeat;
-  std::unique_ptr<std::atomic<uint64_t>[]> FuncHeat;
+  uint64_t Hash = 0; ///< Container content hash (registry key half).
+  std::shared_ptr<FrameRegistry> Reg;
+  bool PrivateReg = true;
+  std::shared_ptr<ModuleHeat> Heat; ///< Shared across tenants of the module.
+  mutable TenantCounters Cnt;
+
+  /// Per-tenant pin bookkeeping: which frames this store pinned, and at
+  /// which registry entry generation. Guarded by PinMu, which is held
+  /// across a pinning fault so two threads pinning the same frame on
+  /// one tenant take exactly one registry reference.
+  mutable std::mutex PinMu;
+  std::vector<uint8_t> PinnedByMe;
+  std::vector<uint64_t> PinGens;
 };
 
 /// Decoded in-memory footprint we charge the cache for one function (or

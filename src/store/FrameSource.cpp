@@ -164,6 +164,15 @@ FetchResult LocalFrameSource::fetchManifest() {
   return FetchResult::success(Manifest);
 }
 
+bool LocalFrameSource::contentHash(uint64_t &H) {
+  // Frames are immutable once constructed, so the hash is computed on
+  // first ask and cached.
+  std::call_once(HashOnce,
+                 [&] { Hash = pipeline::hashContainerFrames(Spec, Frames); });
+  H = Hash;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // FileFrameSource
 //===----------------------------------------------------------------------===//

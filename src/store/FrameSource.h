@@ -125,6 +125,19 @@ public:
   /// carries one (a CCPK store container's frame 0). Sources built from
   /// an in-memory program have none.
   virtual FetchResult fetchManifest() = 0;
+
+  /// If this source can compute its container content hash
+  /// (pipeline::hashContainerFrames over chain spec + function frames)
+  /// without fetching — i.e. the frames are already resident somewhere
+  /// trustworthy — sets \p H and returns true. Sources that would have
+  /// to pay (and trust) a fetch per frame return false; the store then
+  /// falls back to the manifest's claimed hash. In-memory sources
+  /// compute it; file sources decline; a simulated remote forwards to
+  /// its origin (the origin's bytes *are* what the transport serves).
+  virtual bool contentHash(uint64_t &H) {
+    (void)H;
+    return false;
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -222,12 +235,16 @@ public:
   size_t frameBytes() const override;
   FetchResult fetchFrame(uint32_t Id) override;
   FetchResult fetchManifest() override;
+  bool contentHash(uint64_t &H) override;
 
 private:
   std::string Spec;
   std::vector<std::vector<uint8_t>> Frames; ///< Function frames only.
   std::vector<uint8_t> Manifest;            ///< Empty when absent.
   bool HasManifest = false;
+  /// Lazily computed content hash (guarded by HashOnce).
+  std::once_flag HashOnce;
+  uint64_t Hash = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -313,6 +330,10 @@ public:
   size_t frameBytes() const override { return Origin->frameBytes(); }
   FetchResult fetchFrame(uint32_t Id) override;
   FetchResult fetchManifest() override;
+  /// The transport serves exactly the origin's bytes (corruption is
+  /// *detected*, never delivered), so the origin's hash is this
+  /// source's hash.
+  bool contentHash(uint64_t &H) override { return Origin->contentHash(H); }
 
   const RemoteOptions &options() const { return Opts; }
 

@@ -10,6 +10,14 @@
 /// makes becomes a store fault, so code executes straight out of the
 /// compressed store with only the cache-resident working set decoded.
 ///
+/// A resolver binds to one CodeStore — one *tenant view*. When several
+/// stores share a FrameRegistry, each Machine still gets its own
+/// resolver over its own store; the sharing happens a layer down, in
+/// the registry's cache. The spans a resolver hands out stay valid even
+/// if another tenant's fault evicts the shared entry mid-execution:
+/// vm::CodeSpan::Keep holds the decoded body alive independently of
+/// cache residency.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCOMP_STORE_RESOLVER_H

@@ -23,7 +23,9 @@ uint64_t nowNanos() {
 } // namespace
 
 TieredResolver::TieredResolver(CodeStore &S, TierOptions Opts)
-    : StoreBackedResolver(S), TO(Opts) {}
+    : StoreBackedResolver(S), TO(Opts),
+      Units(Opts.CompiledBudgetBytes, /*NumShards=*/1, /*HonorPins=*/true,
+            [](const UnitPtr &U) { return U->codeBytes(); }) {}
 
 TieredResolver::~TieredResolver() = default;
 
@@ -36,10 +38,9 @@ bool TieredResolver::enterNative(vm::Machine &M, uint32_t &Fn, uint32_t &Idx,
   native::TierRunStats TS;
   if (!native::runTiered(M, *this, Fn, Idx, Steps, &TS))
     return false;
-  std::lock_guard<std::mutex> L(Mu);
-  ++St.NativeEnters;
-  St.NativeSteps += TS.Steps;
-  St.TierTransfers += TS.Transfers;
+  NativeEnters.fetch_add(1, std::memory_order_relaxed);
+  NativeSteps.fetch_add(TS.Steps, std::memory_order_relaxed);
+  TierTransfers.fetch_add(TS.Transfers, std::memory_order_relaxed);
   return true;
 }
 
@@ -51,112 +52,66 @@ TieredResolver::UnitPtr TieredResolver::unitFor(uint32_t Fn) {
   return unitForExecution(Fn, /*Force=*/false, /*Pin=*/false);
 }
 
+Result<TieredResolver::UnitPtr> TieredResolver::compileUnit(uint32_t Fn) {
+  // CompileNanos covers decode + generate, success or failure: the
+  // tier paid that wall time either way. The store's own single-flight
+  // dedups the decode; the unit cache dedups this whole callback.
+  uint64_t T0 = nowNanos();
+  UnitPtr Unit;
+  Result<std::shared_ptr<const vm::VMFunction>> Body = Store.fault(Fn);
+  if (Body.ok()) {
+    native::GenStats G;
+    Unit = std::make_shared<native::NUnit>(
+        native::generateUnit(*Body.value(), Fn, &G));
+  }
+  CompileNanos.fetch_add(nowNanos() - T0, std::memory_order_relaxed);
+  if (!Unit) {
+    CompileErrors.fetch_add(1, std::memory_order_relaxed);
+    return Body.error();
+  }
+  Compiles.fetch_add(1, std::memory_order_relaxed);
+  CompiledBytesTotal.fetch_add(Unit->codeBytes(), std::memory_order_relaxed);
+  return Result<UnitPtr>(std::move(Unit));
+}
+
 TieredResolver::UnitPtr TieredResolver::unitForExecution(uint32_t Fn,
                                                          bool Force,
                                                          bool Pin) {
   if (Fn >= Store.functionCount())
     return nullptr;
-  for (;;) {
-    std::shared_future<UnitPtr> Wait;
-    std::promise<UnitPtr> Pr;
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      auto It = Units.find(Fn);
-      if (It != Units.end()) {
-        Lru.splice(Lru.begin(), Lru, It->second.LruIt);
-        ++St.UnitHits;
-        if (Pin && !It->second.Pinned) {
-          It->second.Pinned = true;
-          ++St.PinnedUnits;
-        }
-        return It->second.Unit;
-      }
-      if (Failed.count(Fn))
-        return nullptr;
-      auto FIt = InFlight.find(Fn);
-      if (FIt != InFlight.end()) {
-        ++St.SingleFlightWaits;
-        Wait = FIt->second;
-      } else {
-        if (!Force && Store.functionHeat(Fn) < TO.HotThreshold)
-          return nullptr; // Still cold: keep interpreting.
-        InFlight.emplace(Fn, Pr.get_future().share());
-      }
-    }
-    if (Wait.valid()) {
-      UnitPtr Out = Wait.get();
-      if (!Out || !Pin)
-        return Out;
-      continue; // Pin requested: mark it through the hit path.
-    }
-
-    // Single-flight leader: decode the body and generate the unit
-    // outside the lock. The store's own single-flight dedups the
-    // decode; this layer dedups the compile.
-    uint64_t T0 = nowNanos();
-    UnitPtr Unit;
-    Result<std::shared_ptr<const vm::VMFunction>> Body = Store.fault(Fn);
-    if (Body.ok()) {
-      native::GenStats G;
-      Unit = std::make_shared<native::NUnit>(
-          native::generateUnit(*Body.value(), Fn, &G));
-    }
-    uint64_t Nanos = nowNanos() - T0;
-
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      InFlight.erase(Fn);
-      St.CompileNanos += Nanos;
-      if (!Unit) {
-        // A body that cannot decode will not improve; remember the
-        // failure so a hot broken function does not retry its decode
-        // at every entry. The interpreter's own fault path surfaces
-        // the typed error as a trap.
-        ++St.CompileErrors;
-        Failed.insert(Fn);
-      } else {
-        ++St.Compiles;
-        St.CompiledBytesTotal += Unit->codeBytes();
-        auto [MIt, Inserted] =
-            Units.emplace(Fn, CacheEntry{Unit, Unit->codeBytes(), Pin, {}});
-        (void)Inserted; // InFlight excluded any concurrent compile of Fn.
-        Lru.push_front(Fn);
-        MIt->second.LruIt = Lru.begin();
-        St.ResidentBytes += MIt->second.Cost;
-        ++St.ResidentUnits;
-        if (Pin)
-          ++St.PinnedUnits;
-        evictOverBudget(Fn);
-      }
-    }
-    Pr.set_value(Unit);
-    return Unit;
+  std::unique_lock<std::mutex> L(Mu);
+  if (Failed.count(Fn))
+    return nullptr;
+  uint64_t Held = 0;
+  if (Pin) {
+    auto It = PinHeld.find(Fn);
+    if (It != PinHeld.end())
+      Held = It->second;
+  } else {
+    // The non-pin fast path does not need the resolver lock; only pin
+    // bookkeeping must be serialized across the fault.
+    L.unlock();
   }
-}
-
-void TieredResolver::evictOverBudget(uint32_t Keep) {
-  // Mirror of CodeStore::evictOver for compiled units: evict from the
-  // cold end until under budget, never the just-compiled unit, never a
-  // pinned one.
-  while (St.ResidentBytes > TO.CompiledBudgetBytes && Units.size() > 1) {
-    auto VictimIt = Lru.end();
-    for (auto R = Lru.rbegin(); R != Lru.rend(); ++R) {
-      if (*R == Keep)
-        continue;
-      if (Units.find(*R)->second.Pinned)
-        continue;
-      VictimIt = std::prev(R.base());
-      break;
+  Cache::Info I;
+  Result<UnitPtr> Out = Units.fault(
+      Fn, Pin, Held, [&] { return compileUnit(Fn); }, I,
+      [&] { return Force || Store.functionHeat(Fn) >= TO.HotThreshold; });
+  UnitHits.fetch_add(I.Hits, std::memory_order_relaxed);
+  SingleFlightWaits.fetch_add(I.Waits, std::memory_order_relaxed);
+  if (!Out.ok()) {
+    // Gate-declined is not a failure — the function is just still cold.
+    // A led compile that failed is: remember it so a hot broken
+    // function does not retry its decode at every entry.
+    if (I.Led) {
+      if (!L.owns_lock())
+        L.lock();
+      Failed.insert(Fn);
     }
-    if (VictimIt == Lru.end())
-      return; // Everything else is pinned; stay over budget.
-    auto MIt = Units.find(*VictimIt);
-    St.ResidentBytes -= MIt->second.Cost;
-    --St.ResidentUnits;
-    Units.erase(MIt);
-    Lru.erase(VictimIt);
-    ++St.Evictions;
+    return nullptr;
   }
+  if (Pin)
+    PinHeld[Fn] = I.PinGen; // Mu still held on this path.
+  return Out.take();
 }
 
 bool TieredResolver::pinCompiled(uint32_t Fn) {
@@ -165,30 +120,47 @@ bool TieredResolver::pinCompiled(uint32_t Fn) {
 
 void TieredResolver::unpinCompiled(uint32_t Fn) {
   std::lock_guard<std::mutex> L(Mu);
-  auto It = Units.find(Fn);
-  if (It != Units.end() && It->second.Pinned) {
-    It->second.Pinned = false;
-    --St.PinnedUnits;
-  }
+  auto It = PinHeld.find(Fn);
+  if (It == PinHeld.end())
+    return;
+  Units.unpin(Fn, It->second);
+  PinHeld.erase(It);
 }
 
 bool TieredResolver::isCompiled(uint32_t Fn) const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Units.count(Fn) != 0;
+  return Units.resident(Fn);
 }
 
 TierStats TieredResolver::tierStats() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return St;
+  TierStats S;
+  S.Compiles = Compiles.load(std::memory_order_relaxed);
+  S.CompileErrors = CompileErrors.load(std::memory_order_relaxed);
+  S.CompileNanos = CompileNanos.load(std::memory_order_relaxed);
+  S.CompiledBytesTotal = CompiledBytesTotal.load(std::memory_order_relaxed);
+  S.UnitHits = UnitHits.load(std::memory_order_relaxed);
+  S.SingleFlightWaits = SingleFlightWaits.load(std::memory_order_relaxed);
+  S.NativeEnters = NativeEnters.load(std::memory_order_relaxed);
+  S.NativeSteps = NativeSteps.load(std::memory_order_relaxed);
+  S.TierTransfers = TierTransfers.load(std::memory_order_relaxed);
+  FlightCounters C = Units.counters();
+  S.Evictions = C.Evictions;
+  S.ResidentUnits = C.ResidentEntries;
+  S.ResidentBytes = C.ResidentBytes;
+  S.PinnedUnits = C.PinnedEntries;
+  return S;
 }
 
 void TieredResolver::resetTierStats() {
-  std::lock_guard<std::mutex> L(Mu);
-  TierStats Fresh;
-  Fresh.ResidentUnits = St.ResidentUnits;
-  Fresh.ResidentBytes = St.ResidentBytes;
-  Fresh.PinnedUnits = St.PinnedUnits;
-  St = Fresh;
+  Compiles.store(0, std::memory_order_relaxed);
+  CompileErrors.store(0, std::memory_order_relaxed);
+  CompileNanos.store(0, std::memory_order_relaxed);
+  CompiledBytesTotal.store(0, std::memory_order_relaxed);
+  UnitHits.store(0, std::memory_order_relaxed);
+  SingleFlightWaits.store(0, std::memory_order_relaxed);
+  NativeEnters.store(0, std::memory_order_relaxed);
+  NativeSteps.store(0, std::memory_order_relaxed);
+  TierTransfers.store(0, std::memory_order_relaxed);
+  Units.resetCounters();
 }
 
 vm::RunResult store::runTieredFromStore(CodeStore &S, TierOptions TO,

@@ -16,13 +16,17 @@
 /// functions on the threaded backend until control reaches a cold one.
 ///
 /// Compiled units live in their own pin-aware LRU cache beside the
-/// decode cache: byte-budgeted, single-flighted (N threads racing a hot
+/// decode cache — the same store::FlightCache engine the FrameRegistry
+/// runs on, instantiated over (function id -> compiled unit) with one
+/// shard: byte-budgeted, single-flighted (N threads racing a hot
 /// function produce exactly one compile), with pinCompiled/unpinCompiled
-/// mirroring the decode cache's pin semantics. Fall-back rules: a
-/// function with no unit (cold, over-budget-evicted, or failed to
-/// decode) interprets via the span path; traps and halts inside
-/// compiled code commit back to the Machine so RunResults are
-/// byte-identical to interpret-only execution.
+/// mirroring the decode cache's pin semantics and the hotness gate
+/// expressed as the cache's admission gate (consulted only when a call
+/// would become the compile leader). Fall-back rules: a function with
+/// no unit (cold, over-budget-evicted, or failed to decode) interprets
+/// via the span path; traps and halts inside compiled code commit back
+/// to the Machine so RunResults are byte-identical to interpret-only
+/// execution.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,10 +35,10 @@
 
 #include "native/Tiered.h"
 #include "store/CodeStore.h"
+#include "store/FlightCache.h"
 #include "store/Resolver.h"
 
-#include <future>
-#include <list>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -55,8 +59,10 @@ struct TierOptions {
   size_t CompiledBudgetBytes = 16u << 20;
 };
 
-/// Monotonic counters plus gauges for the compiled-code cache. Guarded
-/// by the resolver's mutex; tierStats() snapshots are consistent.
+/// Monotonic counters plus gauges for the compiled-code cache. The
+/// counters are relaxed atomics and the gauges live in the unit cache,
+/// so tierStats() snapshots are approximate-but-monotone under
+/// concurrency (each field is exact; cross-field skew is possible).
 struct TierStats {
   uint64_t Compiles = 0;          ///< Units generated (one per function).
   uint64_t CompileErrors = 0;     ///< Decode failures on the compile path.
@@ -105,6 +111,7 @@ public:
 
 private:
   using UnitPtr = std::shared_ptr<const native::NUnit>;
+  using Cache = FlightCache<uint32_t, UnitPtr>;
 
   /// native::UnitSource for runTiered: cache lookup without the
   /// hotness gate (already-compiled functions stay native even when an
@@ -112,27 +119,39 @@ private:
   UnitPtr unitFor(uint32_t Fn) override;
 
   /// The compile path: cache lookup, hotness gate (bypassed when \p
-  /// Force), single-flight compile, insert + evict.
+  /// Force), single-flight compile through the unit cache.
   UnitPtr unitForExecution(uint32_t Fn, bool Force, bool Pin);
-  void evictOverBudget(uint32_t Keep);
-
-  struct CacheEntry {
-    UnitPtr Unit;
-    size_t Cost = 0;
-    bool Pinned = false;
-    std::list<uint32_t>::iterator LruIt;
-  };
+  /// The compile leader's callback: decode the body, generate the unit,
+  /// bill the compile counters.
+  Result<UnitPtr> compileUnit(uint32_t Fn);
 
   TierOptions TO;
+  /// The compiled-unit cache: one shard (compiles are rare and long;
+  /// shard fan-out buys nothing), pins always honored.
+  Cache Units;
+
+  // Monotonic counters, accumulated relaxed (see TierStats).
+  mutable std::atomic<uint64_t> Compiles{0};
+  mutable std::atomic<uint64_t> CompileErrors{0};
+  mutable std::atomic<uint64_t> CompileNanos{0};
+  mutable std::atomic<uint64_t> CompiledBytesTotal{0};
+  mutable std::atomic<uint64_t> UnitHits{0};
+  mutable std::atomic<uint64_t> SingleFlightWaits{0};
+  mutable std::atomic<uint64_t> NativeEnters{0};
+  mutable std::atomic<uint64_t> NativeSteps{0};
+  mutable std::atomic<uint64_t> TierTransfers{0};
+
+  /// Guards Failed and PinHeld. Held across a pinning fault (lock order
+  /// Mu -> cache locks) so two threads pinning one function take
+  /// exactly one cache reference; the compile callback touches only the
+  /// atomics above, so no cycle closes.
   mutable std::mutex Mu;
-  std::unordered_map<uint32_t, CacheEntry> Units;
-  std::list<uint32_t> Lru; ///< Front = most recently used.
-  std::unordered_map<uint32_t, std::shared_future<UnitPtr>> InFlight;
   /// Functions whose body failed to decode on the compile path: do not
   /// retry every entry, the interpreter's own fault will surface the
   /// typed error.
   std::unordered_set<uint32_t> Failed;
-  TierStats St;
+  /// Fn -> pin generation this resolver holds in the unit cache.
+  std::unordered_map<uint32_t, uint64_t> PinHeld;
 };
 
 /// Convenience: run the store's program end-to-end with tiering.

@@ -42,7 +42,11 @@ class Machine;
 /// branch target may land outside this span, which makes the
 /// interpreter re-resolve). Keep pins whatever storage Code points
 /// into; Labels/Name must outlive the span's use (they typically point
-/// into the resolver's own tables or into *Keep).
+/// into the resolver's own tables or into *Keep). Keep is also what
+/// makes multi-tenant serving safe: a shared frame registry may evict
+/// the cache entry behind this span at any moment on another tenant's
+/// fault, and the shared_ptr keeps the decoded body alive until the
+/// interpreter is done with it regardless.
 struct CodeSpan {
   std::shared_ptr<const VMFunction> Keep;
   const Instr *Code = nullptr;

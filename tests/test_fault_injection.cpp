@@ -28,6 +28,7 @@
 #include "vm/Encode.h"
 #include "wire/Wire.h"
 
+#include <algorithm>
 #include <fstream>
 
 using namespace ccomp;
@@ -461,6 +462,119 @@ TEST(FaultInjection, PagedManifestRejectsCraftedAttacks) {
     ASSERT_FALSE(Sp.ok());
     EXPECT_EQ(S->stats().DecodeErrors, 2u);
   }
+}
+
+// Manifest v3 carries a content-hash claim at a fixed offset (bytes
+// [6,14) of the manifest frame). A doctored or corrupt claim is exactly
+// the cross-tenant attack the shared FrameRegistry must refuse: keyed
+// into another module's hash it could poison that module's resident
+// frames. The contract is a recoverable *typed* error at shared load —
+// and a still-working private load, whose registry serves only itself.
+TEST(FaultInjection, ManifestHashClaimCorruptionIsTypedNeverPoisoning) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  std::vector<uint8_t> Img = storeImage(P, "brisc+flate");
+
+  Result<pipeline::Container> Unpacked = pipeline::tryUnpackContainer(Img);
+  ASSERT_TRUE(Unpacked.ok());
+  pipeline::Container Box = Unpacked.take();
+  ASSERT_GE(Box.Frames[0].size(), 15u);
+
+  // Deterministic claim corruptions: single bit flips across every
+  // claim byte, a zeroed claim, and an all-ones claim.
+  std::vector<std::vector<uint8_t>> BadClaims;
+  for (size_t Byte = 6; Byte != 14; ++Byte)
+    for (unsigned Bit = 0; Bit < 8; Bit += 3) {
+      std::vector<uint8_t> M = Box.Frames[0];
+      M[Byte] ^= static_cast<uint8_t>(1u << Bit);
+      BadClaims.push_back(std::move(M));
+    }
+  {
+    std::vector<uint8_t> Zero = Box.Frames[0];
+    std::fill(Zero.begin() + 6, Zero.begin() + 14, 0);
+    BadClaims.push_back(std::move(Zero));
+    std::vector<uint8_t> Ones = Box.Frames[0];
+    std::fill(Ones.begin() + 6, Ones.begin() + 14, 0xFF);
+    BadClaims.push_back(std::move(Ones));
+  }
+
+  auto Reg = std::make_shared<store::FrameRegistry>();
+  for (const std::vector<uint8_t> &M : BadClaims) {
+    std::vector<std::vector<uint8_t>> Frames = Box.Frames;
+    Frames[0] = M;
+    std::vector<uint8_t> Bad = pipeline::packContainer(Box.ChainSpec, Frames);
+
+    store::StoreOptions Shared;
+    Shared.SharedRegistry = Reg;
+    Result<std::unique_ptr<store::CodeStore>> L =
+        store::CodeStore::tryLoad(Bad, Shared);
+    ASSERT_FALSE(L.ok()) << "a corrupt hash claim joined a shared registry";
+    EXPECT_NE(L.error().message().find("refusing to join"), std::string::npos)
+        << L.error().message();
+
+    // The same bytes load privately and every function still serves:
+    // the frames are intact, only the claim lied.
+    ASSERT_TRUE(faultAll(store::CodeStore::tryLoad(Bad, store::StoreOptions())));
+  }
+
+  // Nothing above touched the registry: the genuine module joins it
+  // afterwards and decodes from scratch, unpoisoned.
+  EXPECT_EQ(Reg->stats().Modules, 0u);
+  EXPECT_EQ(Reg->stats().Decodes, 0u);
+  store::StoreOptions Shared;
+  Shared.SharedRegistry = Reg;
+  Result<std::unique_ptr<store::CodeStore>> Good =
+      store::CodeStore::tryLoad(Img, Shared);
+  ASSERT_TRUE(Good.ok()) << Good.error().message();
+  Result<std::shared_ptr<const vm::VMFunction>> F = Good.value()->fault(0);
+  ASSERT_TRUE(F.ok());
+  EXPECT_EQ(F.value()->Code.size(), P.Functions[0].Code.size());
+
+  // An unknown v3 flag bit is a typed parse error, not a guess.
+  {
+    std::vector<std::vector<uint8_t>> Frames = Box.Frames;
+    Frames[0][5] |= 0x80;
+    std::vector<uint8_t> Bad = pipeline::packContainer(Box.ChainSpec, Frames);
+    Result<std::unique_ptr<store::CodeStore>> L =
+        store::CodeStore::tryLoad(Bad, store::StoreOptions());
+    ASSERT_FALSE(L.ok());
+    EXPECT_NE(L.error().message().find("unknown manifest flags"),
+              std::string::npos);
+  }
+}
+
+// Seeded corruption sweep against a *shared* registry: whatever the
+// corruption does to a v3 container — truncation, bit flips, garbage
+// runs — the outcome is load-and-serve or a typed error, and the good
+// tenant that shares the registry keeps executing correctly the whole
+// time. Run under the asan preset to have the allocator checked.
+TEST(FaultInjection, SharedRegistryLoadSurvivesContainerCorruption) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  std::vector<uint8_t> Img = storeImage(P, "brisc+flate");
+
+  auto Reg = std::make_shared<store::FrameRegistry>();
+  store::StoreOptions Shared;
+  Shared.SharedRegistry = Reg;
+
+  // The resident good tenant whose frames a corrupt load must not reach.
+  Result<std::unique_ptr<store::CodeStore>> GoodL =
+      store::CodeStore::tryLoad(Img, Shared);
+  ASSERT_TRUE(GoodL.ok()) << GoodL.error().message();
+  std::unique_ptr<store::CodeStore> Good = GoodL.take();
+  Result<std::shared_ptr<const vm::VMFunction>> Baseline = Good->fault(0);
+  ASSERT_TRUE(Baseline.ok());
+
+  sweep(Img, 5300, [&](const std::vector<uint8_t> &Bad) {
+    return faultAll(store::CodeStore::tryLoad(Bad, Shared));
+  }, "store tryLoad (shared registry)");
+
+  // Whatever corrupt containers managed to load registered under their
+  // *own* computed hashes: the good module's resident frame is still
+  // the same object, byte for byte.
+  Result<std::shared_ptr<const vm::VMFunction>> After = Good->fault(0);
+  ASSERT_TRUE(After.ok());
+  EXPECT_EQ(After.value().get(), Baseline.value().get())
+      << "a corrupt container displaced a good tenant's resident frame";
+  EXPECT_EQ(After.value()->Code.size(), P.Functions[0].Code.size());
 }
 
 // A corrupt length prefix must never turn into an allocation: every
