@@ -1,0 +1,193 @@
+//===- bench/bench_frame_server.cpp - Many-client frame-server scale -----------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The mobile-code delivery scenario over a *real* transport: one
+// net::FrameServer serves a compressed container on loopback TCP, and
+// hundreds of concurrent VM clients each dial a SocketFrameSource, load
+// a CodeStore over it, and execute the stored program end-to-end. Where
+// bench_remote_paging charges a virtual link, every number here is real
+// wall time: kernel sockets, threads, retries and all.
+//
+// Acts:
+//   1. scale — 256 concurrent clients against one server. The harness
+//      verifies every client's output byte-identical to the eager
+//      (fully decoded, no store) run, and reports throughput plus
+//      p50/p95/p99 per-fault fetch latency measured at the FrameSource
+//      seam. Any failure or output divergence aborts the bench.
+//   2. round-trip economics — the same workload once with per-frame
+//      faulting and once with one coalesced prefetch (GetBatch). The
+//      server's own request counter must show the batched run using
+//      STRICTLY fewer round trips; the bench aborts otherwise. This is
+//      the protocol's batching claim, self-asserted on every run.
+//
+// Each act emits one machine-readable CCOMP-STATS JSON line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "NetLoad.h"
+#include "net/FrameServer.h"
+#include "store/CodeStore.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace ccomp;
+using namespace ccomp::bench;
+
+namespace {
+
+constexpr unsigned NumFuncs = 96;
+constexpr unsigned ScaleClients = 256;
+const char *const Chain = "brisc+flate";
+
+std::vector<uint8_t> buildImage(const vm::VMProgram &P) {
+  store::StoreOptions Opts;
+  Opts.BuildJobs = std::thread::hardware_concurrency();
+  std::string Err;
+  std::unique_ptr<store::CodeStore> S =
+      store::CodeStore::build(P, Chain, Opts, Err);
+  if (!S)
+    reportFatal("bench_frame_server: build failed: " + Err);
+  return S->save();
+}
+
+std::unique_ptr<net::FrameServer> startServer(const std::vector<uint8_t> &Image) {
+  Result<std::unique_ptr<store::LocalFrameSource>> Src =
+      store::LocalFrameSource::fromContainerBytes(Image);
+  if (!Src)
+    reportFatal("bench_frame_server: container: " + Src.error().message());
+  Result<std::unique_ptr<net::FrameServer>> Srv =
+      net::FrameServer::start(Src.take(), net::ServerOptions());
+  if (!Srv)
+    reportFatal("bench_frame_server: server: " + Srv.error().message());
+  return Srv.take();
+}
+
+void scaleAct(net::FrameServer &Server, const std::string &ExpectedOut,
+              int32_t ExpectedExit) {
+  harness::LoadOptions LO;
+  LO.Port = Server.port();
+  LO.Clients = ScaleClients;
+  harness::LoadResult R =
+      harness::runSocketClients(LO, ExpectedOut, ExpectedExit);
+
+  if (R.Failures)
+    reportFatal("bench_frame_server: " + std::to_string(R.Failures) +
+                " client(s) failed to run");
+  if (R.OutputMismatches)
+    reportFatal("bench_frame_server: " + std::to_string(R.OutputMismatches) +
+                " client(s) diverged from the eager run");
+
+  net::ServerStats SS = Server.stats();
+  std::printf("scale: %u clients, %.2fs wall, %.0f clients/s, "
+              "%llu fetches, p50 %.0fus p95 %.0fus p99 %.0fus\n",
+              R.Clients, R.WallSeconds, R.Clients / R.WallSeconds,
+              (unsigned long long)R.Fetches, R.p50() * 1e6, R.p95() * 1e6,
+              R.p99() * 1e6);
+  char Buf[896];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"bench\":\"frame_server\",\"act\":\"scale\",\"chain\":\"%s\","
+      "\"functions\":%u,\"clients\":%u,\"failures\":%u,\"mismatches\":%u,"
+      "\"wall_s\":%.4f,\"clients_per_s\":%.2f,\"fetches\":%llu,"
+      "\"fetch_p50_us\":%.1f,\"fetch_p95_us\":%.1f,\"fetch_p99_us\":%.1f,"
+      "\"client_round_trips\":%llu,\"dials\":%llu,\"bytes_sent\":%llu,"
+      "\"bytes_received\":%llu,\"server_requests\":%llu,"
+      "\"server_accepted\":%llu,\"server_frames_served\":%llu,"
+      "\"server_protocol_errors\":%llu}",
+      jsonEscape(Chain).c_str(), NumFuncs, R.Clients, R.Failures,
+      R.OutputMismatches, R.WallSeconds, R.Clients / R.WallSeconds,
+      (unsigned long long)R.Fetches, R.p50() * 1e6, R.p95() * 1e6,
+      R.p99() * 1e6, (unsigned long long)R.RoundTrips,
+      (unsigned long long)R.Dials, (unsigned long long)R.BytesSent,
+      (unsigned long long)R.BytesReceived, (unsigned long long)SS.Requests,
+      (unsigned long long)SS.Accepted, (unsigned long long)SS.FramesServed,
+      (unsigned long long)SS.ProtocolErrors);
+  emitStats(Buf);
+}
+
+/// One client, cache big enough that nothing re-faults: the server's
+/// request counter isolates the protocol's round-trip economics.
+uint64_t oneClientRequests(net::FrameServer &Server, bool PrefetchAll,
+                           const std::string &ExpectedOut,
+                           int32_t ExpectedExit,
+                           harness::LoadResult &ROut) {
+  uint64_t Before = Server.stats().Requests;
+  harness::LoadOptions LO;
+  LO.Port = Server.port();
+  LO.Clients = 1;
+  LO.CacheBudgetBytes = 64u << 20;
+  LO.PrefetchAll = PrefetchAll;
+  ROut = harness::runSocketClients(LO, ExpectedOut, ExpectedExit);
+  if (ROut.Failures || ROut.OutputMismatches)
+    reportFatal("bench_frame_server: economics client failed");
+  return Server.stats().Requests - Before;
+}
+
+void economicsAct(net::FrameServer &Server, const std::string &ExpectedOut,
+                  int32_t ExpectedExit) {
+  harness::LoadResult PerFrame, Batched;
+  uint64_t PerFrameReqs =
+      oneClientRequests(Server, false, ExpectedOut, ExpectedExit, PerFrame);
+  uint64_t BatchedReqs =
+      oneClientRequests(Server, true, ExpectedOut, ExpectedExit, Batched);
+
+  // The protocol's batching claim, self-asserted: one GetBatch carrying
+  // N frames must beat N GetFrames. If coalescing ever silently stops
+  // working (hint not forwarded, staging missed), this trips.
+  if (BatchedReqs >= PerFrameReqs)
+    reportFatal("bench_frame_server: batched prefetch used " +
+                std::to_string(BatchedReqs) + " round trips, per-frame " +
+                std::to_string(PerFrameReqs) +
+                " — batching must be strictly cheaper");
+
+  std::printf("economics: per-frame %llu round trips, batched %llu "
+              "(staged %llu), batched p99 %.0fus\n",
+              (unsigned long long)PerFrameReqs,
+              (unsigned long long)BatchedReqs,
+              (unsigned long long)Batched.StagedServes,
+              Batched.p99() * 1e6);
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"bench\":\"frame_server\",\"act\":\"economics\",\"chain\":\"%s\","
+      "\"functions\":%u,\"per_frame_round_trips\":%llu,"
+      "\"batched_round_trips\":%llu,\"staged_serves\":%llu,"
+      "\"batch_round_trips\":%llu,"
+      "\"per_frame_p99_us\":%.1f,\"batched_p99_us\":%.1f}",
+      jsonEscape(Chain).c_str(), NumFuncs,
+      (unsigned long long)PerFrameReqs, (unsigned long long)BatchedReqs,
+      (unsigned long long)Batched.StagedServes,
+      (unsigned long long)Batched.BatchRoundTrips, PerFrame.p99() * 1e6,
+      Batched.p99() * 1e6);
+  emitStats(Buf);
+}
+
+} // namespace
+
+int main() {
+  vm::VMProgram P = mustBuild(syntheticSource(NumFuncs));
+  vm::RunResult Eager = vm::Machine(P).run();
+  if (!Eager.Ok)
+    reportFatal("bench_frame_server: eager reference run trapped: " +
+                Eager.Trap);
+
+  std::vector<uint8_t> Image = buildImage(P);
+  std::unique_ptr<net::FrameServer> Server = startServer(Image);
+  std::printf("frame server on %s:%u — %u functions, %zu-byte container\n",
+              Server->address().c_str(), Server->port(), NumFuncs,
+              Image.size());
+  hr();
+
+  scaleAct(*Server, Eager.Output, Eager.ExitCode);
+  hr();
+  economicsAct(*Server, Eager.Output, Eager.ExitCode);
+
+  Server->stop();
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "pipeline/Codec.h"
 #include "pipeline/Payload.h"
 #include "pipeline/Pipeline.h"
+#include "store/CodeStore.h"
 
 #include <cstdio>
 #include <cstring>
@@ -63,9 +64,11 @@ int usage() {
       stderr,
       "usage: compressor_tool --list\n"
       "       compressor_tool compress <file.c> <out.ccpk>"
-      " [--codec CHAIN] [--jobs N] [--stats]\n"
+      " [--codec CHAIN] [--jobs N] [--store] [--stats]\n"
       "       compressor_tool decompress <in.ccpk> [--jobs N] [--stats]\n"
-      "CHAIN: '+'-separated codec names, e.g. brisc+flate (see --list)\n");
+      "CHAIN: '+'-separated codec names, e.g. brisc+flate (see --list)\n"
+      "--store emits a CodeStore image (manifest at frame 0) that\n"
+      "demand_paged_vm and frame_server can execute and serve\n");
   return 2;
 }
 
@@ -101,6 +104,7 @@ struct Flags {
   std::string Chain = "brisc";
   unsigned Jobs = 1;
   bool Stats = false;
+  bool Store = false;
   std::vector<const char *> Positional;
 };
 
@@ -117,6 +121,8 @@ bool parseFlags(int argc, char **argv, int First, Flags &F) {
       F.Jobs = static_cast<unsigned>(N);
     } else if (!std::strcmp(argv[I], "--stats")) {
       F.Stats = true;
+    } else if (!std::strcmp(argv[I], "--store")) {
+      F.Store = true;
     } else if (argv[I][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[I]);
       return false;
@@ -154,6 +160,33 @@ int doCompress(const Flags &F) {
   if (!CG.ok()) {
     std::fprintf(stderr, "%s: %s\n", Input, CG.Error.c_str());
     return 1;
+  }
+
+  if (F.Store) {
+    // A servable image: the store packs the same codec frames but puts
+    // its manifest at frame 0, which demand_paged_vm, frame_server, and
+    // every FrameSource require.
+    store::StoreOptions Opts;
+    Opts.BuildJobs = F.Jobs;
+    std::string Err;
+    std::unique_ptr<store::CodeStore> S =
+        store::CodeStore::build(CG.P, F.Chain, Opts, Err);
+    if (!S) {
+      std::fprintf(stderr, "%s: %s\n", Input, Err.c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Packed = S->save();
+    if (!writeFile(Output, Packed)) {
+      std::fprintf(stderr, "cannot write %s\n", Output);
+      return 1;
+    }
+    std::printf("%s: store image, %u function frame(s) + manifest -> %zu "
+                "container bytes (chain %s, %u job(s))\n",
+                Output, S->functionCount(), Packed.size(), F.Chain.c_str(),
+                F.Jobs);
+    if (F.Stats)
+      printStats(Chain);
+    return 0;
   }
 
   std::vector<std::vector<uint8_t>> Payloads =
@@ -194,6 +227,15 @@ int doDecompress(const Flags &F) {
   if (Chain.empty()) {
     std::fprintf(stderr, "%s: %s\n", Input, Error.c_str());
     return 1;
+  }
+  // A store image (--store / CodeStore::save) carries its manifest at
+  // frame 0; the manifest is not codec-compressed, so skip it and
+  // decompress the function frames that follow.
+  bool StoreImage =
+      !C.value().Frames.empty() && store::isStoreManifest(C.value().Frames[0]);
+  if (StoreImage) {
+    std::printf("%s: store image, skipping the manifest frame\n", Input);
+    C.value().Frames.erase(C.value().Frames.begin());
   }
   Result<std::vector<std::vector<uint8_t>>> Payloads =
       tryDecompressAll(Chain, C.value().Frames, F.Jobs);

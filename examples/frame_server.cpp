@@ -1,0 +1,100 @@
+//===- examples/frame_server.cpp - Serve a CCPK container over TCP -------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A standalone frame server: load a CCPK store container (or build a
+// small demo one when no path is given) and serve its compressed frames
+// over the CCPK wire protocol until stdin closes. Pair with
+// examples/network_vm, which connects and executes the program straight
+// out of this server.
+//
+//   frame_server                    # demo container on an ephemeral port
+//   frame_server prog.ccpk          # serve a store image built by
+//                                   # compressor_tool compress --store
+//                                   # (or any CodeStore::save output)
+//   frame_server prog.ccpk 9917     # on a fixed port
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FrameServer.h"
+#include "store/CodeStore.h"
+#include "store/FrameSource.h"
+#include "support/Support.h"
+
+#include "../harness/CorpusUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccomp;
+
+namespace {
+
+std::unique_ptr<store::FrameSource> demoSource() {
+  vm::VMProgram P = harness::mustBuild(harness::syntheticSource(24));
+  std::string Err;
+  std::unique_ptr<store::CodeStore> S =
+      store::CodeStore::build(P, "brisc+flate", store::StoreOptions(), Err);
+  if (!S)
+    reportFatal("frame_server: demo build failed: " + Err);
+  std::vector<uint8_t> Image = S->save();
+  Result<std::unique_ptr<store::LocalFrameSource>> Src =
+      store::LocalFrameSource::fromContainerBytes(Image);
+  if (!Src)
+    reportFatal("frame_server: " + Src.error().message());
+  return Src.take();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::unique_ptr<store::FrameSource> Src;
+  if (argc > 1) {
+    Result<std::unique_ptr<store::FileFrameSource>> F =
+        store::FileFrameSource::open(argv[1]);
+    if (!F) {
+      std::fprintf(stderr, "frame_server: %s\n", F.error().message().c_str());
+      return 1;
+    }
+    Src = F.take();
+  } else {
+    Src = demoSource();
+  }
+
+  net::ServerOptions Opts;
+  if (argc > 2)
+    Opts.Port = static_cast<uint16_t>(std::atoi(argv[2]));
+
+  std::printf("serving %u frames (%zu compressed bytes, chain %s)\n",
+              Src->functionFrameCount(), Src->frameBytes(),
+              Src->chainSpec().c_str());
+  Result<std::unique_ptr<net::FrameServer>> Srv =
+      net::FrameServer::start(std::move(Src), Opts);
+  if (!Srv) {
+    std::fprintf(stderr, "frame_server: %s\n", Srv.error().message().c_str());
+    return 1;
+  }
+  net::FrameServer &S = *Srv.value();
+  std::printf("listening on %s:%u (content hash %016llx)\n",
+              S.address().c_str(), S.port(),
+              (unsigned long long)S.contentHash());
+  std::printf("press Ctrl-D (EOF) to stop\n");
+
+  // Serve until stdin closes; under a pipe this exits immediately after
+  // the pipe does, which is what CI smoke runs want.
+  while (std::getchar() != EOF)
+    ;
+
+  net::ServerStats St = S.stats();
+  std::printf("served %llu requests (%llu batches, %llu frames) across "
+              "%llu connections; %llu fetch errors, %llu protocol errors\n",
+              (unsigned long long)St.Requests, (unsigned long long)St.Batches,
+              (unsigned long long)St.FramesServed,
+              (unsigned long long)St.Accepted,
+              (unsigned long long)St.FetchErrors,
+              (unsigned long long)St.ProtocolErrors);
+  S.stop();
+  return 0;
+}

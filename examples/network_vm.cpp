@@ -1,0 +1,114 @@
+//===- examples/network_vm.cpp - Execute a program served over TCP -------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The delivery story of the paper, over a real socket: connect to a
+// frame server (examples/frame_server), learn the container's identity
+// from the handshake, and execute the program with every function
+// faulted over TCP on first call — only the touched working set is
+// ever transferred or decoded. With no arguments the example spawns an
+// in-process server around a demo container first, so it demonstrates
+// the full client/server round trip standalone:
+//
+//   network_vm                      # in-process server, then connect
+//   network_vm 127.0.0.1 9917       # against a running frame_server
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FrameServer.h"
+#include "net/SocketFrameSource.h"
+#include "store/CodeStore.h"
+#include "store/Resolver.h"
+#include "support/Support.h"
+
+#include "../harness/CorpusUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccomp;
+
+namespace {
+
+std::unique_ptr<net::FrameServer> demoServer() {
+  vm::VMProgram P = harness::mustBuild(harness::syntheticSource(24));
+  std::string Err;
+  std::unique_ptr<store::CodeStore> S =
+      store::CodeStore::build(P, "brisc+flate", store::StoreOptions(), Err);
+  if (!S)
+    reportFatal("network_vm: demo build failed: " + Err);
+  std::vector<uint8_t> Image = S->save();
+  Result<std::unique_ptr<store::LocalFrameSource>> Src =
+      store::LocalFrameSource::fromContainerBytes(Image);
+  if (!Src)
+    reportFatal("network_vm: " + Src.error().message());
+  Result<std::unique_ptr<net::FrameServer>> Srv =
+      net::FrameServer::start(Src.take(), net::ServerOptions());
+  if (!Srv)
+    reportFatal("network_vm: " + Srv.error().message());
+  return Srv.take();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::unique_ptr<net::FrameServer> Local; // Demo mode only.
+  net::SocketOptions SO;
+  if (argc > 2) {
+    SO.Host = argv[1];
+    SO.Port = static_cast<uint16_t>(std::atoi(argv[2]));
+  } else {
+    Local = demoServer();
+    SO.Port = Local->port();
+    std::printf("spawned in-process server on %s:%u\n",
+                Local->address().c_str(), Local->port());
+  }
+
+  Result<std::unique_ptr<net::SocketFrameSource>> Src =
+      net::SocketFrameSource::connect(SO);
+  if (!Src) {
+    std::fprintf(stderr, "network_vm: %s\n", Src.error().message().c_str());
+    return 1;
+  }
+  net::SocketFrameSource *Sock = Src.value().get();
+  uint64_t Hash = 0;
+  Sock->contentHash(Hash);
+  std::printf("handshake: chain %s, %u frames, %zu compressed bytes, "
+              "content hash %016llx\n",
+              Sock->chainSpec().c_str(), Sock->functionFrameCount(),
+              Sock->frameBytes(), (unsigned long long)Hash);
+
+  store::StoreOptions Opts;
+  Opts.Retry.RealTime = true; // Real transport: back off on a real clock.
+  Opts.Retry.DeadlineSeconds = 10.0;
+  Result<std::unique_ptr<store::CodeStore>> St =
+      store::CodeStore::tryFromSource(Src.take(), Opts);
+  if (!St) {
+    std::fprintf(stderr, "network_vm: %s\n", St.error().message().c_str());
+    return 1;
+  }
+  store::CodeStore &Store = *St.value();
+
+  vm::RunResult R = store::runFromStore(Store);
+  if (!R.Ok) {
+    std::fprintf(stderr, "network_vm: run trapped: %s\n", R.Trap.c_str());
+    return 1;
+  }
+  if (!R.Output.empty())
+    std::printf("program output: %s\n", R.Output.c_str());
+  std::printf("exit %d after %llu steps\n", R.ExitCode,
+              (unsigned long long)R.Steps);
+
+  store::StoreStats SS = Store.stats();
+  net::ClientStats CS = Sock->stats();
+  std::printf("faulted %llu frames over %llu round trips (%llu dials, "
+              "%llu bytes down); fetch wall time %.2fms\n",
+              (unsigned long long)SS.Misses,
+              (unsigned long long)CS.RoundTrips,
+              (unsigned long long)CS.Dials,
+              (unsigned long long)CS.BytesReceived,
+              SS.FetchVirtualNanos / 1e6);
+  return 0;
+}

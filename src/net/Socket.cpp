@@ -1,0 +1,287 @@
+//===- net/Socket.cpp - Deadline-bounded POSIX TCP sockets ----------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ccomp;
+using namespace ccomp::net;
+
+namespace {
+
+std::string errnoText(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Milliseconds left until \p Deadline, clamped to [0, INT_MAX] for
+/// poll(). A whole IO operation shares one deadline across however many
+/// poll/read iterations it takes.
+int remainingMillis(std::chrono::steady_clock::time_point Deadline) {
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - std::chrono::steady_clock::now());
+  if (Left.count() <= 0)
+    return 0;
+  if (Left.count() > 0x7FFFFFFF)
+    return 0x7FFFFFFF;
+  return static_cast<int>(Left.count());
+}
+
+void setNoDelay(int Fd) {
+  int One = 1;
+  (void)::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+bool parseAddr(const std::string &Host, uint16_t Port, sockaddr_in &Out,
+               std::string &Err) {
+  std::memset(&Out, 0, sizeof(Out));
+  Out.sin_family = AF_INET;
+  Out.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Out.sin_addr) != 1) {
+    Err = "socket: bad IPv4 address '" + Host + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Socket
+//===----------------------------------------------------------------------===//
+
+Socket::Socket(int Fd) : Fd(Fd) {
+  if (Fd >= 0)
+    setNoDelay(Fd);
+}
+
+Socket::Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+Result<Socket> Socket::connectTo(const std::string &Host, uint16_t Port,
+                                 unsigned TimeoutMillis) {
+  sockaddr_in Addr;
+  std::string Err;
+  if (!parseAddr(Host, Port, Addr, Err))
+    return DecodeError(Err);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return DecodeError(errnoText("socket: socket()"));
+  Socket S(Fd);
+
+  // Non-blocking connect so the dial itself honors the deadline.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  (void)::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (RC != 0) {
+    if (errno != EINPROGRESS)
+      return DecodeError(errnoText("socket: connect"));
+    pollfd P{Fd, POLLOUT, 0};
+    int PR = ::poll(&P, 1, static_cast<int>(TimeoutMillis));
+    if (PR == 0)
+      return DecodeError("socket: connect to " + Host + ":" +
+                         std::to_string(Port) + " timed out");
+    if (PR < 0)
+      return DecodeError(errnoText("socket: poll"));
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) != 0 || SoErr) {
+      errno = SoErr ? SoErr : errno;
+      return DecodeError(errnoText("socket: connect"));
+    }
+  }
+  (void)::fcntl(Fd, F_SETFL, Flags); // Back to blocking; IO polls itself.
+  return S;
+}
+
+IoStatus Socket::sendAll(const uint8_t *Data, size_t N, unsigned TimeoutMillis,
+                         std::string &Err) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMillis);
+  size_t Off = 0;
+  while (Off != N) {
+    pollfd P{Fd, POLLOUT, 0};
+    int PR = ::poll(&P, 1, remainingMillis(Deadline));
+    if (PR == 0) {
+      Err = "socket: send timed out";
+      return IoStatus::TimedOut;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoText("socket: poll");
+      return IoStatus::Error;
+    }
+    ssize_t W = ::send(Fd, Data + Off, N - Off, MSG_NOSIGNAL);
+    if (W > 0) {
+      Off += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      continue;
+    if (W < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      Err = "socket: peer closed during send";
+      return IoStatus::Closed;
+    }
+    Err = errnoText("socket: send");
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Socket::recvAll(uint8_t *Data, size_t N, unsigned TimeoutMillis,
+                         std::string &Err) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMillis);
+  size_t Off = 0;
+  while (Off != N) {
+    pollfd P{Fd, POLLIN, 0};
+    int PR = ::poll(&P, 1, remainingMillis(Deadline));
+    if (PR == 0) {
+      Err = "socket: receive timed out";
+      return IoStatus::TimedOut;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = errnoText("socket: poll");
+      return IoStatus::Error;
+    }
+    ssize_t R = ::recv(Fd, Data + Off, N - Off, 0);
+    if (R > 0) {
+      Off += static_cast<size_t>(R);
+      continue;
+    }
+    if (R == 0) {
+      Err = Off ? "socket: peer closed mid-message"
+                : "socket: peer closed the connection";
+      return IoStatus::Closed;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      continue;
+    if (errno == ECONNRESET) {
+      Err = "socket: connection reset";
+      return IoStatus::Closed;
+    }
+    Err = errnoText("socket: recv");
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Listener
+//===----------------------------------------------------------------------===//
+
+Listener::Listener(Listener &&O) noexcept
+    : Fd(O.Fd.exchange(-1)), BoundPort(O.BoundPort),
+      Address(std::move(O.Address)) {}
+
+Listener &Listener::operator=(Listener &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd.store(O.Fd.exchange(-1), std::memory_order_release);
+    BoundPort = O.BoundPort;
+    Address = std::move(O.Address);
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  // Swap the descriptor out first so a concurrent close (or a close
+  // racing the accept loop's read) can never double-close.
+  int Old = Fd.exchange(-1, std::memory_order_acq_rel);
+  if (Old >= 0)
+    ::close(Old);
+}
+
+Result<Listener> Listener::listenOn(const std::string &Address, uint16_t Port,
+                                    int Backlog) {
+  sockaddr_in Addr;
+  std::string Err;
+  if (!parseAddr(Address, Port, Addr, Err))
+    return DecodeError(Err);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return DecodeError(errnoText("socket: socket()"));
+  Listener L;
+  L.Fd = Fd;
+  L.Address = Address;
+  int One = 1;
+  (void)::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return DecodeError(errnoText("socket: bind"));
+  if (::listen(Fd, Backlog) != 0)
+    return DecodeError(errnoText("socket: listen"));
+
+  sockaddr_in Bound;
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) != 0)
+    return DecodeError(errnoText("socket: getsockname"));
+  L.BoundPort = ntohs(Bound.sin_port);
+  return L;
+}
+
+Socket Listener::accept(unsigned TimeoutMillis, std::string &Err) {
+  // One load for the whole call: a concurrent close() swaps Fd to -1
+  // and closes the descriptor, which wakes the poll below (POLLNVAL)
+  // and fails the accept — the caller sees an invalid Socket either
+  // way and checks its own stop condition.
+  int LFd = Fd.load(std::memory_order_acquire);
+  if (LFd < 0)
+    return Socket();
+  pollfd P{LFd, POLLIN, 0};
+  int PR = ::poll(&P, 1, static_cast<int>(TimeoutMillis));
+  if (PR <= 0) {
+    if (PR < 0 && errno != EINTR)
+      Err = errnoText("socket: poll(listen)");
+    return Socket();
+  }
+  if (P.revents & (POLLNVAL | POLLERR | POLLHUP))
+    return Socket(); // Listener closed under us.
+  int CFd = ::accept(LFd, nullptr, nullptr);
+  if (CFd < 0) {
+    if (errno != EINTR && errno != ECONNABORTED)
+      Err = errnoText("socket: accept");
+    return Socket();
+  }
+  return Socket(CFd);
+}

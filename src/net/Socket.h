@@ -1,0 +1,127 @@
+//===- net/Socket.h - Deadline-bounded POSIX TCP sockets -------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin RAII layer between the frame service and the kernel: a
+/// move-only Socket whose every read and write is bounded by a
+/// wall-clock deadline (poll + loop, never a bare blocking recv), and a
+/// Listener that binds an ephemeral loopback port and accepts with a
+/// timeout so an accept loop can notice shutdown. Nothing here knows
+/// about frames or messages; recvMessage/sendMessage in the server and
+/// client layer the net::Message framing on top.
+///
+/// Why deadlines everywhere: the whole net subsystem promises that a
+/// killed or wedged peer yields a *typed* error, never a hang. A poll
+/// timeout maps to IoStatus::TimedOut, a peer close mid-buffer to
+/// IoStatus::Closed, and everything else to IoStatus::Error with the
+/// errno text — the caller translates these into FetchErrorKind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_NET_SOCKET_H
+#define CCOMP_NET_SOCKET_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ccomp {
+namespace net {
+
+/// Outcome of one bounded IO operation.
+enum class IoStatus : uint8_t {
+  Ok,
+  TimedOut, ///< The deadline passed before the full buffer moved.
+  Closed,   ///< The peer closed the connection mid-operation.
+  Error,    ///< The kernel refused (errno text in the message).
+};
+
+/// A connected TCP socket (move-only, closes on destruction). All IO is
+/// deadline-bounded; TCP_NODELAY is set on creation (the protocol's
+/// requests are small and latency-sensitive).
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd);
+  Socket(Socket &&O) noexcept;
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  ~Socket();
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the descriptor (idempotent).
+  void close();
+  /// Shuts down both directions without closing, unblocking any thread
+  /// polling on this socket (the server uses this to evict connections
+  /// at stop()).
+  void shutdownBoth();
+
+  /// Dials \p Host:\p Port with a connect deadline. Failure carries the
+  /// reason ("connection refused", "connect timed out", ...).
+  static Result<Socket> connectTo(const std::string &Host, uint16_t Port,
+                                  unsigned TimeoutMillis);
+
+  /// Writes all \p N bytes or reports why not; \p Err is filled on
+  /// non-Ok. Uses MSG_NOSIGNAL so a dead peer yields Closed, not
+  /// SIGPIPE.
+  IoStatus sendAll(const uint8_t *Data, size_t N, unsigned TimeoutMillis,
+                   std::string &Err);
+
+  /// Reads exactly \p N bytes or reports why not. A clean EOF before
+  /// any byte and a drop mid-buffer both return Closed (the caller
+  /// distinguishes by position when it matters).
+  IoStatus recvAll(uint8_t *Data, size_t N, unsigned TimeoutMillis,
+                   std::string &Err);
+
+private:
+  int Fd = -1;
+};
+
+/// A bound, listening TCP socket on a concrete address/port.
+class Listener {
+public:
+  Listener() = default;
+  Listener(Listener &&O) noexcept;
+  Listener &operator=(Listener &&O) noexcept;
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+  ~Listener();
+
+  /// Binds \p Address:\p Port (0 picks an ephemeral port; the chosen
+  /// one is in port()) and listens.
+  static Result<Listener> listenOn(const std::string &Address, uint16_t Port,
+                                   int Backlog = 256);
+
+  bool valid() const { return Fd.load(std::memory_order_acquire) >= 0; }
+  uint16_t port() const { return BoundPort; }
+  const std::string &address() const { return Address; }
+
+  /// Waits up to \p TimeoutMillis for a connection. Returns an invalid
+  /// Socket on timeout or if the listener was closed; \p Err is set
+  /// only for real errors.
+  Socket accept(unsigned TimeoutMillis, std::string &Err);
+
+  /// Closes the listening descriptor; a blocked accept() returns.
+  /// Safe to call from a thread other than the accepting one — this is
+  /// how a server's stop() unblocks its accept loop (Fd is atomic and
+  /// swapped out before the close, so the two never double-close).
+  void close();
+
+private:
+  std::atomic<int> Fd{-1};
+  uint16_t BoundPort = 0;
+  std::string Address;
+};
+
+} // namespace net
+} // namespace ccomp
+
+#endif // CCOMP_NET_SOCKET_H

@@ -1,0 +1,281 @@
+//===- net/SocketFrameSource.cpp - FrameSource over real TCP --------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/SocketFrameSource.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace ccomp;
+using namespace ccomp::net;
+using namespace ccomp::store;
+
+namespace {
+
+enum class RecvOutcome : uint8_t { Ok, Closed, TimedOut, Oversized, Error };
+
+/// Reads one length-prefixed message payload (prefix stripped) within
+/// one IO deadline. Mirrors the server's receive loop: the length is
+/// validated against MaxMessageBytes *before* any allocation.
+RecvOutcome recvPayload(Socket &S, std::vector<uint8_t> &Payload,
+                        unsigned TimeoutMillis, uint64_t &BytesIn,
+                        std::string &Err) {
+  uint8_t Prefix[LengthPrefixBytes];
+  IoStatus St = S.recvAll(Prefix, sizeof(Prefix), TimeoutMillis, Err);
+  if (St != IoStatus::Ok)
+    return St == IoStatus::Closed    ? RecvOutcome::Closed
+           : St == IoStatus::TimedOut ? RecvOutcome::TimedOut
+                                      : RecvOutcome::Error;
+  uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
+                 (static_cast<uint32_t>(Prefix[1]) << 8) |
+                 (static_cast<uint32_t>(Prefix[2]) << 16) |
+                 (static_cast<uint32_t>(Prefix[3]) << 24);
+  if (Len == 0 || Len > MaxMessageBytes) {
+    Err = "net: reply length prefix " + std::to_string(Len) +
+          " outside (0, " + std::to_string(MaxMessageBytes) + "]";
+    return RecvOutcome::Oversized;
+  }
+  Payload.resize(Len);
+  St = S.recvAll(Payload.data(), Len, TimeoutMillis, Err);
+  if (St != IoStatus::Ok)
+    return St == IoStatus::Closed    ? RecvOutcome::Closed
+           : St == IoStatus::TimedOut ? RecvOutcome::TimedOut
+                                      : RecvOutcome::Error;
+  BytesIn += LengthPrefixBytes + Len;
+  return RecvOutcome::Ok;
+}
+
+double elapsedSeconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+SocketFrameSource::~SocketFrameSource() = default;
+
+Result<std::unique_ptr<SocketFrameSource>>
+SocketFrameSource::connect(SocketOptions Opts) {
+  std::unique_ptr<SocketFrameSource> Src(
+      new SocketFrameSource(std::move(Opts)));
+  Result<Socket> First = Src->dial(/*FirstHandshake=*/true);
+  if (!First)
+    return First.error();
+  Src->checkin(First.take());
+  return Src;
+}
+
+Result<Socket> SocketFrameSource::dial(bool FirstHandshake) {
+  Result<Socket> SR =
+      Socket::connectTo(Opts.Host, Opts.Port, Opts.ConnectTimeoutMillis);
+  if (!SR)
+    return SR.error();
+  Socket S = SR.take();
+  Cnt.Dials.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<uint8_t> Hello = encodeHello();
+  std::string Err;
+  if (S.sendAll(Hello.data(), Hello.size(), Opts.IoTimeoutMillis, Err) !=
+      IoStatus::Ok)
+    return DecodeError("net: handshake send failed: " + Err);
+  Cnt.BytesSent.fetch_add(Hello.size(), std::memory_order_relaxed);
+
+  std::vector<uint8_t> Payload;
+  uint64_t BytesIn = 0;
+  if (recvPayload(S, Payload, Opts.IoTimeoutMillis, BytesIn, Err) !=
+      RecvOutcome::Ok)
+    return DecodeError("net: handshake receive failed: " +
+                       (Err.empty() ? std::string("malformed reply") : Err));
+  Cnt.BytesReceived.fetch_add(BytesIn, std::memory_order_relaxed);
+
+  Result<Message> MR = tryParseMessage(ByteSpan(Payload));
+  if (!MR)
+    return MR.error();
+  Message &W = MR.value();
+  if (W.Type != MsgType::Welcome)
+    return DecodeError("net: expected Welcome, got message type " +
+                       std::to_string(static_cast<unsigned>(W.Type)));
+
+  if (FirstHandshake) {
+    Hash = W.ContentHash;
+    Spec = W.ChainSpec;
+    FrameCount = W.FrameCount;
+    TotalFrameBytes = W.FrameBytes;
+  } else if (W.ContentHash != Hash) {
+    // The server now serves a different container than the one this
+    // source handshook with; every cached identity fact (hash, census,
+    // staged frames) would be a lie. Refuse the connection.
+    return DecodeError("net: server container changed across redial "
+                       "(content hash mismatch)");
+  }
+  return S;
+}
+
+Result<Socket> SocketFrameSource::checkout() {
+  {
+    std::lock_guard<std::mutex> L(PoolMu);
+    if (!Pool.empty()) {
+      Socket S = std::move(Pool.back());
+      Pool.pop_back();
+      return S;
+    }
+  }
+  return dial(/*FirstHandshake=*/false);
+}
+
+void SocketFrameSource::checkin(Socket S) {
+  std::lock_guard<std::mutex> L(PoolMu);
+  if (Pool.size() < Opts.MaxPooledConnections)
+    Pool.push_back(std::move(S));
+  // Else: S closes on destruction; the pool stays bounded.
+}
+
+bool SocketFrameSource::exchange(const std::vector<uint8_t> &Request,
+                                 Message &Reply, store::FetchResult &Fail) {
+  Result<Socket> SR = checkout();
+  if (!SR) {
+    // Dial failures are treated transient (Timeout): the server may be
+    // restarting, and the retry deadline bounds how long we care.
+    Cnt.TransportErrors.fetch_add(1, std::memory_order_relaxed);
+    Fail = FetchResult::failure(FetchErrorKind::Timeout,
+                                "net: dial failed: " + SR.error().message());
+    return false;
+  }
+  Socket S = SR.take();
+  Cnt.RoundTrips.fetch_add(1, std::memory_order_relaxed);
+
+  std::string Err;
+  IoStatus St =
+      S.sendAll(Request.data(), Request.size(), Opts.IoTimeoutMillis, Err);
+  if (St != IoStatus::Ok) {
+    Cnt.TransportErrors.fetch_add(1, std::memory_order_relaxed);
+    Fail = FetchResult::failure(St == IoStatus::TimedOut
+                                    ? FetchErrorKind::Timeout
+                                : St == IoStatus::Closed
+                                    ? FetchErrorKind::ShortRead
+                                    : FetchErrorKind::Io,
+                                "net: request send failed: " + Err);
+    return false; // Connection dropped (S closes here).
+  }
+  Cnt.BytesSent.fetch_add(Request.size(), std::memory_order_relaxed);
+
+  std::vector<uint8_t> Payload;
+  uint64_t BytesIn = 0;
+  RecvOutcome RO =
+      recvPayload(S, Payload, Opts.IoTimeoutMillis, BytesIn, Err);
+  if (RO != RecvOutcome::Ok) {
+    Cnt.TransportErrors.fetch_add(1, std::memory_order_relaxed);
+    FetchErrorKind K = RO == RecvOutcome::TimedOut ? FetchErrorKind::Timeout
+                       : RO == RecvOutcome::Closed ? FetchErrorKind::ShortRead
+                       : RO == RecvOutcome::Oversized
+                           ? FetchErrorKind::Corrupt
+                           : FetchErrorKind::Io;
+    Fail = FetchResult::failure(K, "net: reply receive failed: " + Err);
+    return false;
+  }
+  Cnt.BytesReceived.fetch_add(BytesIn, std::memory_order_relaxed);
+
+  Result<Message> MR = tryParseMessage(ByteSpan(Payload));
+  if (!MR) {
+    Cnt.TransportErrors.fetch_add(1, std::memory_order_relaxed);
+    Fail = FetchResult::failure(FetchErrorKind::Corrupt,
+                                "net: malformed reply: " +
+                                    MR.error().message());
+    return false; // Framing no longer trusted; drop the connection.
+  }
+  Reply = MR.take();
+
+  if (Reply.Type == MsgType::ErrorReply) {
+    // A typed failure, but a healthy stream: the kind crosses the wire
+    // intact and the connection goes back to the pool.
+    Cnt.TransportErrors.fetch_add(1, std::memory_order_relaxed);
+    Fail = FetchResult::failure(Reply.Err, Reply.Msg);
+    checkin(std::move(S));
+    return false;
+  }
+  checkin(std::move(S));
+  return true;
+}
+
+store::FetchResult SocketFrameSource::fetchFrame(uint32_t Id) {
+  if (Id != ManifestFrameId && Id >= FrameCount)
+    return FetchResult::failure(FetchErrorKind::NotFound,
+                                "net: no frame " + std::to_string(Id) +
+                                    " (container has " +
+                                    std::to_string(FrameCount) + ")");
+  if (Id != ManifestFrameId) {
+    std::lock_guard<std::mutex> L(StageMu);
+    auto It = Staged.find(Id);
+    if (It != Staged.end()) {
+      std::vector<uint8_t> Bytes = std::move(It->second);
+      Staged.erase(It);
+      Cnt.StagedServes.fetch_add(1, std::memory_order_relaxed);
+      // The network cost was paid by the batch round trip that staged
+      // these bytes; the serve itself is free.
+      return FetchResult::success(std::move(Bytes), 0);
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  Message Reply;
+  FetchResult Fail;
+  if (!exchange(encodeGetFrame(Id), Reply, Fail)) {
+    Fail.VirtualSeconds = elapsedSeconds(Start);
+    return Fail;
+  }
+  double Seconds = elapsedSeconds(Start);
+  if (Reply.Type != MsgType::FrameData || Reply.Id != Id)
+    return FetchResult::failure(FetchErrorKind::Corrupt,
+                                "net: reply does not answer frame " +
+                                    std::to_string(Id),
+                                Seconds);
+  return FetchResult::success(std::move(Reply.Bytes), Seconds);
+}
+
+store::FetchResult SocketFrameSource::fetchManifest() {
+  return fetchFrame(ManifestFrameId);
+}
+
+void SocketFrameSource::prefetchHint(const std::vector<uint32_t> &FrameIds) {
+  std::vector<uint32_t> Want;
+  Want.reserve(FrameIds.size());
+  {
+    std::lock_guard<std::mutex> L(StageMu);
+    for (uint32_t Id : FrameIds)
+      if (Id < FrameCount && !Staged.count(Id))
+        Want.push_back(Id);
+  }
+  std::sort(Want.begin(), Want.end());
+  Want.erase(std::unique(Want.begin(), Want.end()), Want.end());
+  if (Want.empty())
+    return;
+
+  Message Reply;
+  FetchResult Fail;
+  if (!exchange(encodeGetBatch(Want), Reply, Fail))
+    return; // Soft: unstaged ids fault through the retried path.
+  Cnt.BatchRoundTrips.fetch_add(1, std::memory_order_relaxed);
+  if (Reply.Type != MsgType::BatchData)
+    return;
+
+  std::lock_guard<std::mutex> L(StageMu);
+  for (BatchEntry &E : Reply.Entries)
+    if (E.Ok && E.Id < FrameCount)
+      Staged[E.Id] = std::move(E.Bytes);
+}
+
+ClientStats SocketFrameSource::stats() const {
+  ClientStats S;
+  S.RoundTrips = Cnt.RoundTrips.load(std::memory_order_relaxed);
+  S.BatchRoundTrips = Cnt.BatchRoundTrips.load(std::memory_order_relaxed);
+  S.Dials = Cnt.Dials.load(std::memory_order_relaxed);
+  S.BytesSent = Cnt.BytesSent.load(std::memory_order_relaxed);
+  S.BytesReceived = Cnt.BytesReceived.load(std::memory_order_relaxed);
+  S.StagedServes = Cnt.StagedServes.load(std::memory_order_relaxed);
+  S.TransportErrors = Cnt.TransportErrors.load(std::memory_order_relaxed);
+  return S;
+}

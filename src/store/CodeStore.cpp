@@ -40,6 +40,12 @@ size_t store::decodedCostBytes(const vm::VMFunction &F) {
          F.LabelPos.size() * sizeof(uint32_t) + F.Name.size();
 }
 
+bool store::isStoreManifest(ByteSpan Frame) {
+  return Frame.size() >= 4 &&
+         (uint32_t(Frame[0]) | uint32_t(Frame[1]) << 8 |
+          uint32_t(Frame[2]) << 16 | uint32_t(Frame[3]) << 24) == ManifestMagic;
+}
+
 //===----------------------------------------------------------------------===//
 // Build / save / load
 //===----------------------------------------------------------------------===//
@@ -721,6 +727,28 @@ void CodeStore::unpin(uint32_t Id) {
 }
 
 void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
+  // One advisory hint up front, naming every frame this wave will
+  // fault, so a transport with per-request overhead (a socket) can
+  // coalesce the whole wave into a single round trip and stage the
+  // bytes; the pool jobs below then fetch from the staging area. For
+  // local/file/simulated sources this is a no-op.
+  std::vector<uint32_t> Want;
+  for (uint32_t Id : Ids) {
+    if (Id >= Funcs.size())
+      continue;
+    if (!Paged) {
+      if (!entryResident(Id))
+        Want.push_back(Id);
+      continue;
+    }
+    const FuncRecord &Rec = Funcs[Id];
+    for (uint32_t K = 0; K != Rec.Pages.size(); ++K)
+      if (!entryResident(Rec.FirstPage + K))
+        Want.push_back(Rec.FirstPage + K);
+  }
+  if (!Want.empty())
+    Source->prefetchHint(Want);
+
   for (uint32_t Id : Ids)
     Pool.submit([this, Id] {
       try {

@@ -425,6 +425,13 @@ private:
 /// one page body).
 size_t decodedCostBytes(const vm::VMFunction &F);
 
+/// True when \p Frame begins with the store-manifest magic ("CCSM").
+/// Frame 0 of every image written by CodeStore::save is a manifest; a
+/// bare codec archive (compressor_tool without --store) is not, and the
+/// frame sources use this to reject it up front instead of letting a
+/// function payload masquerade as a manifest.
+bool isStoreManifest(ByteSpan Frame);
+
 } // namespace store
 } // namespace ccomp
 

@@ -6,12 +6,16 @@
 
 #include "store/FrameSource.h"
 
+#include "net/Message.h" // Header-only codec; no link dependency.
 #include "pipeline/Pipeline.h"
+#include "store/CodeStore.h" // isStoreManifest.
 #include "support/ByteIO.h"
 #include "support/PRNG.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 using namespace ccomp;
 using namespace ccomp::store;
@@ -84,6 +88,15 @@ FetchResult store::fetchWithRetry(FrameSource &Src, uint32_t Id,
                                   const RetryPolicy &Policy,
                                   FetchMetrics &M) {
   unsigned Max = std::max(1u, Policy.MaxAttempts);
+  // Under RealTime the deadline is measured against this wall clock and
+  // backoff actually sleeps; otherwise both live on the virtual clock
+  // and no real time ever passes here.
+  auto Start = std::chrono::steady_clock::now();
+  auto wallSeconds = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
   FetchResult Last;
   for (unsigned A = 0; A != Max; ++A) {
     FetchResult R =
@@ -102,14 +115,25 @@ FetchResult store::fetchWithRetry(FrameSource &Src, uint32_t Id,
     }
     ++M.TransientFailures;
     Last = std::move(R);
-    if (M.VirtualSeconds > Policy.DeadlineSeconds)
+    double Spent = Policy.RealTime ? wallSeconds() : M.VirtualSeconds;
+    if (Spent > Policy.DeadlineSeconds)
       return FetchResult::failure(
           FetchErrorKind::Timeout,
           "fetch deadline exceeded after " + std::to_string(A + 1) +
               " attempt(s): " + Last.Msg,
           M.VirtualSeconds);
-    if (A + 1 != Max)
-      M.VirtualSeconds += Policy.backoffSeconds(Id, A);
+    if (A + 1 != Max) {
+      double Backoff = Policy.backoffSeconds(Id, A);
+      M.VirtualSeconds += Backoff;
+      if (Policy.RealTime && Backoff > 0) {
+        // Never sleep past the deadline: cap the nap at what is left,
+        // so a dead server costs DeadlineSeconds, not deadline + one
+        // full backoff.
+        double Left = Policy.DeadlineSeconds - wallSeconds();
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(0.0, std::min(Backoff, Left))));
+      }
+    }
   }
   return FetchResult::failure(Last.Err,
                               "fetch failed after " + std::to_string(Max) +
@@ -132,6 +156,10 @@ LocalFrameSource::fromContainerBytes(ByteSpan Bytes) {
     return C.error();
   if (C.value().Frames.empty())
     return DecodeError("frame source: container has no manifest frame");
+  if (!isStoreManifest(C.value().Frames[0]))
+    return DecodeError("frame source: frame 0 is not a store manifest (a "
+                       "bare codec archive? build the image with "
+                       "CodeStore::save, e.g. compressor_tool --store)");
   std::vector<std::vector<uint8_t>> Funcs(
       std::make_move_iterator(C.value().Frames.begin() + 1),
       std::make_move_iterator(C.value().Frames.end()));
@@ -245,6 +273,17 @@ FileFrameSource::open(const std::string &Path) {
     }
     if (Pos != FileSize)
       decodeFail("file source: trailing bytes in '" + Path + "'");
+
+    // Frame 0 must be a store manifest, or every byte served from this
+    // file would be misattributed (a function payload masquerading as
+    // the manifest fails only much later, at the client's decode).
+    const FrameSlot &M = S->Slots.front();
+    std::vector<uint8_t> Magic = readAt(
+        S->In, M.Offset, static_cast<size_t>(std::min<uint64_t>(4, M.Size)));
+    if (!isStoreManifest(Magic))
+      decodeFail("file source: '" + Path +
+                 "' has no store manifest (a bare codec archive? rebuild "
+                 "with compressor_tool compress --store)");
     return S;
   });
 }
@@ -308,7 +347,11 @@ double SimulatedRemoteFrameSource::payloadSeconds(size_t Bytes) {
   if (Opts.Latency == LatencyMode::Batched &&
       SessionOpen.exchange(true, std::memory_order_relaxed))
     Setup = 0;
-  return Setup + Opts.Link.streamSeconds(Bytes);
+  // Under WireFraming the link carries what a real frame-server
+  // conversation would: the GetFrame request plus the framed FrameData
+  // reply, not the bare payload.
+  size_t Wire = Opts.WireFraming ? net::wireSizeFetch(Bytes) : Bytes;
+  return Setup + Opts.Link.streamSeconds(Wire);
 }
 
 FetchResult SimulatedRemoteFrameSource::transport(uint32_t DrawId,
@@ -344,12 +387,13 @@ FetchResult SimulatedRemoteFrameSource::transport(uint32_t DrawId,
   case 1: {
     // Short read: the connection dropped partway through the payload.
     double Fraction = unitDouble(mix64(H ^ 0x5DEECE66Dull));
+    size_t Wire = Opts.WireFraming ? net::wireSizeFetch(FromOrigin.Bytes.size())
+                                   : FromOrigin.Bytes.size();
     return FetchResult::failure(FetchErrorKind::ShortRead,
                                 "remote: connection dropped mid-frame " +
                                     Frame,
                                 Opts.Link.LatencySeconds +
-                                    Fraction * Opts.Link.streamSeconds(
-                                                   FromOrigin.Bytes.size()));
+                                    Fraction * Opts.Link.streamSeconds(Wire));
   }
   default:
     // Detected corruption: the bytes arrived (full transfer paid) but

@@ -26,9 +26,14 @@
 /// Failures are typed (FetchError) and classified transient vs
 /// permanent so the RetryPolicy can mask line noise with bounded,
 /// exponentially backed-off retries while surfacing dead frames
-/// immediately. Backoff advances the same virtual clock as transfer
-/// time — fetchWithRetry never sleeps, so a retry storm can slow a
-/// simulated run but can never hang a real thread.
+/// immediately. By default backoff advances the same virtual clock as
+/// transfer time — fetchWithRetry never sleeps, so a retry storm can
+/// slow a simulated run but can never hang a real thread. Sources with
+/// a *real* transport behind them (net::SocketFrameSource) set
+/// RetryPolicy::RealTime, which makes the backoff an actual sleep and
+/// the deadline a wall-clock bound — without it, retries against a
+/// dead server would spin at CPU speed and the virtual deadline would
+/// never fire on a transport that charges no virtual time.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -138,6 +143,15 @@ public:
     (void)H;
     return false;
   }
+
+  /// Advisory: the caller is about to fetch these frames. A source with
+  /// per-request overhead (a network round trip) may coalesce them into
+  /// one transfer and stage the results for the coming fetchFrame
+  /// calls. Purely an optimization — the default does nothing, failures
+  /// are invisible, and every frame must still be fetchable on its own.
+  virtual void prefetchHint(const std::vector<uint32_t> &FrameIds) {
+    (void)FrameIds;
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -162,8 +176,15 @@ struct RetryPolicy {
   double JitterFraction = 0.25;
   uint64_t JitterSeed = 0x1234;
   /// Virtual-seconds budget for one fetch across all its attempts and
-  /// backoffs; exceeding it fails the fetch with a Timeout error.
+  /// backoffs; exceeding it fails the fetch with a Timeout error. Under
+  /// RealTime the same budget is measured on the wall clock instead.
   double DeadlineSeconds = 120.0;
+  /// When set, backoff really sleeps and the deadline is wall-clock:
+  /// elapsed real time (attempt durations + sleeps) counts against
+  /// DeadlineSeconds. For sources whose fetches take real time (TCP);
+  /// the default keeps simulated runs at CPU speed and is bit-for-bit
+  /// the old behavior.
+  bool RealTime = false;
 
   /// The backoff charged after failed attempt \p Attempt (0-based) of
   /// frame \p Frame. Pure function of (policy, frame, attempt).
@@ -308,6 +329,13 @@ struct RemoteOptions {
   /// typed errors.
   double TransientFailureRate = 0.0;
   uint64_t FaultSeed = 0;
+  /// When set, transfer time is charged for what the CCPK wire protocol
+  /// (net/Message.h) actually puts on the link for one fetch — request
+  /// plus framed reply (net::wireSizeFetch) — rather than the bare
+  /// payload bytes. Off by default: existing virtual-time baselines
+  /// charge raw payloads. Turn it on to make the simulation agree
+  /// byte-for-byte with a real net::FrameServer conversation.
+  bool WireFraming = false;
 };
 
 /// Wraps an origin FrameSource in a simulated flaky link. Successful

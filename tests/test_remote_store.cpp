@@ -18,6 +18,7 @@
 
 #include "TestUtil.h"
 
+#include "pipeline/Pipeline.h"
 #include "store/CodeStore.h"
 #include "store/FrameSource.h"
 #include "store/Resolver.h"
@@ -331,6 +332,29 @@ TEST(RemoteStore, OpeningAMissingFileFailsTyped) {
       FileFrameSource::open(testing::TempDir() + "ccomp_does_not_exist.ccpk");
   ASSERT_FALSE(S.ok());
   EXPECT_NE(S.error().message().find("cannot open"), std::string::npos);
+}
+
+// A bare codec archive (compressor_tool without --store) shares the
+// container format with store images but has no manifest at frame 0;
+// both sources must refuse it up front with a message that names the
+// problem, instead of serving a function payload as the "manifest" and
+// failing much later at the client's decode.
+TEST(RemoteStore, ContainerWithoutAManifestIsRefusedUpFront) {
+  std::vector<std::vector<uint8_t>> Frames = {{1, 2, 3, 4, 5}, {6, 7, 8}};
+  std::vector<uint8_t> Archive = pipeline::packContainer("flate", Frames);
+
+  Result<std::unique_ptr<LocalFrameSource>> L =
+      LocalFrameSource::fromContainerBytes(Archive);
+  ASSERT_FALSE(L.ok());
+  EXPECT_NE(L.error().message().find("not a store manifest"),
+            std::string::npos)
+      << L.error().message();
+
+  std::string Path = writeTemp("no_manifest.ccpk", Archive);
+  Result<std::unique_ptr<FileFrameSource>> F = FileFrameSource::open(Path);
+  ASSERT_FALSE(F.ok());
+  EXPECT_NE(F.error().message().find("no store manifest"), std::string::npos)
+      << F.error().message();
 }
 
 //===----------------------------------------------------------------------===//

@@ -204,9 +204,12 @@ TEST(Store, ModuleGranularityCodecRejected) {
   EXPECT_EQ(CodeStore::build(P, "wire", StoreOptions(), Err), nullptr);
   EXPECT_NE(Err.find("wire"), std::string::npos) << Err;
 
-  // A container claiming a module chain is rejected at load too.
+  // A container claiming a module chain is rejected at load too. Frame 0
+  // carries the manifest magic ("CCSM") so the refusal under test is the
+  // chain kind, not the missing-manifest check.
   std::vector<uint8_t> Fake = pipeline::packContainer(
-      "wire", {std::vector<uint8_t>{1, 2, 3}, std::vector<uint8_t>{4, 5}});
+      "wire", {std::vector<uint8_t>{0x43, 0x43, 0x53, 0x4D},
+               std::vector<uint8_t>{4, 5}});
   Result<std::unique_ptr<CodeStore>> L =
       CodeStore::tryLoad(Fake, StoreOptions());
   ASSERT_FALSE(L.ok());
