@@ -21,7 +21,10 @@
 //      faulting and once with one coalesced prefetch (GetBatch). The
 //      server's own request counter must show the batched run using
 //      STRICTLY fewer round trips; the bench aborts otherwise. This is
-//      the protocol's batching claim, self-asserted on every run.
+//      the protocol's batching claim, self-asserted on every run. A
+//      third client runs under trace-driven predictive prefetch (each
+//      fault warms only the predicted-next frames) and must likewise
+//      beat per-frame faulting.
 //
 // Each act emits one machine-readable CCOMP-STATS JSON line.
 //
@@ -32,6 +35,7 @@
 #include "NetLoad.h"
 #include "net/FrameServer.h"
 #include "store/CodeStore.h"
+#include "store/Trace.h"
 #include "vm/Machine.h"
 
 #include <cstdio>
@@ -114,6 +118,7 @@ void scaleAct(net::FrameServer &Server, const std::string &ExpectedOut,
 /// One client, cache big enough that nothing re-faults: the server's
 /// request counter isolates the protocol's round-trip economics.
 uint64_t oneClientRequests(net::FrameServer &Server, bool PrefetchAll,
+                           const pipeline::ExecutionTrace *Profile,
                            const std::string &ExpectedOut,
                            int32_t ExpectedExit,
                            harness::LoadResult &ROut) {
@@ -123,19 +128,26 @@ uint64_t oneClientRequests(net::FrameServer &Server, bool PrefetchAll,
   LO.Clients = 1;
   LO.CacheBudgetBytes = 64u << 20;
   LO.PrefetchAll = PrefetchAll;
+  LO.Predictive = Profile != nullptr;
+  LO.Profile = Profile;
   ROut = harness::runSocketClients(LO, ExpectedOut, ExpectedExit);
   if (ROut.Failures || ROut.OutputMismatches)
     reportFatal("bench_frame_server: economics client failed");
   return Server.stats().Requests - Before;
 }
 
-void economicsAct(net::FrameServer &Server, const std::string &ExpectedOut,
-                  int32_t ExpectedExit) {
-  harness::LoadResult PerFrame, Batched;
-  uint64_t PerFrameReqs =
-      oneClientRequests(Server, false, ExpectedOut, ExpectedExit, PerFrame);
-  uint64_t BatchedReqs =
-      oneClientRequests(Server, true, ExpectedOut, ExpectedExit, Batched);
+void economicsAct(net::FrameServer &Server,
+                  const pipeline::ExecutionTrace &Trace,
+                  const std::string &ExpectedOut, int32_t ExpectedExit) {
+  harness::LoadResult PerFrame, Batched, Predictive;
+  uint64_t PerFrameReqs = oneClientRequests(Server, false, nullptr,
+                                            ExpectedOut, ExpectedExit,
+                                            PerFrame);
+  uint64_t BatchedReqs = oneClientRequests(Server, true, nullptr, ExpectedOut,
+                                           ExpectedExit, Batched);
+  uint64_t PredictiveReqs = oneClientRequests(Server, false, &Trace,
+                                              ExpectedOut, ExpectedExit,
+                                              Predictive);
 
   // The protocol's batching claim, self-asserted: one GetBatch carrying
   // N frames must beat N GetFrames. If coalescing ever silently stops
@@ -146,24 +158,41 @@ void economicsAct(net::FrameServer &Server, const std::string &ExpectedOut,
                 std::to_string(PerFrameReqs) +
                 " — batching must be strictly cheaper");
 
+  // Trace-driven prefetch sits between the two: each fault warms only
+  // the predicted-next frames (one GetBatch per prediction wave), so it
+  // must still beat faulting every frame individually.
+  if (PredictiveReqs >= PerFrameReqs)
+    reportFatal("bench_frame_server: predictive prefetch used " +
+                std::to_string(PredictiveReqs) + " round trips, per-frame " +
+                std::to_string(PerFrameReqs) +
+                " — prediction must be strictly cheaper");
+
   std::printf("economics: per-frame %llu round trips, batched %llu "
-              "(staged %llu), batched p99 %.0fus\n",
+              "(staged %llu), predictive %llu (staged %llu), "
+              "batched p99 %.0fus\n",
               (unsigned long long)PerFrameReqs,
               (unsigned long long)BatchedReqs,
               (unsigned long long)Batched.StagedServes,
+              (unsigned long long)PredictiveReqs,
+              (unsigned long long)Predictive.StagedServes,
               Batched.p99() * 1e6);
-  char Buf[512];
+  char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"bench\":\"frame_server\",\"act\":\"economics\",\"chain\":\"%s\","
       "\"functions\":%u,\"per_frame_round_trips\":%llu,"
       "\"batched_round_trips\":%llu,\"staged_serves\":%llu,"
       "\"batch_round_trips\":%llu,"
+      "\"predictive_round_trips\":%llu,\"predictive_staged_serves\":%llu,"
+      "\"predictive_batch_round_trips\":%llu,"
       "\"per_frame_p99_us\":%.1f,\"batched_p99_us\":%.1f}",
       jsonEscape(Chain).c_str(), NumFuncs,
       (unsigned long long)PerFrameReqs, (unsigned long long)BatchedReqs,
       (unsigned long long)Batched.StagedServes,
-      (unsigned long long)Batched.BatchRoundTrips, PerFrame.p99() * 1e6,
+      (unsigned long long)Batched.BatchRoundTrips,
+      (unsigned long long)PredictiveReqs,
+      (unsigned long long)Predictive.StagedServes,
+      (unsigned long long)Predictive.BatchRoundTrips, PerFrame.p99() * 1e6,
       Batched.p99() * 1e6);
   emitStats(Buf);
 }
@@ -176,6 +205,12 @@ int main() {
   if (!Eager.Ok)
     reportFatal("bench_frame_server: eager reference run trapped: " +
                 Eager.Trap);
+  // The access trace the predictive economics client installs on its
+  // store; recorded once, offline, against the same program.
+  store::TraceRunResult Recorded = store::recordTrace(P);
+  if (!Recorded.Run.Ok)
+    reportFatal("bench_frame_server: profiling run trapped: " +
+                Recorded.Run.Trap);
 
   std::vector<uint8_t> Image = buildImage(P);
   std::unique_ptr<net::FrameServer> Server = startServer(Image);
@@ -186,7 +221,7 @@ int main() {
 
   scaleAct(*Server, Eager.Output, Eager.ExitCode);
   hr();
-  economicsAct(*Server, Eager.Output, Eager.ExitCode);
+  economicsAct(*Server, Recorded.Trace, Eager.Output, Eager.ExitCode);
 
   Server->stop();
   return 0;

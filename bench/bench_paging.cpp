@@ -15,13 +15,14 @@
 // find the crossover where interpreting compressed code wins on total
 // time.
 //
-// Six acts, selectable with --act=N[,N...] (default: all):
+// Seven acts, selectable with --act=N[,N...] (default: all):
 //   1  intro paging table (native vs interpreted, LRU simulator)
 //   2  decode-on-fault store vs simulator prediction
 //   3  sub-function page-size sweep
 //   4  hot-loop residency payoff (asserted)
 //   5  tiered native execution of the hot set (asserted speedup)
 //   6  multi-tenant shared frame registry vs private stores (asserted)
+//   7  profile-guided page layout vs source order (asserted)
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +36,7 @@
 #include "store/CodeStore.h"
 #include "store/Resolver.h"
 #include "store/Tiered.h"
+#include "store/Trace.h"
 #include "vm/Encode.h"
 
 #include <set>
@@ -65,7 +67,7 @@ std::set<int> parseActs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--act=", 0) != 0)
-      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-6)");
+      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-7)");
     std::string List = Arg.substr(6);
     size_t Pos = 0;
     while (Pos < List.size()) {
@@ -76,14 +78,14 @@ std::set<int> parseActs(int Argc, char **Argv) {
                              std::string::npos)
         reportFatal("bench_paging: bad act '" + Tok + "'");
       int N = std::atoi(Tok.c_str());
-      if (N < 1 || N > 6)
+      if (N < 1 || N > 7)
         reportFatal("bench_paging: act out of range: " + Tok);
       Acts.insert(N);
       Pos = Comma == std::string::npos ? List.size() : Comma + 1;
     }
   }
   if (Acts.empty())
-    Acts = {1, 2, 3, 4, 5, 6};
+    Acts = {1, 2, 3, 4, 5, 6, 7};
   return Acts;
 }
 
@@ -581,6 +583,83 @@ int main(int Argc, char **Argv) {
       }
     }
     hr();
+  }
+
+  // Seventh act (profile-guided layout, asserted): record one
+  // block-granular trace of the program, rebuild the paged store with
+  // the trace driving splitFunctionPages, and replay the same workload.
+  // Clustering co-hot blocks must strictly reduce BOTH demand faults
+  // and the decoded bytes left resident, against the source-order
+  // layout at the same page target and budget — the Ozturk et al.
+  // claim, measured on this corpus.
+  if (runAct(7)) {
+    std::string Err;
+    const size_t LayoutTarget = 96;
+    store::TraceRunResult Recorded = store::recordTrace(P);
+    if (!Recorded.Run.Ok)
+      reportFatal("layout act: profiling run failed: " + Recorded.Run.Trap);
+    if (Recorded.Run.Output != Eager.Output ||
+        Recorded.Run.ExitCode != Eager.ExitCode)
+      reportFatal("layout act: profiling run diverged from eager");
+
+    auto measure = [&](const pipeline::ExecutionTrace *Profile, uint64_t &Misses,
+                       uint64_t &Resident) {
+      store::StoreOptions SO;
+      SO.Shards = 1;
+      // A budget that holds everything: Misses counts each distinct
+      // page's compulsory fault and ResidentBytes counts every decoded
+      // byte the run ever needed — the layout signal, undiluted by
+      // eviction luck.
+      SO.CacheBudgetBytes = DecodedBytes * 2;
+      SO.PageTargetBytes = LayoutTarget;
+      SO.Profile = Profile;
+      std::unique_ptr<store::CodeStore> S =
+          store::CodeStore::build(P, ChainSpec, SO, Err);
+      if (!S)
+        reportFatal("layout act: store build failed: " + Err);
+      vm::RunResult R = store::runFromStore(*S);
+      if (!R.Ok || R.Output != Eager.Output ||
+          R.ExitCode != Eager.ExitCode || R.Steps != Eager.Steps)
+        reportFatal("layout act: store-backed run diverged: " + R.Trap);
+      store::StoreStats St = S->stats();
+      Misses = St.Misses;
+      Resident = St.ResidentBytes;
+      return S->frameCount();
+    };
+    uint64_t SrcMisses = 0, SrcResident = 0, ProfMisses = 0, ProfResident = 0;
+    uint32_t SrcFrames = measure(nullptr, SrcMisses, SrcResident);
+    uint32_t ProfFrames =
+        measure(&Recorded.Trace, ProfMisses, ProfResident);
+
+    std::printf("\nProfile-guided layout (icc, chain %s, %zu B pages, "
+                "%zu trace events)\n",
+                ChainSpec, LayoutTarget, Recorded.Trace.Events.size());
+    std::printf("  source order: %llu faults, %llu resident B (%u frames)\n"
+                "  trace-guided: %llu faults, %llu resident B (%u frames)\n",
+                (unsigned long long)SrcMisses,
+                (unsigned long long)SrcResident, SrcFrames,
+                (unsigned long long)ProfMisses,
+                (unsigned long long)ProfResident, ProfFrames);
+    char Json[512];
+    std::snprintf(Json, sizeof(Json),
+                  "{\"bench\":\"paging_layout\",\"chain\":\"%s\","
+                  "\"page_target\":%zu,\"trace_events\":%zu,"
+                  "\"src_faults\":%llu,\"src_resident\":%llu,"
+                  "\"src_frames\":%u,\"prof_faults\":%llu,"
+                  "\"prof_resident\":%llu,\"prof_frames\":%u}",
+                  jsonEscape(ChainSpec).c_str(), LayoutTarget,
+                  Recorded.Trace.Events.size(),
+                  (unsigned long long)SrcMisses,
+                  (unsigned long long)SrcResident, SrcFrames,
+                  (unsigned long long)ProfMisses,
+                  (unsigned long long)ProfResident, ProfFrames);
+    emitStats(Json);
+    if (ProfMisses >= SrcMisses)
+      reportFatal("layout act: trace-guided faults are not strictly below "
+                  "source order");
+    if (ProfResident >= SrcResident)
+      reportFatal("layout act: trace-guided resident bytes are not "
+                  "strictly below source order");
   }
   return 0;
 }

@@ -25,7 +25,9 @@
 #include "pipeline/Codec.h"
 #include "pipeline/Payload.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/Profile.h"
 #include "store/CodeStore.h"
+#include "store/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -64,11 +66,16 @@ int usage() {
       stderr,
       "usage: compressor_tool --list\n"
       "       compressor_tool compress <file.c> <out.ccpk>"
-      " [--codec CHAIN] [--jobs N] [--store] [--stats]\n"
+      " [--codec CHAIN] [--jobs N] [--store] [--page-bytes N]"
+      " [--profile FILE] [--stats]\n"
       "       compressor_tool decompress <in.ccpk> [--jobs N] [--stats]\n"
+      "       compressor_tool profile <file.c> <out.ccprof>\n"
       "CHAIN: '+'-separated codec names, e.g. brisc+flate (see --list)\n"
       "--store emits a CodeStore image (manifest at frame 0) that\n"
-      "demand_paged_vm and frame_server can execute and serve\n");
+      "demand_paged_vm and frame_server can execute and serve\n"
+      "'profile' runs the program once, recording its block-level\n"
+      "execution trace to a CCPF sidecar; compress --store --page-bytes N\n"
+      "--profile FILE feeds it back so co-hot blocks share pages\n");
   return 2;
 }
 
@@ -105,6 +112,8 @@ struct Flags {
   unsigned Jobs = 1;
   bool Stats = false;
   bool Store = false;
+  size_t PageBytes = 0;
+  std::string ProfilePath;
   std::vector<const char *> Positional;
 };
 
@@ -123,6 +132,15 @@ bool parseFlags(int argc, char **argv, int First, Flags &F) {
       F.Stats = true;
     } else if (!std::strcmp(argv[I], "--store")) {
       F.Store = true;
+    } else if (!std::strcmp(argv[I], "--page-bytes") && I + 1 < argc) {
+      int N = std::atoi(argv[++I]);
+      if (N < 0) {
+        std::fprintf(stderr, "--page-bytes wants a non-negative count\n");
+        return false;
+      }
+      F.PageBytes = static_cast<size_t>(N);
+    } else if (!std::strcmp(argv[I], "--profile") && I + 1 < argc) {
+      F.ProfilePath = argv[++I];
     } else if (argv[I][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[I]);
       return false;
@@ -131,6 +149,55 @@ bool parseFlags(int argc, char **argv, int First, Flags &F) {
     }
   }
   return true;
+}
+
+bool compileProgram(const char *Input, std::unique_ptr<ir::Module> &M,
+                    codegen::Result &CG) {
+  std::vector<uint8_t> SrcBytes;
+  if (!readFile(Input, SrcBytes)) {
+    std::fprintf(stderr, "cannot read %s\n", Input);
+    return false;
+  }
+  std::string Src(SrcBytes.begin(), SrcBytes.end());
+  minic::CompileResult CR = minic::compile(Src);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input, CR.Error.c_str());
+    return false;
+  }
+  CG = codegen::generate(*CR.M);
+  if (!CG.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Input, CG.Error.c_str());
+    return false;
+  }
+  M = std::move(CR.M);
+  return true;
+}
+
+int doProfile(const Flags &F) {
+  if (F.Positional.size() != 2)
+    return usage();
+  const char *Input = F.Positional[0], *Output = F.Positional[1];
+  std::unique_ptr<ir::Module> M;
+  codegen::Result CG;
+  if (!compileProgram(Input, M, CG))
+    return 1;
+  store::TraceRunResult R = store::recordTrace(CG.P);
+  if (!R.Run.Ok) {
+    std::fprintf(stderr, "%s: profiling run trapped: %s\n", Input,
+                 R.Run.Trap.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> Sidecar = R.Trace.serialize();
+  if (!writeFile(Output, Sidecar)) {
+    std::fprintf(stderr, "cannot write %s\n", Output);
+    return 1;
+  }
+  std::printf("%s: %zu trace event(s) over %u function(s) in %llu steps "
+              "-> %zu sidecar bytes%s\n",
+              Output, R.Trace.Events.size(), R.Trace.FuncCount,
+              (unsigned long long)R.Run.Steps, Sidecar.size(),
+              R.Trace.Truncated ? " (truncated)" : "");
+  return 0;
 }
 
 int doCompress(const Flags &F) {
@@ -145,22 +212,10 @@ int doCompress(const Flags &F) {
     return 1;
   }
 
-  std::vector<uint8_t> SrcBytes;
-  if (!readFile(Input, SrcBytes)) {
-    std::fprintf(stderr, "cannot read %s\n", Input);
+  std::unique_ptr<ir::Module> M;
+  codegen::Result CG;
+  if (!compileProgram(Input, M, CG))
     return 1;
-  }
-  std::string Src(SrcBytes.begin(), SrcBytes.end());
-  minic::CompileResult CR = minic::compile(Src);
-  if (!CR.ok()) {
-    std::fprintf(stderr, "%s: %s\n", Input, CR.Error.c_str());
-    return 1;
-  }
-  codegen::Result CG = codegen::generate(*CR.M);
-  if (!CG.ok()) {
-    std::fprintf(stderr, "%s: %s\n", Input, CG.Error.c_str());
-    return 1;
-  }
 
   if (F.Store) {
     // A servable image: the store packs the same codec frames but puts
@@ -168,6 +223,28 @@ int doCompress(const Flags &F) {
     // every FrameSource require.
     store::StoreOptions Opts;
     Opts.BuildJobs = F.Jobs;
+    Opts.PageTargetBytes = F.PageBytes;
+    pipeline::ExecutionTrace Trace;
+    if (!F.ProfilePath.empty()) {
+      std::vector<uint8_t> Sidecar;
+      if (!readFile(F.ProfilePath.c_str(), Sidecar)) {
+        std::fprintf(stderr, "cannot read %s\n", F.ProfilePath.c_str());
+        return 1;
+      }
+      Result<pipeline::ExecutionTrace> T =
+          pipeline::ExecutionTrace::tryDeserialize(Sidecar);
+      if (!T.ok()) {
+        std::fprintf(stderr, "%s: %s\n", F.ProfilePath.c_str(),
+                     T.error().message().c_str());
+        return 1;
+      }
+      Trace = T.take();
+      Opts.Profile = &Trace;
+      if (!Opts.PageTargetBytes)
+        std::fprintf(stderr,
+                     "note: --profile shapes the page layout only with "
+                     "--page-bytes; the trace still drives prefetch\n");
+    }
     std::string Err;
     std::unique_ptr<store::CodeStore> S =
         store::CodeStore::build(CG.P, F.Chain, Opts, Err);
@@ -180,17 +257,18 @@ int doCompress(const Flags &F) {
       std::fprintf(stderr, "cannot write %s\n", Output);
       return 1;
     }
-    std::printf("%s: store image, %u function frame(s) + manifest -> %zu "
-                "container bytes (chain %s, %u job(s))\n",
-                Output, S->functionCount(), Packed.size(), F.Chain.c_str(),
-                F.Jobs);
+    std::printf("%s: store image, %u function(s), %u frame(s) + manifest -> "
+                "%zu container bytes (chain %s, %u job(s)%s%s)\n",
+                Output, S->functionCount(), S->frameCount(), Packed.size(),
+                F.Chain.c_str(), F.Jobs, S->paged() ? ", paged" : "",
+                F.ProfilePath.empty() ? "" : ", profiled layout");
     if (F.Stats)
       printStats(Chain);
     return 0;
   }
 
   std::vector<std::vector<uint8_t>> Payloads =
-      makePayloads(*Chain.front(), CG.P, CR.M.get());
+      makePayloads(*Chain.front(), CG.P, M.get());
   std::vector<std::vector<uint8_t>> Frames =
       compressAll(Chain, Payloads, F.Jobs);
   std::vector<uint8_t> Packed = packContainer(F.Chain, Frames);
@@ -270,5 +348,7 @@ int main(int argc, char **argv) {
     return doCompress(F);
   if (!std::strcmp(argv[1], "decompress"))
     return doDecompress(F);
+  if (!std::strcmp(argv[1], "profile"))
+    return doProfile(F);
   return usage();
 }

@@ -114,6 +114,13 @@ struct LoadOptions {
   /// When set, each client issues one coalesced prefetch of every
   /// function before executing.
   bool PrefetchAll = false;
+  /// When set, each client runs with a PrefetchingResolver: every fault
+  /// also warms the store's predicted-next frames (coalesced by the
+  /// socket source into GetBatch round trips).
+  bool Predictive = false;
+  /// Optional recorded execution trace installed on each client's store
+  /// before running (the predicted-successor graph Predictive consults).
+  const pipeline::ExecutionTrace *Profile = nullptr;
 };
 
 struct LoadResult {
@@ -182,6 +189,8 @@ inline LoadResult runSocketClients(const LoadOptions &Opts,
         return;
       }
       store::CodeStore &Store = *St.value();
+      if (Opts.Profile)
+        Store.applyAccessProfile(*Opts.Profile);
 
       if (Opts.PrefetchAll) {
         // One coalesced wave: the socket source turns this into a
@@ -195,7 +204,13 @@ inline LoadResult runSocketClients(const LoadOptions &Opts,
         Pool.wait();
       }
 
-      vm::RunResult Run = store::runFromStore(Store);
+      vm::RunResult Run;
+      if (Opts.Predictive) {
+        ThreadPool Pool(2);
+        Run = store::runFromStorePrefetching(Store, Pool);
+      } else {
+        Run = store::runFromStore(Store);
+      }
       if (!Run.Ok)
         Failures.fetch_add(1, std::memory_order_relaxed);
       else if (Run.Output != ExpectedOutput || Run.ExitCode != ExpectedExit)

@@ -6,6 +6,7 @@
 
 #include "pipeline/Payload.h"
 
+#include "pipeline/Profile.h"
 #include "support/ByteIO.h"
 #include "support/Support.h"
 #include "vm/Encode.h"
@@ -101,20 +102,35 @@ Result<VMFunction> pipeline::tryDecodeFuncImage(ByteSpan Bytes) {
   return tryDecode([&] { return decodeFuncImageOrThrow(Bytes); });
 }
 
+namespace {
+
+/// Materializes pages from block-index page starts (ascending, first 0).
+std::vector<PageChunk> pagesFromStarts(const VMFunction &F,
+                                       const std::vector<uint32_t> &Cuts,
+                                       const std::vector<uint32_t> &Starts) {
+  std::vector<PageChunk> Pages;
+  for (size_t P = 0; P != Starts.size(); ++P) {
+    uint32_t Lo = Cuts[Starts[P]];
+    uint32_t Hi = P + 1 < Starts.size() ? Cuts[Starts[P + 1]]
+                                        : static_cast<uint32_t>(F.Code.size());
+    PageChunk C;
+    C.FirstInstr = Lo;
+    C.Code.assign(F.Code.begin() + Lo, F.Code.begin() + Hi);
+    Pages.push_back(std::move(C));
+  }
+  if (Pages.empty())
+    Pages.push_back(PageChunk{}); // An empty function still gets a page.
+  return Pages;
+}
+
+} // namespace
+
 std::vector<PageChunk> pipeline::splitFunctionPages(const VMFunction &F,
                                                     size_t TargetBytes) {
   const size_t Len = F.Code.size();
   // Block boundaries: the entry plus every label position inside the
   // body (a label at Len marks an empty trailing block; no cut needed).
-  std::vector<uint32_t> Cuts;
-  Cuts.reserve(F.LabelPos.size() + 2);
-  Cuts.push_back(0);
-  for (uint32_t L : F.LabelPos)
-    if (L < Len)
-      Cuts.push_back(L);
-  Cuts.push_back(static_cast<uint32_t>(Len));
-  std::sort(Cuts.begin(), Cuts.end());
-  Cuts.erase(std::unique(Cuts.begin(), Cuts.end()), Cuts.end());
+  std::vector<uint32_t> Cuts = vm::blockCuts(F.LabelPos, Len);
 
   std::vector<PageChunk> Pages;
   uint32_t PageStart = 0;
@@ -141,6 +157,69 @@ std::vector<PageChunk> pipeline::splitFunctionPages(const VMFunction &F,
   if (Pages.empty())
     Pages.push_back(PageChunk{}); // An empty function still gets a page.
   return Pages;
+}
+
+std::vector<PageChunk> pipeline::splitFunctionPages(const VMFunction &F,
+                                                    size_t TargetBytes,
+                                                    const FunctionProfile *Profile) {
+  const size_t Len = F.Code.size();
+  std::vector<uint32_t> Cuts = vm::blockCuts(F.LabelPos, Len);
+  const size_t N = Len ? Cuts.size() - 1 : 0; // Block count.
+  // The profile is advisory: anything unusable (no profile, no byte
+  // budget to trade against, a shape recorded against a different build,
+  // or an all-cold function) falls back to the greedy packer so the
+  // layout is bit-identical to the unprofiled build.
+  bool Usable = Profile && TargetBytes && N && Profile->BlockHeat.size() == N &&
+                Profile->EdgeAffinity.size() == (N > 1 ? N - 1 : 0) &&
+                Profile->hot();
+  if (!Usable)
+    return splitFunctionPages(F, TargetBytes);
+
+  std::vector<uint64_t> BlockBytes(N, 0);
+  for (size_t B = 0; B != N; ++B)
+    for (uint32_t I = Cuts[B]; I != Cuts[B + 1]; ++I)
+      BlockBytes[B] += vm::encodedSize(F.Code[I]);
+
+  // Minimum-cost partition of the block sequence into runs of at most
+  // TargetBytes (a single oversized block is still a legal run). Costs,
+  // all in byte units with W = TargetBytes as the fault weight: a page
+  // holding any hot block is decoded whenever the function runs, so it
+  // costs its bytes plus one fault W; an all-cold page is never decoded
+  // and costs nothing; a cut between blocks with observed transfer
+  // affinity a costs a*W (each crossing is a potential fault). O(n^2)
+  // worst case, but the inner loop stops at the byte budget.
+  const uint64_t W = TargetBytes;
+  const std::vector<uint64_t> &Heat = Profile->BlockHeat;
+  const std::vector<uint64_t> &Aff = Profile->EdgeAffinity;
+  constexpr uint64_t Inf = ~0ull;
+  std::vector<uint64_t> Cost(N + 1, Inf);
+  std::vector<uint32_t> Choice(N + 1, 0);
+  Cost[0] = 0;
+  for (size_t J = 1; J <= N; ++J) {
+    uint64_t Bytes = 0;
+    bool Hot = false;
+    for (size_t I = J; I-- > 0;) { // Page = blocks [I, J).
+      Bytes += BlockBytes[I];
+      Hot = Hot || Heat[I] != 0;
+      if (Bytes > TargetBytes && I + 1 != J)
+        break; // Over budget and not a lone oversized block.
+      if (Cost[I] == Inf)
+        continue;
+      uint64_t C = Cost[I] + (Hot ? Bytes + W : 0) + (I ? Aff[I - 1] * W : 0);
+      // <= so equal-cost ties take the longer page: cold runs pack to
+      // the budget instead of fragmenting into per-block pages.
+      if (C <= Cost[J]) {
+        Cost[J] = C;
+        Choice[J] = static_cast<uint32_t>(I);
+      }
+    }
+  }
+
+  std::vector<uint32_t> Starts;
+  for (uint32_t J = static_cast<uint32_t>(N); J > 0; J = Choice[J])
+    Starts.push_back(Choice[J]);
+  std::reverse(Starts.begin(), Starts.end());
+  return pagesFromStarts(F, Cuts, Starts);
 }
 
 std::vector<uint8_t>

@@ -72,6 +72,25 @@ struct PageChunk {
 std::vector<PageChunk> splitFunctionPages(const vm::VMFunction &F,
                                           size_t TargetBytes);
 
+struct FunctionProfile;
+
+/// Profile-guided variant. With a usable \p Profile (block/edge shapes
+/// matching F, some nonzero heat, and a nonzero target) the cut points
+/// are chosen by a dynamic program that clusters co-hot blocks onto
+/// shared pages: a page containing any hot block costs its decoded
+/// bytes plus one fault, a cut between source-order neighbours costs
+/// their observed transfer affinity, and cold blocks are free — so hot
+/// chains stay whole while cold arms split off. Every page is still a
+/// run of adjacent blocks under the same TargetBytes budget (one
+/// oversized block may form its own page), so the result is a valid
+/// source-order partition: the manifest page table, the rank-rewritten
+/// branch-target encoding, and the span-based interpreter need no
+/// changes. With a null/unusable profile this is bit-identical to the
+/// greedy overload.
+std::vector<PageChunk> splitFunctionPages(const vm::VMFunction &F,
+                                          size_t TargetBytes,
+                                          const FunctionProfile *Profile);
+
 /// Encodes one page's instructions as the payload kind \p K expects:
 /// fixed-width code for Raw/FixedCode chains, a self-contained function
 /// image for FuncImage chains. Image payloads rewrite each branch target

@@ -1,0 +1,104 @@
+//===- pipeline/Profile.cpp - Execution traces and layout profiles --------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Profile.h"
+
+#include "support/ByteIO.h"
+#include "vm/Program.h"
+
+#include <algorithm>
+
+using namespace ccomp;
+using namespace ccomp::pipeline;
+
+namespace {
+constexpr uint32_t ProfileMagic = 0x46504343; // "CCPF".
+constexpr uint8_t ProfileVersion = 1;
+constexpr uint8_t FlagTruncated = 1;
+} // namespace
+
+std::vector<uint8_t> ExecutionTrace::serialize() const {
+  ByteWriter W;
+  W.writeU32(ProfileMagic);
+  W.writeU8(ProfileVersion);
+  W.writeU8(Truncated ? FlagTruncated : 0);
+  W.writeVarU(FuncCount);
+  W.writeVarU(Events.size());
+  for (const TraceEvent &E : Events) {
+    W.writeVarU(E.Fn);
+    W.writeVarU(E.Idx);
+  }
+  return W.take();
+}
+
+Result<ExecutionTrace> ExecutionTrace::tryDeserialize(ByteSpan Bytes) {
+  return tryDecode([&] {
+    ByteReader R(Bytes);
+    if (R.readU32() != ProfileMagic)
+      decodeFail("profile: bad magic");
+    if (R.readU8() != ProfileVersion)
+      decodeFail("profile: unsupported version");
+    uint8_t Flags = R.readU8();
+    if (Flags & ~FlagTruncated)
+      decodeFail("profile: unknown flag bits");
+    ExecutionTrace T;
+    T.Truncated = Flags & FlagTruncated;
+    T.FuncCount = static_cast<uint32_t>(R.readVarU());
+    size_t N = R.readVarU();
+    if (N > Bytes.size()) // Each event takes at least 2 bytes.
+      decodeFail("profile: inflated event count");
+    T.Events.reserve(N);
+    for (size_t I = 0; I != N; ++I) {
+      TraceEvent E;
+      uint64_t Fn = R.readVarU();
+      uint64_t Idx = R.readVarU();
+      if (Fn >= T.FuncCount)
+        decodeFail("profile: event function out of range");
+      if (Idx >= MaxTraceInstrIdx)
+        decodeFail("profile: block index out of range");
+      E.Fn = static_cast<uint32_t>(Fn);
+      E.Idx = static_cast<uint32_t>(Idx);
+      T.Events.push_back(E);
+    }
+    if (!R.atEnd())
+      decodeFail("profile: trailing bytes");
+    return T;
+  });
+}
+
+std::vector<FunctionProfile>
+pipeline::digestTrace(const ExecutionTrace &T,
+                      const std::vector<FunctionShape> &Shapes) {
+  std::vector<FunctionProfile> Out(Shapes.size());
+  std::vector<std::vector<uint32_t>> Cuts(Shapes.size());
+  for (size_t F = 0; F != Shapes.size(); ++F) {
+    Cuts[F] = vm::blockCuts(Shapes[F].LabelPos, Shapes[F].CodeLen);
+    size_t Blocks = Shapes[F].CodeLen ? Cuts[F].size() - 1 : 0;
+    Out[F].BlockHeat.assign(Blocks, 0);
+    Out[F].EdgeAffinity.assign(Blocks > 1 ? Blocks - 1 : 0, 0);
+  }
+
+  uint32_t PrevFn = ~0u;
+  uint32_t PrevBlock = 0;
+  for (const TraceEvent &E : T.Events) {
+    if (E.Fn >= Shapes.size() || E.Idx >= Shapes[E.Fn].CodeLen) {
+      PrevFn = ~0u; // Advisory data: skip, and break the adjacency chain.
+      continue;
+    }
+    const std::vector<uint32_t> &C = Cuts[E.Fn];
+    auto It = std::upper_bound(C.begin(), C.end(), E.Idx);
+    uint32_t Block = static_cast<uint32_t>(It - C.begin()) - 1;
+    Out[E.Fn].BlockHeat[Block]++;
+    if (E.Fn == PrevFn && Block != PrevBlock) {
+      uint32_t Lo = std::min(Block, PrevBlock), Hi = std::max(Block, PrevBlock);
+      if (Hi - Lo == 1)
+        Out[E.Fn].EdgeAffinity[Lo]++;
+    }
+    PrevFn = E.Fn;
+    PrevBlock = Block;
+  }
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- pipeline/Profile.h - Execution traces and layout profiles -*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile side of profile-guided page layout (Ozturk et al.,
+/// "Access Pattern-Based Code Compression"): a compact execution trace
+/// recorded from a block-granular profiling run, its sidecar
+/// serialization (CCPF), and the digest that turns a trace into
+/// per-function block heat + adjacency affinity for the page packer.
+///
+/// A trace is a sequence of (function, instruction-index) span-resolve
+/// events — the entries the VM's FunctionResolver saw. Instruction
+/// indices are layout-independent (they name positions in the decoded
+/// body, not pages), so a trace recorded once stays valid for any page
+/// target and any repack of the same program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_PIPELINE_PROFILE_H
+#define CCOMP_PIPELINE_PROFILE_H
+
+#include "support/Error.h"
+#include "support/Span.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccomp {
+namespace pipeline {
+
+/// One observed control transfer: the resolver was asked for the span
+/// holding instruction \p Idx of function \p Fn.
+struct TraceEvent {
+  uint32_t Fn = 0;
+  uint32_t Idx = 0;
+};
+
+inline bool operator==(const TraceEvent &A, const TraceEvent &B) {
+  return A.Fn == B.Fn && A.Idx == B.Idx;
+}
+
+/// Hard cap on the instruction index a serialized trace may carry; a
+/// value at or above this is a corrupt sidecar, not a real function.
+constexpr uint32_t MaxTraceInstrIdx = 1u << 20;
+
+/// A recorded profiling run, serializable to the CCPF sidecar format:
+///
+///   u32 magic "CCPF" | u8 version (1) | u8 flags (bit0 = truncated) |
+///   varU function-count | varU event-count |
+///   event-count x (varU fn | varU idx)
+///
+/// The decoder rejects, typed and recoverable: bad magic/version,
+/// unknown flag bits, event counts larger than the byte budget could
+/// hold (reserve bomb), fn >= function-count, idx >= MaxTraceInstrIdx,
+/// truncated event streams, and trailing bytes.
+struct ExecutionTrace {
+  std::vector<TraceEvent> Events;
+  /// Function-index space the events were recorded against (validates
+  /// Fn on deserialize; recordTrace sets it to the program's count).
+  uint32_t FuncCount = 0;
+  /// Set when the recorder hit its event cap and dropped the tail.
+  bool Truncated = false;
+
+  std::vector<uint8_t> serialize() const;
+  static Result<ExecutionTrace> tryDeserialize(ByteSpan Bytes);
+};
+
+/// The shape a profile is digested against: one entry per function, in
+/// function-index order. Only cut points matter, so label order and
+/// duplicates are irrelevant (vm::blockCuts canonicalizes).
+struct FunctionShape {
+  std::vector<uint32_t> LabelPos;
+  uint32_t CodeLen = 0;
+};
+
+/// Per-function layout signal for the affinity-aware packer, indexed by
+/// basic block (vm::blockCuts order).
+struct FunctionProfile {
+  /// BlockHeat[i]: how often control entered block i (= the faults block
+  /// i would take if it always lived on a cold page).
+  std::vector<uint64_t> BlockHeat;
+  /// EdgeAffinity[i]: observed transfers between source-order neighbours
+  /// block i and block i+1 (either direction) — what a page cut between
+  /// them would cost. Size is BlockHeat.size() - 1 (empty when <= 1).
+  std::vector<uint64_t> EdgeAffinity;
+
+  bool hot() const {
+    for (uint64_t H : BlockHeat)
+      if (H)
+        return true;
+    return false;
+  }
+};
+
+/// Digests \p T into per-function profiles for \p Shapes. Events whose
+/// function or instruction index falls outside the shapes are skipped:
+/// a profile is advisory data and never fails a build. Consecutive
+/// events within the same function feed edge affinity; transfers across
+/// functions only feed heat.
+std::vector<FunctionProfile> digestTrace(const ExecutionTrace &T,
+                                         const std::vector<FunctionShape> &Shapes);
+
+} // namespace pipeline
+} // namespace ccomp
+
+#endif // CCOMP_PIPELINE_PROFILE_H

@@ -8,12 +8,14 @@
 
 #include "pipeline/Payload.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/Profile.h"
 #include "support/ByteIO.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 #include "vm/Encode.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace ccomp;
 using namespace ccomp::store;
@@ -154,8 +156,22 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
       S->Funcs.push_back(std::move(Rec));
     }
   } else {
+    // Digest the access profile (when given) into per-function layout
+    // signals. Shapes come from the original functions: image
+    // canonicalization only sorts/dedups the label table, and blockCuts
+    // canonicalizes the same way, so block identity is unchanged.
+    std::vector<pipeline::FunctionProfile> Profiles;
+    if (Opts.Profile && !Opts.Profile->Events.empty()) {
+      std::vector<pipeline::FunctionShape> Shapes;
+      Shapes.reserve(P.Functions.size());
+      for (const vm::VMFunction &F : P.Functions)
+        Shapes.push_back(pipeline::FunctionShape{
+            F.LabelPos, static_cast<uint32_t>(F.Code.size())});
+      Profiles = pipeline::digestTrace(*Opts.Profile, Shapes);
+    }
     S->Funcs.reserve(P.Functions.size());
-    for (const vm::VMFunction &F : P.Functions) {
+    for (size_t FnIdx = 0; FnIdx != P.Functions.size(); ++FnIdx) {
+      const vm::VMFunction &F = P.Functions[FnIdx];
       const vm::VMFunction *Use = &F;
       vm::VMFunction Canon;
       if (S->Kind == PayloadKind::FuncImage) {
@@ -179,8 +195,9 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
       Rec.LabelPos = Use->LabelPos;
       Rec.CodeLen = static_cast<uint32_t>(Use->Code.size());
       Rec.FirstPage = S->TotalPages;
-      std::vector<pipeline::PageChunk> Chunks =
-          pipeline::splitFunctionPages(*Use, Opts.PageTargetBytes);
+      std::vector<pipeline::PageChunk> Chunks = pipeline::splitFunctionPages(
+          *Use, Opts.PageTargetBytes,
+          Profiles.empty() ? nullptr : &Profiles[FnIdx]);
       for (pipeline::PageChunk &C : Chunks) {
         PageRec PR;
         PR.FirstInstr = C.FirstInstr;
@@ -209,6 +226,12 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
     Error = Init.error().message();
     return nullptr;
   }
+  S->initStaticSuccessors(&P);
+  if (Opts.Profile && !Opts.Profile->Events.empty())
+    S->applyAccessProfile(*Opts.Profile);
+  // The profile was consumed above; the stored options must not dangle
+  // on a caller-owned trace.
+  S->Opts.Profile = nullptr;
   return S;
 }
 
@@ -470,6 +493,10 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
     Result<bool> Init = S->initRuntime(Opts);
     if (!Init.ok())
       decodeFail(Init.error().message());
+    // No code to scan for call edges at load time: the static graph is
+    // next-page fall-through only (a caller may applyAccessProfile a
+    // recorded trace for the full picture).
+    S->initStaticSuccessors(nullptr);
     // Charge the manifest's transport cost to this tenant so stats()
     // shows the whole session's fetch bill.
     S->Cnt.FetchAttempts.fetch_add(MM.Attempts, std::memory_order_relaxed);
@@ -665,18 +692,7 @@ Result<vm::CodeSpan> CodeStore::faultSpan(uint32_t Fn, uint32_t Idx) {
     return S;
   }
   const FuncRecord &Rec = Funcs[Fn];
-  // Clamp an out-of-range Idx to the last page: the interpreter checks
-  // the Pc against the function length itself and traps with the
-  // function's name.
-  uint32_t I = Idx;
-  if (Rec.CodeLen == 0)
-    I = 0;
-  else if (I >= Rec.CodeLen)
-    I = Rec.CodeLen - 1;
-  auto It = std::upper_bound(
-      Rec.Pages.begin(), Rec.Pages.end(), I,
-      [](uint32_t V, const PageRec &P) { return V < P.FirstInstr; });
-  uint32_t K = static_cast<uint32_t>(It - Rec.Pages.begin()) - 1;
+  uint32_t K = pageIndexOf(Rec, Idx);
   FaultOutcome R = faultImpl(Rec.FirstPage + K, /*Pin=*/false,
                              /*Prefetch=*/false);
   if (!R.ok())
@@ -726,12 +742,31 @@ void CodeStore::unpin(uint32_t Id) {
     unpinEntry(Rec.FirstPage + K);
 }
 
-void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
+void CodeStore::warmFrames(const std::vector<uint32_t> &Frames,
+                           ThreadPool &Pool) {
   // One advisory hint up front, naming every frame this wave will
   // fault, so a transport with per-request overhead (a socket) can
   // coalesce the whole wave into a single round trip and stage the
   // bytes; the pool jobs below then fetch from the staging area. For
-  // local/file/simulated sources this is a no-op.
+  // local/file/simulated sources this is a no-op. Hint and warms cover
+  // the *same* set — hinting what will not be warmed would fetch bytes
+  // nobody admits, and warming what was not hinted would break the
+  // transport's one-round-trip coalescing.
+  if (Frames.empty())
+    return;
+  Source->prefetchHint(Frames);
+  for (uint32_t Id : Frames)
+    Pool.submit([this, Id] {
+      try {
+        (void)faultImpl(Id, /*Pin=*/false, /*Prefetch=*/true);
+      } catch (...) {
+        // Pool jobs must not throw; failures are already counted in
+        // DecodeErrors by the fault path.
+      }
+    });
+}
+
+void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
   std::vector<uint32_t> Want;
   for (uint32_t Id : Ids) {
     if (Id >= Funcs.size())
@@ -746,27 +781,174 @@ void CodeStore::prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool) {
       if (!entryResident(Rec.FirstPage + K))
         Want.push_back(Rec.FirstPage + K);
   }
-  if (!Want.empty())
-    Source->prefetchHint(Want);
+  warmFrames(clampToAdmission(std::move(Want)), Pool);
+}
 
-  for (uint32_t Id : Ids)
-    Pool.submit([this, Id] {
-      try {
-        if (Id >= Funcs.size())
-          return;
-        if (!Paged) {
-          (void)faultImpl(Id, /*Pin=*/false, /*Prefetch=*/true);
-          return;
-        }
-        const FuncRecord &Rec = Funcs[Id];
-        for (uint32_t K = 0; K != Rec.Pages.size(); ++K)
-          (void)faultImpl(Rec.FirstPage + K, /*Pin=*/false,
-                          /*Prefetch=*/true);
-      } catch (...) {
-        // Pool jobs must not throw; failures are already counted in
-        // DecodeErrors by the fault path.
-      }
-    });
+uint32_t CodeStore::pageIndexOf(const FuncRecord &Rec, uint32_t Idx) {
+  // Clamp an out-of-range Idx to the last page: the interpreter checks
+  // the Pc against the function length itself and traps with the
+  // function's name.
+  uint32_t I = Idx;
+  if (Rec.CodeLen == 0)
+    I = 0;
+  else if (I >= Rec.CodeLen)
+    I = Rec.CodeLen - 1;
+  auto It = std::upper_bound(
+      Rec.Pages.begin(), Rec.Pages.end(), I,
+      [](uint32_t V, const PageRec &P) { return V < P.FirstInstr; });
+  return static_cast<uint32_t>(It - Rec.Pages.begin()) - 1;
+}
+
+uint32_t CodeStore::frameOf(uint32_t Fn, uint32_t Idx) const {
+  if (!Paged)
+    return Fn;
+  const FuncRecord &Rec = Funcs[Fn];
+  return Rec.FirstPage + pageIndexOf(Rec, Idx);
+}
+
+size_t CodeStore::estimatedDecodedCost(uint32_t FrameId) const {
+  if (Paged) {
+    // Exact: a decoded page body is bare code (decodeFrame leaves
+    // Name/LabelPos empty; the function-level tables live in Funcs).
+    const FuncRecord &Rec = Funcs[FrameFunc[FrameId]];
+    const PageRec &PR = Rec.Pages[FrameId - Rec.FirstPage];
+    return sizeof(vm::VMFunction) + size_t(PR.InstrCount) * sizeof(vm::Instr);
+  }
+  // Floor: the manifest records no code length for unpaged frames.
+  const FuncRecord &Rec = Funcs[FrameId];
+  return sizeof(vm::VMFunction) + Rec.Name.size() +
+         Rec.LabelPos.size() * sizeof(uint32_t);
+}
+
+std::vector<uint32_t>
+CodeStore::clampToAdmission(std::vector<uint32_t> Frames) const {
+  const size_t Budget = cacheBudgetBytes();
+  size_t Cost = 0, Keep = 0;
+  for (uint32_t Id : Frames) {
+    Cost += estimatedDecodedCost(Id);
+    // The first frame always passes: the most-recently-faulted entry is
+    // never evicted, so admission accepts at least one frame whatever
+    // the budget.
+    if (Keep && Cost > Budget)
+      break;
+    ++Keep;
+  }
+  Frames.resize(Keep);
+  return Frames;
+}
+
+void CodeStore::initStaticSuccessors(const vm::VMProgram *P) {
+  auto G = std::make_shared<SuccessorGraph>();
+  G->Next.resize(frameCount());
+  auto AddEdge = [&](uint32_t From, uint32_t To) {
+    std::vector<uint32_t> &N = G->Next[From];
+    if (std::find(N.begin(), N.end(), To) == N.end())
+      N.push_back(To);
+  };
+  for (uint32_t Fn = 0; Fn != Funcs.size(); ++Fn) {
+    const FuncRecord &Rec = Funcs[Fn];
+    if (Paged)
+      // Fall-through: after page K the likely next fault is page K+1.
+      for (uint32_t K = 0; K + 1 < Rec.Pages.size(); ++K)
+        AddEdge(Rec.FirstPage + K, Rec.FirstPage + K + 1);
+    if (!P)
+      continue;
+    // Call edges from the code we are packing: the frame holding a CALL
+    // predicts the callee's entry frame.
+    const vm::VMFunction &F = P->Functions[Fn];
+    for (uint32_t I = 0; I != F.Code.size(); ++I) {
+      const vm::Instr &In = F.Code[I];
+      if (In.Op != vm::VMOp::CALL || In.Target >= Funcs.size())
+        continue;
+      uint32_t From = Paged ? Rec.FirstPage + pageIndexOf(Rec, I) : Fn;
+      uint32_t To = Paged ? Funcs[In.Target].FirstPage : In.Target;
+      if (From != To)
+        AddEdge(From, To);
+    }
+  }
+  std::lock_guard<std::mutex> L(SuccMu);
+  Succ = std::move(G);
+}
+
+void CodeStore::applyAccessProfile(const pipeline::ExecutionTrace &T) {
+  // Count observed frame->frame transfers through this store's own page
+  // tables; the trace speaks (function, instruction) so it is valid for
+  // any layout of the same program.
+  std::unordered_map<uint64_t, uint64_t> Edges;
+  uint32_t Prev = ~0u;
+  bool HavePrev = false;
+  for (const pipeline::TraceEvent &E : T.Events) {
+    if (E.Fn >= Funcs.size()) {
+      HavePrev = false; // Advisory data: skip and break the chain.
+      continue;
+    }
+    uint32_t Frame = frameOf(E.Fn, E.Idx);
+    if (HavePrev && Frame != Prev)
+      Edges[(uint64_t(Prev) << 32) | Frame]++;
+    Prev = Frame;
+    HavePrev = true;
+  }
+
+  auto G = std::make_shared<SuccessorGraph>();
+  G->FromTrace = true;
+  G->Next.resize(frameCount());
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> Ranked(frameCount());
+  for (const auto &KV : Edges)
+    Ranked[KV.first >> 32].push_back(
+        {KV.second, static_cast<uint32_t>(KV.first)});
+  constexpr size_t MaxStored = 8;
+  for (uint32_t F = 0; F != Ranked.size(); ++F) {
+    std::sort(Ranked[F].begin(), Ranked[F].end(),
+              [](const std::pair<uint64_t, uint32_t> &A,
+                 const std::pair<uint64_t, uint32_t> &B) {
+                // Hotter first; ties by lower frame id for determinism.
+                return A.first != B.first ? A.first > B.first
+                                          : A.second < B.second;
+              });
+    if (Ranked[F].size() > MaxStored)
+      Ranked[F].resize(MaxStored);
+    for (const auto &E : Ranked[F])
+      G->Next[F].push_back(E.second);
+  }
+  std::lock_guard<std::mutex> L(SuccMu);
+  Succ = std::move(G);
+}
+
+bool CodeStore::hasAccessProfile() const {
+  std::lock_guard<std::mutex> L(SuccMu);
+  return Succ && Succ->FromTrace;
+}
+
+std::vector<uint32_t> CodeStore::predictedSuccessors(uint32_t Frame,
+                                                     unsigned Max) const {
+  std::shared_ptr<const SuccessorGraph> G;
+  {
+    std::lock_guard<std::mutex> L(SuccMu);
+    G = Succ;
+  }
+  if (!G || Frame >= G->Next.size())
+    return {};
+  const std::vector<uint32_t> &N = G->Next[Frame];
+  return std::vector<uint32_t>(N.begin(),
+                               N.begin() + std::min<size_t>(Max, N.size()));
+}
+
+void CodeStore::prefetchPredicted(uint32_t Fn, uint32_t Idx,
+                                  ThreadPool &Pool) {
+  if (Fn >= Funcs.size())
+    return;
+  // Walk the whole ranked list and keep the first DefaultPredictions
+  // frames that are NOT already resident: as earlier predictions land,
+  // later faults advance down the list instead of re-predicting them.
+  std::vector<uint32_t> Want;
+  for (uint32_t Id : predictedSuccessors(frameOf(Fn, Idx), ~0u)) {
+    if (entryResident(Id))
+      continue;
+    Want.push_back(Id);
+    if (Want.size() == DefaultPredictions)
+      break;
+  }
+  warmFrames(clampToAdmission(std::move(Want)), Pool);
 }
 
 bool CodeStore::entryResident(uint32_t Id) const {

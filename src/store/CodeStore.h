@@ -104,6 +104,10 @@ namespace ccomp {
 
 class ThreadPool;
 
+namespace pipeline {
+struct ExecutionTrace;
+} // namespace pipeline
+
 namespace store {
 
 /// Store construction knobs.
@@ -128,6 +132,14 @@ struct StoreOptions {
   /// How frame fetches behave on a flaky source (ignored by sources that
   /// cannot fail transiently).
   RetryPolicy Retry;
+  /// build() only: an execution trace recorded by store::recordTrace.
+  /// With PageTargetBytes set, splitFunctionPages packs co-hot blocks
+  /// onto shared pages instead of splitting in source order, and the
+  /// trace seeds the predictive-prefetch successor graph
+  /// (applyAccessProfile). The chosen layout rides in the ordinary
+  /// manifest page table, so load paths neither see nor trust the
+  /// profile. Read only during build(); need not outlive it.
+  const pipeline::ExecutionTrace *Profile = nullptr;
   /// The multi-tenant seam: when set, this store becomes a tenant view
   /// over the given process-wide registry instead of constructing a
   /// private one. Joining requires a trustworthy content hash (see the
@@ -298,8 +310,59 @@ public:
   /// Warms \p Ids (function ids; all their pages when paged) through
   /// \p Pool; call Pool.wait() to block until done. Prefetch warms are
   /// accounted as PrefetchDecodes, never as demand Hits/Misses. Decode
-  /// failures are absorbed into the DecodeErrors counter.
+  /// failures are absorbed into the DecodeErrors counter. The wave is
+  /// clamped to what cache admission would accept (clampToAdmission):
+  /// frames past the decode budget are neither hinted to the source nor
+  /// warmed, so a tiny budget cannot be tricked into fetching bytes it
+  /// must immediately evict.
   void prefetch(const std::vector<uint32_t> &Ids, ThreadPool &Pool);
+
+  /// The frame serving instruction \p Idx of function \p Fn: the page
+  /// holding it when paged (out-of-range \p Idx clamps like faultSpan),
+  /// the function frame otherwise.
+  uint32_t frameOf(uint32_t Fn, uint32_t Idx) const;
+
+  /// Digests \p T into the predictive successor graph: consecutive
+  /// trace events become frame->frame transfer counts, and each frame
+  /// keeps its most-frequent successors (ties broken by lower frame id,
+  /// so the graph is deterministic). Replaces the static graph build()
+  /// derived from the call/fall-through structure. Not synchronized
+  /// against in-flight prefetchPredicted calls — install profiles
+  /// before serving, like the rest of construction.
+  void applyAccessProfile(const pipeline::ExecutionTrace &T);
+  /// True when applyAccessProfile installed a recorded graph (build()
+  /// applies StoreOptions::Profile automatically).
+  bool hasAccessProfile() const;
+
+  /// How many non-resident predicted frames one fault warms.
+  static constexpr unsigned DefaultPredictions = 4;
+
+  /// Most-likely next frames after \p Frame, best first: the recorded
+  /// successor graph when a profile was applied, else the static graph
+  /// (the function's next page plus the first pages of called
+  /// functions; loaded stores lack code to scan, so only next-page
+  /// edges). Empty when nothing is known.
+  std::vector<uint32_t> predictedSuccessors(
+      uint32_t Frame, unsigned Max = DefaultPredictions) const;
+
+  /// Targeted prefetch: warms the predicted successors of the frame
+  /// serving (\p Fn, \p Idx) — one admission-clamped prefetchHint batch
+  /// plus pool warms — instead of warming everything. No-op when
+  /// nothing is predicted or everything predicted is resident.
+  void prefetchPredicted(uint32_t Fn, uint32_t Idx, ThreadPool &Pool);
+
+  /// Decoded-bytes estimate for one frame before decoding it: exact for
+  /// pages (the manifest carries the instruction count and page bodies
+  /// have no name/label table), a floor for whole-function frames (the
+  /// manifest does not record unpaged code length). Admission clamping
+  /// is advisory either way.
+  size_t estimatedDecodedCost(uint32_t FrameId) const;
+
+  /// Longest prefix of \p Frames whose summed estimated decoded cost
+  /// fits the cache budget — what admission would accept. Never drops
+  /// the first frame: the most-recently-faulted entry is never evicted,
+  /// so one frame is always admissible.
+  std::vector<uint32_t> clampToAdmission(std::vector<uint32_t> Frames) const;
 
   /// True if \p Id (every page of it, when paged) is decoded and
   /// resident right now (no LRU effect).
@@ -355,6 +418,12 @@ private:
   void unpinEntry(uint32_t Id);
   bool entryResident(uint32_t Id) const;
   FrameKey keyOf(uint32_t Id) const { return FrameKey{Hash, Id}; }
+  /// The no-trace fallback graph: next-page edges, plus call edges from
+  /// \p P's code when building (null when loading a container).
+  void initStaticSuccessors(const vm::VMProgram *P);
+  /// Hints \p Frames to the source and warms each through \p Pool; the
+  /// caller has already filtered residency and clamped to admission.
+  void warmFrames(const std::vector<uint32_t> &Frames, ThreadPool &Pool);
 
   /// One page's manifest entry: which slice of the function it holds,
   /// and (FuncImage chains only) the rank -> function-label-index list
@@ -377,6 +446,9 @@ private:
     uint32_t FirstPage = 0; ///< Frame id of this function's first page.
     std::vector<PageRec> Pages;
   };
+
+  /// Page index of instruction \p Idx within \p Rec (clamping).
+  static uint32_t pageIndexOf(const FuncRecord &Rec, uint32_t Idx);
 
   /// This tenant's traffic counters. Relaxed atomics: each counter is
   /// independently monotonic, and stats() takes an approximate-but-
@@ -411,6 +483,16 @@ private:
   bool PrivateReg = true;
   std::shared_ptr<ModuleHeat> Heat; ///< Shared across tenants of the module.
   mutable TenantCounters Cnt;
+
+  /// Predicted-next frames, best first, indexed by frame id. Swapped
+  /// wholesale under SuccMu (readers snapshot the shared_ptr), built by
+  /// initStaticSuccessors or replaced by applyAccessProfile.
+  struct SuccessorGraph {
+    std::vector<std::vector<uint32_t>> Next;
+    bool FromTrace = false;
+  };
+  mutable std::mutex SuccMu;
+  std::shared_ptr<const SuccessorGraph> Succ;
 
   /// Per-tenant pin bookkeeping: which frames this store pinned, and at
   /// which registry entry generation. Guarded by PinMu, which is held

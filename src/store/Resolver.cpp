@@ -6,6 +6,8 @@
 
 #include "store/Resolver.h"
 
+#include "support/ThreadPool.h"
+
 using namespace ccomp;
 using namespace ccomp::store;
 
@@ -35,4 +37,14 @@ vm::RunResult store::runFromStore(CodeStore &S, vm::RunOptions Opts) {
   Opts.Resolver = &Rv;
   vm::Machine M(S.skeleton(), Opts);
   return M.run();
+}
+
+vm::RunResult store::runFromStorePrefetching(CodeStore &S, ThreadPool &Pool,
+                                             vm::RunOptions Opts) {
+  PrefetchingResolver Rv(S, Pool);
+  Opts.Resolver = &Rv;
+  vm::Machine M(S.skeleton(), Opts);
+  vm::RunResult R = M.run();
+  Pool.wait(); // Outstanding warms reference the store; drain them here.
+  return R;
 }

@@ -53,10 +53,38 @@ protected:
   CodeStore &Store;
 };
 
+/// Trace-driven prefetch on the fault path: after each successful span
+/// resolve, asks the store to warm the predicted successors of the
+/// faulted frame (recorded successor graph when a profile was applied,
+/// static call/fall-through graph otherwise) through \p Pool. Warms are
+/// asynchronous — call Pool.wait() (or destroy the pool) before tearing
+/// down the store.
+class PrefetchingResolver : public StoreBackedResolver {
+public:
+  PrefetchingResolver(CodeStore &S, ThreadPool &Pool)
+      : StoreBackedResolver(S), Pool(Pool) {}
+
+  bool resolveSpan(uint32_t Fn, uint32_t Idx, vm::CodeSpan &Out,
+                   std::string &Err) override {
+    if (!StoreBackedResolver::resolveSpan(Fn, Idx, Out, Err))
+      return false;
+    Store.prefetchPredicted(Fn, Idx, Pool);
+    return true;
+  }
+
+private:
+  ThreadPool &Pool;
+};
+
 /// Convenience: interpret the store's program end-to-end, decoding
 /// functions on fault. Opts.Resolver is overwritten.
 vm::RunResult runFromStore(CodeStore &S,
                            vm::RunOptions Opts = vm::RunOptions());
+
+/// runFromStore with predictive prefetch: every fault also warms the
+/// store's predicted-next frames through \p Pool.
+vm::RunResult runFromStorePrefetching(CodeStore &S, ThreadPool &Pool,
+                                      vm::RunOptions Opts = vm::RunOptions());
 
 } // namespace store
 } // namespace ccomp

@@ -1,0 +1,21 @@
+//===- store/Trace.cpp - Execution-trace recording run mode ---------------===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Trace.h"
+
+using namespace ccomp;
+using namespace ccomp::store;
+
+TraceRunResult store::recordTrace(const vm::VMProgram &P, vm::RunOptions Opts,
+                                  size_t MaxEvents) {
+  TraceRunResult R;
+  vm::ProgramSpanResolver Spans(P);
+  TracingResolver Recorder(Spans, R.Trace, MaxEvents);
+  Opts.Resolver = &Recorder;
+  vm::Machine M(P, Opts);
+  R.Run = M.run();
+  return R;
+}

@@ -6,6 +6,7 @@
 
 #include "vm/Program.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace ccomp;
@@ -23,6 +24,21 @@ FuncMeta vm::deriveMeta(const VMFunction &F) {
     ++I;
   }
   return Meta;
+}
+
+std::vector<uint32_t> vm::blockCuts(const std::vector<uint32_t> &LabelPos,
+                                    size_t Len) {
+  // A label at Len marks an empty trailing block; no cut needed.
+  std::vector<uint32_t> Cuts;
+  Cuts.reserve(LabelPos.size() + 2);
+  Cuts.push_back(0);
+  for (uint32_t L : LabelPos)
+    if (L < Len)
+      Cuts.push_back(L);
+  Cuts.push_back(static_cast<uint32_t>(Len));
+  std::sort(Cuts.begin(), Cuts.end());
+  Cuts.erase(std::unique(Cuts.begin(), Cuts.end()), Cuts.end());
+  return Cuts;
 }
 
 uint64_t vm::countInstrs(const VMProgram &P) {

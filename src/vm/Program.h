@@ -79,6 +79,14 @@ struct VMProgram {
 /// (ENTER followed by SPILLs).
 FuncMeta deriveMeta(const VMFunction &F);
 
+/// Basic-block cut points of a function body with label table
+/// \p LabelPos and \p Len instructions: {0} ∪ {labels < Len} ∪ {Len},
+/// sorted and deduplicated. Cuts[i]..Cuts[i+1] is block i; every page
+/// split and block-granular span in the project derives from this one
+/// definition so layouts and traces agree on block identity.
+std::vector<uint32_t> blockCuts(const std::vector<uint32_t> &LabelPos,
+                                size_t Len);
+
 /// Total instruction count of a program.
 uint64_t countInstrs(const VMProgram &P);
 

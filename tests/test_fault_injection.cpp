@@ -21,8 +21,10 @@
 #include "brisc/Brisc.h"
 #include "flate/Flate.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/Profile.h"
 #include "store/CodeStore.h"
 #include "store/FrameSource.h"
+#include "store/Trace.h"
 #include "support/ByteIO.h"
 #include "support/FaultInject.h"
 #include "vm/Encode.h"
@@ -613,6 +615,153 @@ TEST(FaultInjection, FileSourceRejectsReserveBombs) {
   ASSERT_FALSE(R2.ok());
   EXPECT_NE(R2.error().message().find("frame count"), std::string::npos)
       << R2.error().message();
+}
+
+//===----------------------------------------------------------------------===//
+// Execution-trace sidecar (CCPF) + profiled layout table
+//===----------------------------------------------------------------------===//
+
+// The profile sidecar decoder under the same seeded sweep as every
+// other delivery format: corrupt CCPF bytes either deserialize cleanly
+// or fail typed, never crash or over-allocate (asan preset checks the
+// latter).
+TEST(FaultInjection, ProfileSidecarSurvivesCorruption) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  store::TraceRunResult R = store::recordTrace(P);
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Trap;
+  ASSERT_FALSE(R.Trace.Events.empty());
+  std::vector<uint8_t> Bytes = R.Trace.serialize();
+
+  Result<pipeline::ExecutionTrace> Clean =
+      pipeline::ExecutionTrace::tryDeserialize(Bytes);
+  ASSERT_TRUE(Clean.ok()) << Clean.error().message();
+  ASSERT_TRUE(Clean.value().Events == R.Trace.Events);
+
+  sweep(Bytes, 7100, [](const std::vector<uint8_t> &Bad) {
+    return pipeline::ExecutionTrace::tryDeserialize(Bad).ok();
+  }, "profile sidecar");
+}
+
+// Hand-built sidecar attacks: each malformation the decoder guards
+// against must surface as a typed, recoverable error naming the
+// problem.
+TEST(FaultInjection, ProfileSidecarRejectsCraftedAttacks) {
+  auto ExpectFails = [](const std::vector<uint8_t> &Bytes,
+                        const char *Needle) {
+    Result<pipeline::ExecutionTrace> R =
+        pipeline::ExecutionTrace::tryDeserialize(Bytes);
+    ASSERT_FALSE(R.ok()) << Needle;
+    EXPECT_NE(R.error().message().find(Needle), std::string::npos)
+        << R.error().message();
+  };
+  auto Header = [](uint8_t Version, uint8_t Flags) {
+    ByteWriter W;
+    W.writeU32(0x46504343); // CCPF
+    W.writeU8(Version);
+    W.writeU8(Flags);
+    return W;
+  };
+
+  // Wrong magic.
+  {
+    ByteWriter W;
+    W.writeU32(0x4B504343); // CCPK, not CCPF
+    ExpectFails(W.take(), "bad magic");
+  }
+  // Unknown version and unknown flag bits.
+  {
+    ByteWriter W = Header(9, 0);
+    ExpectFails(W.take(), "unsupported version");
+  }
+  {
+    ByteWriter W = Header(1, 0x80);
+    ExpectFails(W.take(), "unknown flag bits");
+  }
+  // Truncated trace: the header promises events the bytes don't hold
+  // (a count small enough to slip past the reserve-bomb check).
+  {
+    ByteWriter W = Header(1, 0);
+    W.writeVarU(4); // FuncCount
+    W.writeVarU(3); // EventCount
+    W.writeVarU(1); // event 0: Fn...
+    W.writeVarU(0); // ...Idx — then the buffer ends two events short.
+    ExpectFails(W.take(), "past end");
+  }
+  // Reserve bomb: an event count no buffer this size could encode.
+  {
+    ByteWriter W = Header(1, 0);
+    W.writeVarU(4);
+    W.writeVarU(uint64_t(1) << 50);
+    ExpectFails(W.take(), "inflated event count");
+  }
+  // Event function out of range.
+  {
+    ByteWriter W = Header(1, 0);
+    W.writeVarU(4); // FuncCount
+    W.writeVarU(1);
+    W.writeVarU(7); // Fn 7 >= FuncCount 4
+    W.writeVarU(0);
+    ExpectFails(W.take(), "function out of range");
+  }
+  // Block index out of range (beyond any real function body).
+  {
+    ByteWriter W = Header(1, 0);
+    W.writeVarU(4);
+    W.writeVarU(1);
+    W.writeVarU(0);
+    W.writeVarU(uint64_t(1) << 30);
+    ExpectFails(W.take(), "block index out of range");
+  }
+  // Trailing bytes after the last event.
+  {
+    ByteWriter W = Header(1, 0);
+    W.writeVarU(4);
+    W.writeVarU(1);
+    W.writeVarU(0);
+    W.writeVarU(0);
+    W.writeU8(0xEE);
+    ExpectFails(W.take(), "trailing bytes");
+  }
+}
+
+// The layout table a *profiled* build writes into the manifest gets the
+// same corruption sweep as the source-order one: a trace-guided page
+// table is just data, and a corrupted copy must fail typed at load or
+// at fault, never crash.
+TEST(FaultInjection, ProfiledLayoutTableSurvivesCorruption) {
+  vm::VMProgram P = buildVM(syntheticSource(8));
+  store::TraceRunResult R = store::recordTrace(P);
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Trap;
+
+  std::string Err;
+  store::StoreOptions SO;
+  SO.PageTargetBytes = 64;
+  SO.Profile = &R.Trace;
+  std::unique_ptr<store::CodeStore> Built =
+      store::CodeStore::build(P, "flate", SO, Err);
+  ASSERT_NE(Built, nullptr) << Err;
+  std::vector<uint8_t> Img = Built->save();
+
+  auto FaultAllSpans = [](Result<std::unique_ptr<store::CodeStore>> L) {
+    if (!L.ok())
+      return false;
+    std::unique_ptr<store::CodeStore> S = L.take();
+    for (uint32_t I = 0; I != S->functionCount(); ++I) {
+      if (!S->fault(I).ok())
+        return false;
+      if (!S->faultSpan(I, 0).ok())
+        return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(
+      FaultAllSpans(store::CodeStore::tryLoad(Img, store::StoreOptions())))
+      << "the uncorrupted profiled image must serve";
+
+  sweep(Img, 7200, [&](const std::vector<uint8_t> &Bad) {
+    return FaultAllSpans(
+        store::CodeStore::tryLoad(Bad, store::StoreOptions()));
+  }, "profiled layout table");
 }
 
 //===----------------------------------------------------------------------===//

@@ -28,11 +28,13 @@
 #include "store/FrameRegistry.h"
 #include "store/FrameSource.h"
 #include "store/Resolver.h"
+#include "store/Trace.h"
 #include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -348,6 +350,115 @@ TEST(NetStore, BatchedPrefetchIsOneRoundTrip) {
   ASSERT_TRUE(R.Ok) << R.Trap;
   EXPECT_EQ(R.Output, Eager.Output);
   EXPECT_EQ(Server->stats().Requests - ReqBefore, 1u);
+}
+
+// Trace-driven prefetch over the wire: after a fault, the store warms
+// exactly the predicted-next set — one GetBatch whose frame count the
+// server's own counters witness, with every predicted frame resident
+// afterwards and nothing else fetched.
+TEST(NetStore, PredictivePrefetchSendsExactlyThePredictedSet) {
+  vm::VMProgram P = buildVM(syntheticSource(16));
+  store::TraceRunResult Recorded = store::recordTrace(P);
+  ASSERT_TRUE(Recorded.Run.Ok) << Recorded.Run.Trap;
+  std::vector<uint8_t> Image = buildImage(P, "flate");
+  std::unique_ptr<net::FrameServer> Server = startServer(Image);
+  ASSERT_NE(Server, nullptr);
+
+  std::unique_ptr<net::SocketFrameSource> Sock = connectClient(Server->port());
+  ASSERT_NE(Sock, nullptr);
+  net::SocketFrameSource *Raw = Sock.get();
+
+  StoreOptions Opts;
+  Opts.CacheBudgetBytes = 64u << 20;
+  Opts.Retry.RealTime = true;
+  Result<std::unique_ptr<CodeStore>> St =
+      CodeStore::tryFromSource(std::move(Sock), Opts);
+  ASSERT_TRUE(St.ok()) << St.error().message();
+  CodeStore &Store = *St.value();
+  Store.applyAccessProfile(Recorded.Trace);
+  ASSERT_TRUE(Store.hasAccessProfile());
+
+  // Fault the frame the trace starts in, then snapshot its predictions
+  // — the set the prefetch is REQUIRED to send, no more, no less.
+  ASSERT_FALSE(Recorded.Trace.Events.empty());
+  uint32_t Fn = Recorded.Trace.Events[0].Fn;
+  ASSERT_TRUE(Store.fault(Fn).ok());
+  std::vector<uint32_t> Expect;
+  for (uint32_t Id : Store.predictedSuccessors(Fn, ~0u)) {
+    if (Store.isResident(Id))
+      continue;
+    Expect.push_back(Id);
+    if (Expect.size() == CodeStore::DefaultPredictions)
+      break;
+  }
+  ASSERT_FALSE(Expect.empty()) << "the trace must predict something";
+
+  uint64_t ReqBefore = Server->stats().Requests;
+  uint64_t BatchBefore = Server->stats().Batches;
+  uint64_t ServedBefore = Server->stats().FramesServed;
+  uint64_t StagedBefore = Raw->stats().StagedServes;
+  {
+    ThreadPool Pool(4);
+    Store.prefetchPredicted(Fn, 0, Pool);
+    Pool.wait();
+  }
+
+  net::ServerStats SS = Server->stats();
+  EXPECT_EQ(SS.Requests - ReqBefore, 1u) << "one GetBatch, nothing else";
+  EXPECT_EQ(SS.Batches - BatchBefore, 1u);
+  EXPECT_EQ(SS.FramesServed - ServedBefore, Expect.size())
+      << "the batch carries exactly the predicted-next set";
+  EXPECT_EQ(Raw->stats().StagedServes - StagedBefore, Expect.size())
+      << "every warm was served from staging, not its own round trip";
+
+  // The predicted frames are now resident; unpredicted ones are not.
+  for (uint32_t Id : Expect)
+    EXPECT_TRUE(Store.isResident(Id)) << Id;
+  for (uint32_t Id = 0; Id != Store.functionCount(); ++Id) {
+    bool Predicted =
+        std::find(Expect.begin(), Expect.end(), Id) != Expect.end();
+    if (!Predicted && Id != Fn)
+      EXPECT_FALSE(Store.isResident(Id)) << Id << ": over-fetched";
+  }
+}
+
+// The admission clamp holds over the wire too: on a 1-byte budget a
+// predictive prefetch may ship at most the one frame the cache will
+// actually keep — no over-fetch bytes crossing the socket.
+TEST(NetStore, PredictivePrefetchClampsOnTinyBudget) {
+  vm::VMProgram P = buildVM(syntheticSource(16));
+  store::TraceRunResult Recorded = store::recordTrace(P);
+  ASSERT_TRUE(Recorded.Run.Ok) << Recorded.Run.Trap;
+  std::vector<uint8_t> Image = buildImage(P, "flate");
+  std::unique_ptr<net::FrameServer> Server = startServer(Image);
+  ASSERT_NE(Server, nullptr);
+
+  std::unique_ptr<net::SocketFrameSource> Sock = connectClient(Server->port());
+  ASSERT_NE(Sock, nullptr);
+
+  StoreOptions Opts;
+  Opts.Shards = 1;
+  Opts.CacheBudgetBytes = 1;
+  Opts.Retry.RealTime = true;
+  Result<std::unique_ptr<CodeStore>> St =
+      CodeStore::tryFromSource(std::move(Sock), Opts);
+  ASSERT_TRUE(St.ok()) << St.error().message();
+  CodeStore &Store = *St.value();
+  Store.applyAccessProfile(Recorded.Trace);
+
+  ASSERT_FALSE(Recorded.Trace.Events.empty());
+  uint32_t Fn = Recorded.Trace.Events[0].Fn;
+  ASSERT_TRUE(Store.fault(Fn).ok());
+
+  uint64_t ServedBefore = Server->stats().FramesServed;
+  {
+    ThreadPool Pool(4);
+    Store.prefetchPredicted(Fn, 0, Pool);
+    Pool.wait();
+  }
+  EXPECT_LE(Server->stats().FramesServed - ServedBefore, 1u)
+      << "a 1-byte budget admits one frame; the batch must shrink to it";
+  EXPECT_LE(Store.stats().PrefetchDecodes, 1u);
 }
 
 //===----------------------------------------------------------------------===//
