@@ -15,7 +15,7 @@
 // find the crossover where interpreting compressed code wins on total
 // time.
 //
-// Seven acts, selectable with --act=N[,N...] (default: all):
+// Eight acts, selectable with --act=N[,N...] (default: all):
 //   1  intro paging table (native vs interpreted, LRU simulator)
 //   2  decode-on-fault store vs simulator prediction
 //   3  sub-function page-size sweep
@@ -23,6 +23,7 @@
 //   5  tiered native execution of the hot set (asserted speedup)
 //   6  multi-tenant shared frame registry vs private stores (asserted)
 //   7  profile-guided page layout vs source order (asserted)
+//   8  per-page codec selection vs best single chain (asserted)
 //
 //===----------------------------------------------------------------------===//
 
@@ -67,7 +68,7 @@ std::set<int> parseActs(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--act=", 0) != 0)
-      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-7)");
+      reportFatal("usage: bench_paging [--act=N[,N...]]  (acts 1-8)");
     std::string List = Arg.substr(6);
     size_t Pos = 0;
     while (Pos < List.size()) {
@@ -78,14 +79,14 @@ std::set<int> parseActs(int Argc, char **Argv) {
                              std::string::npos)
         reportFatal("bench_paging: bad act '" + Tok + "'");
       int N = std::atoi(Tok.c_str());
-      if (N < 1 || N > 7)
+      if (N < 1 || N > 8)
         reportFatal("bench_paging: act out of range: " + Tok);
       Acts.insert(N);
       Pos = Comma == std::string::npos ? List.size() : Comma + 1;
     }
   }
   if (Acts.empty())
-    Acts = {1, 2, 3, 4, 5, 6, 7};
+    Acts = {1, 2, 3, 4, 5, 6, 7, 8};
   return Acts;
 }
 
@@ -660,6 +661,91 @@ int main(int Argc, char **Argv) {
     if (ProfResident >= SrcResident)
       reportFatal("layout act: trace-guided resident bytes are not "
                   "strictly below source order");
+  }
+
+  // Eighth act (per-page codec selection, asserted): build the paged
+  // store once per candidate chain used globally, then once with
+  // per-frame selection over the whole candidate set (decode budget 0 =
+  // pure size, deterministic). The selected container's frame bytes
+  // must come in strictly below the best single chain — the win only a
+  // per-frame manifest can record — and both the selected store and its
+  // saved/reloaded v4 image must execute byte-identically to eager.
+  if (runAct(8)) {
+    std::string Err;
+    const size_t SelTarget = 256;
+    const std::vector<std::string> Candidates = {
+        "vm-compact",      "vm-compact+flate", "flate",
+        "bwt-dict",        "brisc-ctx",        "brisc-ctx+flate"};
+
+    std::printf("\nPer-page codec selection (icc, %zu B pages)\n", SelTarget);
+    std::printf("%-18s %7s %12s\n", "chain", "frames", "frame B");
+    hr();
+    size_t BestSingle = ~size_t(0);
+    std::string BestSpec;
+    for (const std::string &CS : Candidates) {
+      store::StoreOptions SO;
+      SO.PageTargetBytes = SelTarget;
+      SO.CacheBudgetBytes = DecodedBytes * 2;
+      std::unique_ptr<store::CodeStore> S =
+          store::CodeStore::build(P, CS, SO, Err);
+      if (!S)
+        reportFatal("selection act: build with '" + CS + "' failed: " + Err);
+      vm::RunResult R = store::runFromStore(*S);
+      if (!R.Ok || R.Output != Eager.Output || R.ExitCode != Eager.ExitCode ||
+          R.Steps != Eager.Steps)
+        reportFatal("selection act: run with '" + CS + "' diverged: " +
+                    R.Trap);
+      std::printf("%-18s %7u %12zu\n", CS.c_str(), S->frameCount(),
+                  S->frameBytes());
+      if (S->frameBytes() < BestSingle) {
+        BestSingle = S->frameBytes();
+        BestSpec = CS;
+      }
+    }
+
+    store::StoreOptions SO;
+    SO.PageTargetBytes = SelTarget;
+    SO.CacheBudgetBytes = DecodedBytes * 2;
+    SO.CandidateChains.assign(Candidates.begin() + 1, Candidates.end());
+    std::unique_ptr<store::CodeStore> Sel =
+        store::CodeStore::build(P, Candidates[0], SO, Err);
+    if (!Sel)
+      reportFatal("selection act: per-page build failed: " + Err);
+    vm::RunResult SelR = store::runFromStore(*Sel);
+    if (!SelR.Ok || SelR.Output != Eager.Output ||
+        SelR.ExitCode != Eager.ExitCode || SelR.Steps != Eager.Steps)
+      reportFatal("selection act: per-page run diverged: " + SelR.Trap);
+    // The saved v4 image must reload and execute identically too.
+    std::vector<uint8_t> Image = Sel->save();
+    Result<std::unique_ptr<store::CodeStore>> Re =
+        store::CodeStore::tryLoad(Image, store::StoreOptions());
+    if (!Re.ok())
+      reportFatal("selection act: v4 reload failed: " + Re.error().message());
+    vm::RunResult ReR = store::runFromStore(*Re.value());
+    if (!ReR.Ok || ReR.Output != Eager.Output ||
+        ReR.ExitCode != Eager.ExitCode || ReR.Steps != Eager.Steps)
+      reportFatal("selection act: reloaded v4 run diverged: " + ReR.Trap);
+    std::printf("%-18s %7u %12zu  (best single: %s, %zu B)\n", "per-page",
+                Sel->frameCount(), Sel->frameBytes(), BestSpec.c_str(),
+                BestSingle);
+    hr();
+    char Json[512];
+    std::snprintf(Json, sizeof(Json),
+                  "{\"bench\":\"paging_perpage\",\"page_target\":%zu,"
+                  "\"chains\":%zu,\"best_single_chain\":\"%s\","
+                  "\"best_single_bytes\":%zu,\"perpage_bytes\":%zu,"
+                  "\"perpage\":%s,\"frames\":%u}",
+                  SelTarget, Candidates.size(),
+                  jsonEscape(BestSpec).c_str(), BestSingle,
+                  Sel->frameBytes(),
+                  Sel->perPageChains() ? "true" : "false",
+                  Sel->frameCount());
+    emitStats(Json);
+    if (!Sel->perPageChains())
+      reportFatal("selection act: selection was uniform; nothing to show");
+    if (Sel->frameBytes() >= BestSingle)
+      reportFatal("selection act: per-page frame bytes are not strictly "
+                  "below the best single chain");
   }
   return 0;
 }

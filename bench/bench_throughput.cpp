@@ -51,6 +51,7 @@ int main() {
     for (const std::vector<uint8_t> &F : Serial)
       FrameBytes += F.size();
 
+    double BestMBps = 0.0;
     for (unsigned Jobs : JobCounts) {
       if (compressAll(Chain, Payloads, Jobs) != Serial)
         reportFatal(std::string("bench_throughput: ") + C->name() + " at " +
@@ -58,9 +59,20 @@ int main() {
       double Sec = bench::timeStable(
           [&] { compressAll(Chain, Payloads, Jobs); }, 0.15);
       double MBps = PayloadBytes / Sec / 1e6;
+      if (MBps > BestMBps)
+        BestMBps = MBps;
       std::printf("%-12s %6zu %10zu %12zu %10u %9.2f\n", C->name(),
                   Payloads.size(), PayloadBytes, FrameBytes, Jobs, MBps);
     }
+    // One machine-readable line per registered codec, so CI can assert
+    // every codec — including newly registered ones — made it through
+    // the parallel-identity check above.
+    bench::emitStats(std::string("{\"bench\":\"throughput\",\"codec\":\"") +
+                     C->name() + "\",\"items\":" +
+                     std::to_string(Payloads.size()) + ",\"payload_bytes\":" +
+                     std::to_string(PayloadBytes) + ",\"frame_bytes\":" +
+                     std::to_string(FrameBytes) + ",\"best_mbps\":" +
+                     std::to_string(BestMBps) + "}");
     bench::hr();
   }
   return 0;

@@ -28,6 +28,7 @@
 #include "pipeline/Profile.h"
 #include "store/CodeStore.h"
 #include "store/Trace.h"
+#include "support/Support.h"
 
 #include <cstdio>
 #include <cstring>
@@ -67,12 +68,15 @@ int usage() {
       "usage: compressor_tool --list\n"
       "       compressor_tool compress <file.c> <out.ccpk>"
       " [--codec CHAIN] [--jobs N] [--store] [--page-bytes N]"
-      " [--profile FILE] [--stats]\n"
+      " [--per-page --chains A,B,..] [--profile FILE] [--stats]\n"
       "       compressor_tool decompress <in.ccpk> [--jobs N] [--stats]\n"
       "       compressor_tool profile <file.c> <out.ccprof>\n"
       "CHAIN: '+'-separated codec names, e.g. brisc+flate (see --list)\n"
       "--store emits a CodeStore image (manifest at frame 0) that\n"
       "demand_paged_vm and frame_server can execute and serve\n"
+      "--per-page (with --store) trial-encodes every frame through the\n"
+      "--codec chain plus each comma-separated --chains candidate and\n"
+      "keeps the smallest; a mixed outcome writes a manifest v4 image\n"
       "'profile' runs the program once, recording its block-level\n"
       "execution trace to a CCPF sidecar; compress --store --page-bytes N\n"
       "--profile FILE feeds it back so co-hot blocks share pages\n");
@@ -112,7 +116,9 @@ struct Flags {
   unsigned Jobs = 1;
   bool Stats = false;
   bool Store = false;
+  bool PerPage = false;
   size_t PageBytes = 0;
+  std::vector<std::string> CandidateChains;
   std::string ProfilePath;
   std::vector<const char *> Positional;
 };
@@ -122,9 +128,13 @@ bool parseFlags(int argc, char **argv, int First, Flags &F) {
     if (!std::strcmp(argv[I], "--codec") && I + 1 < argc) {
       F.Chain = argv[++I];
     } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
-      int N = std::atoi(argv[++I]);
-      if (N < 1) {
-        std::fprintf(stderr, "--jobs wants a positive count\n");
+      // Checked parsing: "0", "-3", "4x", "" and overflow all fail here
+      // with a typed message instead of atoi's silent zero.
+      uint64_t N = 0;
+      if (!parseUnsigned(argv[++I], 1, 1024, N)) {
+        std::fprintf(stderr,
+                     "--jobs wants an integer in [1, 1024], got '%s'\n",
+                     argv[I]);
         return false;
       }
       F.Jobs = static_cast<unsigned>(N);
@@ -132,10 +142,28 @@ bool parseFlags(int argc, char **argv, int First, Flags &F) {
       F.Stats = true;
     } else if (!std::strcmp(argv[I], "--store")) {
       F.Store = true;
+    } else if (!std::strcmp(argv[I], "--per-page")) {
+      F.PerPage = true;
+    } else if (!std::strcmp(argv[I], "--chains") && I + 1 < argc) {
+      std::string List = argv[++I];
+      for (size_t Pos = 0; Pos <= List.size();) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Spec = List.substr(Pos, Comma - Pos);
+        if (Spec.empty()) {
+          std::fprintf(stderr, "--chains holds an empty chain spec\n");
+          return false;
+        }
+        F.CandidateChains.push_back(std::move(Spec));
+        Pos = Comma + 1;
+      }
     } else if (!std::strcmp(argv[I], "--page-bytes") && I + 1 < argc) {
-      int N = std::atoi(argv[++I]);
-      if (N < 0) {
-        std::fprintf(stderr, "--page-bytes wants a non-negative count\n");
+      uint64_t N = 0;
+      if (!parseUnsigned(argv[++I], 0, uint64_t(1) << 30, N)) {
+        std::fprintf(stderr,
+                     "--page-bytes wants an integer in [0, 2^30], got '%s'\n",
+                     argv[I]);
         return false;
       }
       F.PageBytes = static_cast<size_t>(N);
@@ -212,6 +240,21 @@ int doCompress(const Flags &F) {
     return 1;
   }
 
+  if (F.PerPage && !F.Store) {
+    std::fprintf(stderr, "--per-page needs --store (per-frame chains live "
+                         "in the store manifest)\n");
+    return 2;
+  }
+  if (F.PerPage && F.CandidateChains.empty()) {
+    std::fprintf(stderr, "--per-page needs --chains A,B,.. (candidate "
+                         "chains beside --codec)\n");
+    return 2;
+  }
+  if (!F.CandidateChains.empty() && !F.PerPage) {
+    std::fprintf(stderr, "--chains does nothing without --per-page\n");
+    return 2;
+  }
+
   std::unique_ptr<ir::Module> M;
   codegen::Result CG;
   if (!compileProgram(Input, M, CG))
@@ -224,6 +267,8 @@ int doCompress(const Flags &F) {
     store::StoreOptions Opts;
     Opts.BuildJobs = F.Jobs;
     Opts.PageTargetBytes = F.PageBytes;
+    if (F.PerPage)
+      Opts.CandidateChains = F.CandidateChains;
     pipeline::ExecutionTrace Trace;
     if (!F.ProfilePath.empty()) {
       std::vector<uint8_t> Sidecar;
@@ -258,9 +303,11 @@ int doCompress(const Flags &F) {
       return 1;
     }
     std::printf("%s: store image, %u function(s), %u frame(s) + manifest -> "
-                "%zu container bytes (chain %s, %u job(s)%s%s)\n",
+                "%zu container bytes (chain %s, %u job(s)%s%s%s)\n",
                 Output, S->functionCount(), S->frameCount(), Packed.size(),
                 F.Chain.c_str(), F.Jobs, S->paged() ? ", paged" : "",
+                S->perPageChains() ? ", per-page chains"
+                                   : (F.PerPage ? ", uniform selection" : ""),
                 F.ProfilePath.empty() ? "" : ", profiled layout");
     if (F.Stats)
       printStats(Chain);
@@ -311,6 +358,38 @@ int doDecompress(const Flags &F) {
   // decompress the function frames that follow.
   bool StoreImage =
       !C.value().Frames.empty() && store::isStoreManifest(C.value().Frames[0]);
+  // A per-page image (manifest v4, version byte right after the CCSM
+  // magic) mixes chains across frames, so the container's single chain
+  // cannot decode it; route it through the store, which faults every
+  // function through its own per-frame chain.
+  if (StoreImage && C.value().Frames[0].size() > 4 &&
+      C.value().Frames[0][4] == 4) {
+    Result<std::unique_ptr<store::CodeStore>> S =
+        store::CodeStore::tryLoad(Bytes, store::StoreOptions());
+    if (!S.ok()) {
+      std::fprintf(stderr, "%s: %s\n", Input, S.error().message().c_str());
+      return 1;
+    }
+    store::CodeStore &St = *S.value();
+    size_t DecodedInstrs = 0;
+    for (uint32_t I = 0; I != St.functionCount(); ++I) {
+      Result<std::shared_ptr<const vm::VMFunction>> R = St.fault(I);
+      if (!R.ok()) {
+        std::fprintf(stderr, "%s: function '%s': %s\n", Input,
+                     St.functionName(I).c_str(),
+                     R.error().message().c_str());
+        return 1;
+      }
+      DecodedInstrs += R.value()->Code.size();
+    }
+    std::printf("%s: per-page store image, %u function(s), %u frame(s), "
+                "%zu frame bytes -> %zu instruction(s) (primary chain %s)\n",
+                Input, St.functionCount(), St.frameCount(), St.frameBytes(),
+                DecodedInstrs, St.chainSpec().c_str());
+    if (F.Stats)
+      printStats(Chain);
+    return 0;
+  }
   if (StoreImage) {
     std::printf("%s: store image, skipping the manifest frame\n", Input);
     C.value().Frames.erase(C.value().Frames.begin());

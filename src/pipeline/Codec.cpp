@@ -29,13 +29,22 @@ uint64_t nowNanos() {
 }
 } // namespace
 
+// Stats-ordering contract: writers publish the payload counters (bytes,
+// nanos, errors) BEFORE bumping the call counter with a release RMW, and
+// snapshot() loads the call counter FIRST with acquire. Release-sequence
+// rules then guarantee a mid-run reader that observes CompressCalls == k
+// also observes at least the bytes/nanos of those k calls — the previous
+// order (calls first) let a snapshot report "k calls, k-1 calls' bytes",
+// i.e. counts without their bytes, which the 8-thread hammer test in
+// test_codec pins.
+
 std::vector<uint8_t> Codec::compress(ByteSpan Payload) const {
   uint64_t Start = nowNanos();
   std::vector<uint8_t> Frame = compressImpl(Payload);
   CompressNanos.fetch_add(nowNanos() - Start, std::memory_order_release);
-  CompressCalls.fetch_add(1, std::memory_order_release);
   BytesIn.fetch_add(Payload.size(), std::memory_order_release);
   BytesOut.fetch_add(Frame.size(), std::memory_order_release);
+  CompressCalls.fetch_add(1, std::memory_order_release);
   return Frame;
 }
 
@@ -43,19 +52,21 @@ Result<std::vector<uint8_t>> Codec::tryDecompress(ByteSpan Frame) const {
   uint64_t Start = nowNanos();
   Result<std::vector<uint8_t>> R = tryDecompressImpl(Frame);
   DecompressNanos.fetch_add(nowNanos() - Start, std::memory_order_release);
-  DecompressCalls.fetch_add(1, std::memory_order_release);
   if (!R.ok())
     DecodeErrors.fetch_add(1, std::memory_order_release);
+  DecompressCalls.fetch_add(1, std::memory_order_release);
   return R;
 }
 
 CodecStats Codec::snapshot() const {
   auto ReadAll = [this] {
     CodecStats S;
+    // Call counters first (acquire): everything their writers published
+    // before the release bump — bytes, nanos, errors — is then visible.
     S.CompressCalls = CompressCalls.load(std::memory_order_acquire);
+    S.DecompressCalls = DecompressCalls.load(std::memory_order_acquire);
     S.BytesIn = BytesIn.load(std::memory_order_acquire);
     S.BytesOut = BytesOut.load(std::memory_order_acquire);
-    S.DecompressCalls = DecompressCalls.load(std::memory_order_acquire);
     S.DecodeErrors = DecodeErrors.load(std::memory_order_acquire);
     S.CompressNanos = CompressNanos.load(std::memory_order_acquire);
     S.DecompressNanos = DecompressNanos.load(std::memory_order_acquire);

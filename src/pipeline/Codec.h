@@ -90,10 +90,14 @@ public:
 
   /// Mutually consistent snapshot of this codec's counters since process
   /// start (or the last resetStats()). The counters are independent
-  /// atomics, so a single pass over them can observe one update's calls
-  /// without its bytes; snapshot() re-reads until two consecutive passes
-  /// agree (bounded retries), so a quiescent codec always reports a
-  /// consistent set. This is what every stats output path should use.
+  /// atomics; snapshot() re-reads until two consecutive passes agree
+  /// (bounded retries), so a quiescent codec always reports a consistent
+  /// set. Under sustained concurrent traffic the retries can exhaust,
+  /// but the write/read ordering still guarantees no "counts without
+  /// bytes" tear: writers publish bytes/nanos before the release bump of
+  /// the call counter, and the snapshot loads call counters first with
+  /// acquire, so a pass reporting k calls has seen at least those k
+  /// calls' bytes. This is what every stats output path should use.
   CodecStats snapshot() const;
 
   void resetStats() const;

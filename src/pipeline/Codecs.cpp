@@ -5,13 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four built-in adapters that put the project's compression stacks
+/// The built-in adapters that put the project's compression stacks
 /// behind the Codec seam:
 ///
 ///   flate       general LZ77+Huffman over arbitrary bytes
 ///   vm-compact  fixed-width VM code <-> CISC-class variable-length code
 ///   brisc       function image <-> BRISC Markov-coded executable
 ///   wire        flat module container <-> section-3 wire format
+///   brisc-ctx   context-modeled instruction streams (BriscCtxCodec.cpp)
+///   bwt-dict    BWT + MTF + Huffman over bytes (BwtDictCodec.cpp)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -153,11 +155,17 @@ protected:
 namespace ccomp {
 namespace pipeline {
 
+// Defined in BriscCtxCodec.cpp / BwtDictCodec.cpp.
+std::unique_ptr<Codec> createBriscCtxCodec();
+std::unique_ptr<Codec> createBwtDictCodec();
+
 void registerBuiltinCodecs(Registry &R) {
   R.add(std::make_unique<FlateCodec>());
   R.add(std::make_unique<VMCompactCodec>());
   R.add(std::make_unique<BriscCodec>());
   R.add(std::make_unique<WireCodec>());
+  R.add(createBriscCtxCodec());
+  R.add(createBwtDictCodec());
 }
 
 } // namespace pipeline

@@ -24,15 +24,38 @@ using pipeline::PayloadKind;
 namespace {
 
 constexpr uint32_t ManifestMagic = 0x4D534343; // "CCSM".
-constexpr uint8_t ManifestVersion = 1;       // Whole-function frames.
-constexpr uint8_t ManifestVersionPaged = 2;  // Sub-function page frames.
-constexpr uint8_t ManifestVersionHashed = 3; // Flags + content-hash claim.
+constexpr uint8_t ManifestVersion = 1;        // Whole-function frames.
+constexpr uint8_t ManifestVersionPaged = 2;   // Sub-function page frames.
+constexpr uint8_t ManifestVersionHashed = 3;  // Flags + content-hash claim.
+constexpr uint8_t ManifestVersionPerPage = 4; // v3 + per-frame chain table.
 
-constexpr uint8_t ManifestFlagPaged = 1; // v3 flags bit 0.
+constexpr uint8_t ManifestFlagPaged = 1; // v3/v4 flags bit 0.
+
+/// v4 chain-table bounds: a per-frame table needs at least one
+/// alternative beside the primary, and a container naming dozens of
+/// chains is a lie (the registry holds a handful of codecs).
+constexpr uint64_t MinPerPageChains = 2;
+constexpr uint64_t MaxPerPageChains = 64;
 
 /// Manifest tag for what the decompressed frame body holds.
 uint8_t bodyTag(PayloadKind K) {
   return K == PayloadKind::FuncImage ? 0 : 1; // 1 = fixed-width code only.
+}
+
+/// Digest of a per-frame chain assignment, folded into the module
+/// identity's chain-spec string: two tenants whose containers hash
+/// equal (the hash covers frames, not the manifest) but disagree on
+/// which chain decodes which frame must not share decoded bodies.
+uint64_t perPageDigest(const std::vector<std::string> &Specs,
+                       const std::vector<uint32_t> &FrameChain) {
+  ByteWriter W;
+  W.writeVarU(Specs.size());
+  for (const std::string &S : Specs)
+    W.writeStr(S);
+  W.writeVarU(FrameChain.size());
+  for (uint32_t C : FrameChain)
+    W.writeVarU(C);
+  return pipeline::hashContainerFrames("store-perpage", {W.take()});
 }
 
 } // namespace
@@ -69,6 +92,9 @@ Result<bool> CodeStore::initRuntime(StoreOptions O) {
   }
   ModuleIdent Id;
   Id.ChainSpec = Spec;
+  if (!FrameChain.empty())
+    Id.ChainSpec += "#perpage-" +
+                    std::to_string(perPageDigest(ChainSpecs, FrameChain));
   Id.FrameCount = frameCount();
   Id.FuncCount = functionCount();
   Id.Paged = Paged;
@@ -211,8 +237,50 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
       S->Funcs.push_back(std::move(Rec));
     }
   }
-  std::vector<std::vector<uint8_t>> Frames =
-      pipeline::compressAll(S->Chain, Payloads, Opts.BuildJobs);
+  // Candidate chains for per-frame selection: the primary chain first,
+  // then every distinct candidate that parses and serves the same
+  // manifest body kind (Raw and FixedCode payloads are the same bytes;
+  // FuncImage is its own family).
+  std::vector<std::string> CandSpecs{ChainSpec};
+  std::vector<std::vector<const pipeline::Codec *>> CandChains{S->Chain};
+  for (const std::string &CS : Opts.CandidateChains) {
+    if (std::find(CandSpecs.begin(), CandSpecs.end(), CS) != CandSpecs.end())
+      continue;
+    std::vector<const pipeline::Codec *> C = pipeline::parseChain(CS, Error);
+    if (C.empty())
+      return nullptr;
+    if (bodyTag(C.front()->payloadKind()) != bodyTag(S->Kind)) {
+      Error = "store: candidate chain '" + CS +
+              "' decodes to a different frame body kind than '" + ChainSpec +
+              "'";
+      return nullptr;
+    }
+    if (CandSpecs.size() == MaxPerPageChains) {
+      Error = "store: more than " + std::to_string(MaxPerPageChains - 1) +
+              " candidate chains";
+      return nullptr;
+    }
+    CandSpecs.push_back(CS);
+    CandChains.push_back(std::move(C));
+  }
+
+  std::vector<std::vector<uint8_t>> Frames;
+  if (CandSpecs.size() > 1) {
+    pipeline::ChainSelection Sel = pipeline::selectChainsPerItem(
+        CandChains, Payloads, Opts.FrameDecodeBudgetNanos, Opts.BuildJobs);
+    Frames = std::move(Sel.Frames);
+    // A uniform outcome (every frame picked the primary) normalizes to
+    // a plain single-chain store: the frames are exactly what
+    // compressAll would have produced, so the container stays manifest
+    // v3, bit-identical to a build without candidates.
+    if (!Sel.Uniform) {
+      S->ChainSpecs = std::move(CandSpecs);
+      S->Chains = std::move(CandChains);
+      S->FrameChain = std::move(Sel.ChainIdx);
+    }
+  } else {
+    Frames = pipeline::compressAll(S->Chain, Payloads, Opts.BuildJobs);
+  }
 
   // The content identity under which the registry knows this module:
   // rebuilds of the same program through the same chain produce the
@@ -236,15 +304,23 @@ std::unique_ptr<CodeStore> CodeStore::build(const vm::VMProgram &P,
 }
 
 Result<std::vector<uint8_t>> CodeStore::trySave() {
+  const bool PerPage = !FrameChain.empty();
   ByteWriter W;
   W.writeU32(ManifestMagic);
-  W.writeU8(ManifestVersionHashed);
+  W.writeU8(PerPage ? ManifestVersionPerPage : ManifestVersionHashed);
   W.writeU8(Paged ? ManifestFlagPaged : 0);
   // The claim a loader checks against the frames it can hash itself,
   // and trusts when it cannot. Written at a fixed offset (6) right
   // after magic/version/flags, so fault-injection tests can target it.
   W.writeU64(Hash);
   W.writeU8(bodyTag(Kind));
+  if (PerPage) {
+    // The chain table, primary first (entry 0 must match the container
+    // spec); the per-frame indices follow the function records.
+    W.writeVarU(ChainSpecs.size());
+    for (const std::string &CS : ChainSpecs)
+      W.writeStr(CS);
+  }
   W.writeVarU(Skel.Entry);
   W.writeVarU(Skel.GlobalBase);
   W.writeVarU(Skel.GlobalEnd);
@@ -277,6 +353,9 @@ Result<std::vector<uint8_t>> CodeStore::trySave() {
       }
     }
   }
+  if (PerPage)
+    for (uint32_t C : FrameChain)
+      W.writeVarU(C);
 
   std::vector<std::vector<uint8_t>> Items;
   Items.reserve(frameCount() + 1);
@@ -350,8 +429,11 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
       decodeFail("store: bad manifest magic");
     uint8_t Version = R.readU8();
     bool HaveClaim = false;
+    bool PerPage = false;
     uint64_t Claim = 0;
-    if (Version == ManifestVersionHashed) {
+    if (Version == ManifestVersionHashed ||
+        Version == ManifestVersionPerPage) {
+      PerPage = Version == ManifestVersionPerPage;
       uint8_t Flags = R.readU8();
       if (Flags & ~uint8_t(ManifestFlagPaged))
         decodeFail("store: unknown manifest flags");
@@ -366,6 +448,35 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
     }
     if (R.readU8() != bodyTag(S->Kind))
       decodeFail("store: manifest payload kind does not match codec chain");
+    if (PerPage) {
+      // The v4 chain table. Entry 0 must restate the container spec —
+      // the manifest cannot quietly reroute the primary chain — and
+      // every entry must name a registered chain of the same frame
+      // body kind.
+      uint64_t NumChains = R.readVarU();
+      if (NumChains < MinPerPageChains || NumChains > MaxPerPageChains)
+        decodeFail("store: per-page chain count out of range");
+      for (uint64_t I = 0; I != NumChains; ++I) {
+        std::string CS = R.readStr();
+        if (I == 0) {
+          if (CS != S->Spec)
+            decodeFail("store: per-page chain table head does not match "
+                       "the container spec");
+          S->ChainSpecs.push_back(std::move(CS));
+          S->Chains.push_back(S->Chain);
+          continue;
+        }
+        std::string CE;
+        std::vector<const pipeline::Codec *> C = pipeline::parseChain(CS, CE);
+        if (C.empty())
+          decodeFail("store: per-page chain '" + CS + "': " + CE);
+        if (bodyTag(C.front()->payloadKind()) != bodyTag(S->Kind))
+          decodeFail("store: per-page chain '" + CS +
+                     "' decodes to a different frame body kind");
+        S->ChainSpecs.push_back(std::move(CS));
+        S->Chains.push_back(std::move(C));
+      }
+    }
     S->Skel.Entry = static_cast<uint32_t>(R.readVarU());
     S->Skel.GlobalBase = static_cast<uint32_t>(R.readVarU());
     S->Skel.GlobalEnd = static_cast<uint32_t>(R.readVarU());
@@ -451,6 +562,18 @@ CodeStore::tryFromSource(std::unique_ptr<FrameSource> Src, StoreOptions Opts) {
       }
       S->Funcs.push_back(std::move(Rec));
     }
+    if (PerPage) {
+      // One chain index per frame, in frame order, after the function
+      // records (the frame count is only known once those are parsed).
+      size_t NFrames = S->Paged ? S->TotalPages : S->Funcs.size();
+      S->FrameChain.reserve(NFrames);
+      for (size_t I = 0; I != NFrames; ++I) {
+        uint64_t C = R.readVarU();
+        if (C >= S->Chains.size())
+          decodeFail("store: per-page chain index out of range");
+        S->FrameChain.push_back(static_cast<uint32_t>(C));
+      }
+    }
     if (!R.atEnd())
       decodeFail("store: trailing manifest bytes");
     if (S->Funcs.empty())
@@ -521,7 +644,11 @@ CodeStore::FaultOutcome CodeStore::decodeFrame(uint32_t Id, FetchMetrics &M) {
     return DecodeError("store: fetch frame of '" + Rec.Name + "' failed [" +
                        fetchErrorKindName(Fetched.Err) + "]: " + Fetched.Msg);
   std::vector<uint8_t> Cur = std::move(Fetched.Bytes);
-  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+  // Manifest v4 stores route each frame through its own chain; everyone
+  // else decodes through the container's single chain.
+  const std::vector<const pipeline::Codec *> &Decode =
+      FrameChain.empty() ? Chain : Chains[FrameChain[Id]];
+  for (auto It = Decode.rbegin(); It != Decode.rend(); ++It) {
     Result<std::vector<uint8_t>> R = (*It)->tryDecompress(Cur);
     if (!R.ok())
       return R.error();

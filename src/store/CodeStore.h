@@ -57,6 +57,17 @@
 /// paged flag — v1/v2 containers still load) and whose frames 1..N are
 /// the compressed bodies (functions, or pages in manifest order).
 ///
+/// Per-frame codec selection. build() with StoreOptions::CandidateChains
+/// trial-encodes every frame through the primary chain plus each
+/// candidate and keeps the smallest verified frame
+/// (pipeline::selectChainsPerItem) — hot loops of fixed-width code may
+/// win with a context-modeled instruction codec while string-heavy data
+/// pages win with a block-sorting byte codec. A non-uniform outcome is
+/// recorded as manifest v4: a chain table (entry 0 is the container's
+/// chain spec) plus one chain index per frame, and decodeFrame routes
+/// each frame through its own chain. A uniform outcome normalizes back
+/// to manifest v3, bit-identical to a build without candidates.
+///
 /// Content addressing and trust. The registry key's hash half is
 /// pipeline::hashContainerFrames over (chain spec, frame bytes),
 /// computed by build() and recomputed at load time whenever the source
@@ -129,6 +140,24 @@ struct StoreOptions {
   /// page as its own frame. Zero keeps whole-function frames. Loading
   /// infers the granularity from the container's manifest.
   size_t PageTargetBytes = 0;
+  /// build() only: additional candidate chain specs for per-frame codec
+  /// selection. When non-empty, every frame (page or whole function) is
+  /// trial-encoded through the primary chain *and* each candidate, and
+  /// the smallest verified frame wins (pipeline::selectChainsPerItem).
+  /// Candidates must exist in the registry and serve the same manifest
+  /// body kind as the primary chain (FuncImage chains pair only with
+  /// FuncImage candidates; Raw and FixedCode mix freely — their
+  /// payloads are the same bytes). A non-uniform selection is recorded
+  /// in a manifest v4 per-frame chain table; when every frame picks the
+  /// primary chain the container stays manifest v3, bit-identical to a
+  /// build without candidates.
+  std::vector<std::string> CandidateChains;
+  /// build() only, with CandidateChains: reject candidate chains whose
+  /// modeled per-frame decode time exceeds this many nanoseconds (rates
+  /// come from the codecs' own snapshot() deltas over the trial
+  /// traffic). Zero means unlimited, which keeps the selection fully
+  /// deterministic — a pure compressed-size comparison.
+  uint64_t FrameDecodeBudgetNanos = 0;
   /// How frame fetches behave on a flaky source (ignored by sources that
   /// cannot fail transiently).
   RetryPolicy Retry;
@@ -208,8 +237,9 @@ public:
 
   /// Serializes manifest + frames into a CCPK container, fetching every
   /// frame from the source. Fails typed if the source cannot produce
-  /// some frame (e.g. a dead backing file). Always writes manifest v3
-  /// (with the content-hash claim), whatever version was loaded.
+  /// some frame (e.g. a dead backing file). Writes manifest v3 (with
+  /// the content-hash claim) whatever version was loaded — or v4 when
+  /// the store carries a per-frame chain table, which v4 preserves.
   Result<std::vector<uint8_t>> trySave();
   /// Aborting wrapper for stores whose source cannot fail (in-memory).
   std::vector<uint8_t> save();
@@ -247,6 +277,16 @@ public:
     return Funcs[Id].Name;
   }
   const std::string &chainSpec() const { return Spec; }
+
+  /// True when frames decode through per-frame chains (manifest v4,
+  /// built with StoreOptions::CandidateChains and a non-uniform
+  /// outcome); chainSpec() then names the primary chain only.
+  bool perPageChains() const { return !FrameChain.empty(); }
+  /// The chain spec that decodes frame \p Id (== chainSpec() unless
+  /// perPageChains()).
+  const std::string &frameChainSpec(uint32_t Id) const {
+    return FrameChain.empty() ? Spec : ChainSpecs[FrameChain[Id]];
+  }
 
   /// True when this store serves sub-function pages (built with
   /// PageTargetBytes, or loaded from a paged container).
@@ -469,6 +509,13 @@ private:
 
   std::string Spec;
   std::vector<const pipeline::Codec *> Chain;
+  /// Per-frame codec selection (manifest v4). Empty FrameChain means
+  /// every frame decodes through Chain (v1-v3 containers and uniform
+  /// builds). Otherwise ChainSpecs/Chains is the candidate table with
+  /// entry 0 == Spec/Chain, and FrameChain[Id] indexes it per frame.
+  std::vector<std::string> ChainSpecs;
+  std::vector<std::vector<const pipeline::Codec *>> Chains;
+  std::vector<uint32_t> FrameChain;
   pipeline::PayloadKind Kind = pipeline::PayloadKind::FuncImage;
   vm::VMProgram Skel;
   std::vector<FuncRecord> Funcs;

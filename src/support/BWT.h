@@ -1,0 +1,121 @@
+//===- support/BWT.h - Burrows-Wheeler transform ---------------*- C++ -*-===//
+//
+// Part of the ccomp project (PLDI'97 "Code Compression" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Burrows-Wheeler transform over byte buffers, as the front stage
+/// of the bwt-dict codec: bwtForward() sorts all rotations of the input
+/// (prefix-doubling, O(n log^2 n)) and returns the last column plus the
+/// row index of the original string; bwtInverse() rebuilds the input by
+/// the standard first-column/last-column successor walk. The transform
+/// is a permutation, so MTF + Huffman over the last column exploits the
+/// run structure sorting creates without losing a byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCOMP_SUPPORT_BWT_H
+#define CCOMP_SUPPORT_BWT_H
+
+#include "support/Error.h"
+#include "support/Span.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ccomp {
+
+/// The forward transform's output: the last column of the sorted
+/// rotation matrix and the row holding the original string.
+struct BWTResult {
+  std::vector<uint8_t> LastCol;
+  uint32_t Primary = 0;
+};
+
+/// Sorts all rotations of \p In by prefix doubling and returns the last
+/// column plus the primary row index. Empty input yields an empty
+/// column with Primary 0.
+inline BWTResult bwtForward(ByteSpan In) {
+  const size_t N = In.size();
+  BWTResult Out;
+  if (N == 0)
+    return Out;
+
+  // Rank of each rotation by its first K characters; double K until
+  // every rotation has a distinct rank (or K covers the length).
+  std::vector<uint32_t> Rank(N), Tmp(N);
+  std::vector<uint32_t> Idx(N);
+  std::iota(Idx.begin(), Idx.end(), 0u);
+  for (size_t I = 0; I != N; ++I)
+    Rank[I] = In[I];
+  for (size_t K = 1;; K <<= 1) {
+    auto Key = [&](uint32_t I) {
+      return std::pair<uint32_t, uint32_t>(Rank[I], Rank[(I + K) % N]);
+    };
+    // Tie-break equal ranks on the rotation index: periodic inputs
+    // have truly identical rotations, and the canonical order keeps
+    // the emitted frame deterministic byte for byte.
+    std::sort(Idx.begin(), Idx.end(), [&](uint32_t A, uint32_t B) {
+      return Key(A) < Key(B) || (Key(A) == Key(B) && A < B);
+    });
+    Tmp[Idx[0]] = 0;
+    for (size_t I = 1; I != N; ++I)
+      Tmp[Idx[I]] = Tmp[Idx[I - 1]] + (Key(Idx[I - 1]) < Key(Idx[I]) ? 1 : 0);
+    Rank.swap(Tmp);
+    if (Rank[Idx[N - 1]] == N - 1 || K >= N)
+      break;
+  }
+
+  Out.LastCol.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Rot = Idx[I];
+    Out.LastCol[I] = In[(Rot + N - 1) % N];
+    if (Rot == 0)
+      Out.Primary = static_cast<uint32_t>(I);
+  }
+  return Out;
+}
+
+/// Inverts the transform. \p Primary must name a row of the matrix;
+/// anything out of range is a typed DecodeError (corrupt frame).
+inline std::vector<uint8_t> bwtInverse(const std::vector<uint8_t> &LastCol,
+                                       uint32_t Primary) {
+  const size_t N = LastCol.size();
+  if (N == 0) {
+    if (Primary != 0)
+      decodeFail("bwt: primary index in an empty transform");
+    return {};
+  }
+  if (Primary >= N)
+    decodeFail("bwt: primary index out of range");
+
+  // T maps each row to the row whose rotation is one step earlier; the
+  // walk from the primary row replays the original string.
+  uint32_t Starts[256] = {};
+  for (uint8_t C : LastCol)
+    ++Starts[C];
+  uint32_t Sum = 0;
+  for (unsigned C = 0; C != 256; ++C) {
+    uint32_t Cnt = Starts[C];
+    Starts[C] = Sum;
+    Sum += Cnt;
+  }
+  std::vector<uint32_t> T(N);
+  for (size_t I = 0; I != N; ++I)
+    T[Starts[LastCol[I]]++] = static_cast<uint32_t>(I);
+
+  std::vector<uint8_t> Out(N);
+  uint32_t P = T[Primary];
+  for (size_t I = 0; I != N; ++I) {
+    Out[I] = LastCol[P];
+    P = T[P];
+  }
+  return Out;
+}
+
+} // namespace ccomp
+
+#endif // CCOMP_SUPPORT_BWT_H

@@ -20,6 +20,8 @@
 #include "support/Support.h"
 
 #include <cstdint>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace ccomp {
@@ -54,12 +56,32 @@ private:
 };
 
 /// Stateful MTF decoder mirroring MTFEncoder.
+///
+/// The decoder runs over attacker-controlled streams, and the encoder
+/// never emits Index==0 twice for the same symbol (a seen symbol is
+/// always addressed through the table). Both facts are enforced here:
+/// a duplicate "new symbol" token and a table grown past the cap are
+/// typed DecodeErrors, so a hostile stream of repeated Index==0 tokens
+/// cannot balloon the table into a memory bomb.
 class MTFDecoder {
 public:
+  /// Any legitimate stream in this codebase stays far below this; it
+  /// exists to bound memory on corrupt input, not to limit alphabets.
+  static constexpr size_t DefaultMaxTable = size_t(1) << 20;
+
+  explicit MTFDecoder(size_t MaxTable = DefaultMaxTable)
+      : MaxTable(MaxTable) {}
+
   /// Decodes one token. \p NewSymbol is consulted only when Index == 0.
-  /// Throws DecodeError on an index past the table (corrupt stream).
+  /// Throws DecodeError on an index past the table, a duplicate new
+  /// symbol, or a table past its cap (all corrupt-stream shapes).
   uint64_t decode(uint32_t Index, uint64_t NewSymbol) {
     if (Index == 0) {
+      if (Table.size() >= MaxTable)
+        decodeFail("MTFDecoder: table size cap of " +
+                   std::to_string(MaxTable) + " exceeded");
+      if (!Known.insert(NewSymbol).second)
+        decodeFail("MTFDecoder: duplicate new-symbol token");
       Table.insert(Table.begin(), NewSymbol);
       return NewSymbol;
     }
@@ -74,7 +96,9 @@ public:
   size_t tableSize() const { return Table.size(); }
 
 private:
+  size_t MaxTable;
   std::vector<uint64_t> Table;
+  std::unordered_set<uint64_t> Known;
 };
 
 } // namespace ccomp

@@ -38,6 +38,30 @@ namespace ccomp {
 #define ccomp_unreachable(MSG)                                                 \
   ::ccomp::unreachableImpl(MSG, __FILE__, __LINE__)
 
+/// Strict decimal parse of a command-line number: every byte must be a
+/// digit, the value must not overflow uint64_t, and it must land in
+/// [Min, Max]. Returns false (leaving \p Out untouched) on any
+/// violation — unlike atoi, which silently maps garbage and overflow to
+/// 0/UB. Callers turn the false into a typed usage error.
+inline bool parseUnsigned(const char *S, uint64_t Min, uint64_t Max,
+                          uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = S; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    unsigned D = static_cast<unsigned>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  if (V < Min || V > Max)
+    return false;
+  Out = V;
+  return true;
+}
+
 } // namespace ccomp
 
 #endif // CCOMP_SUPPORT_SUPPORT_H

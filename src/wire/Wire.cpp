@@ -122,7 +122,8 @@ std::vector<uint64_t> decodeMTF(ByteReader &R) {
   ByteReader IdxR(IdxBytes);
   std::vector<uint64_t> Out;
   Out.reserve(N);
-  MTFDecoder Dec;
+  // At most one new symbol per token: N bounds the decoder table.
+  MTFDecoder Dec(N);
   for (size_t I = 0; I != N; ++I) {
     uint32_t Idx = static_cast<uint32_t>(IdxR.readVarU());
     uint64_t NewSym = Idx == 0 ? R.readVarU() : 0;
@@ -234,7 +235,8 @@ std::vector<uint64_t> decodeHuffmanBody(ByteReader &R) {
 
   BitReader BR(Bits);
   ByteReader ER(Esc);
-  MTFDecoder Dec;
+  // At most one new symbol per token: N bounds the decoder table.
+  MTFDecoder Dec(N);
   for (size_t I = 0; I != N; ++I) {
     unsigned Sym = Code.decode(BR);
     uint32_t Index = Sym;

@@ -20,6 +20,9 @@
 
 #include "gtest/gtest.h"
 
+#include <atomic>
+#include <thread>
+
 using namespace ccomp;
 using namespace ccomp::pipeline;
 using namespace ccomp::test;
@@ -54,6 +57,8 @@ TEST(Codec, RegistryHasBuiltins) {
   EXPECT_NE(R.find("vm-compact"), nullptr);
   EXPECT_NE(R.find("brisc"), nullptr);
   EXPECT_NE(R.find("wire"), nullptr);
+  EXPECT_NE(R.find("brisc-ctx"), nullptr);
+  EXPECT_NE(R.find("bwt-dict"), nullptr);
   EXPECT_EQ(R.find("no-such-codec"), nullptr);
   for (const auto &C : R.all()) {
     EXPECT_STRNE(C->name(), "");
@@ -98,6 +103,65 @@ TEST(Codec, StatsCountCallsAndBytes) {
   EXPECT_EQ(S.DecodeErrors, 1u);
   Flate->resetStats();
   EXPECT_EQ(Flate->snapshot().CompressCalls, 0u);
+}
+
+// snapshot() taken while other threads are mid-update must never show a
+// torn view: the call counters are published last (release) and read
+// first (acquire), so any snapshot that observes k CompressCalls must
+// also observe at least the payload bytes those k calls recorded. Eight
+// writer threads hammer a fixed-size payload while readers snapshot
+// concurrently; every snapshot's byte delta is checked against its call
+// delta. Deltas are taken against a pre-hammer baseline because other
+// tests in this binary may already have bumped the global counters.
+TEST(Codec, SnapshotIsCoherentUnderConcurrentUpdates) {
+  const Codec *Flate = Registry::instance().find("flate");
+  ASSERT_NE(Flate, nullptr);
+  const std::vector<uint8_t> Payload(512, 42);
+  const std::vector<uint8_t> Frame = Flate->compress(Payload);
+  const CodecStats Base = Flate->snapshot();
+
+  constexpr int Writers = 4;
+  constexpr int Readers = 4;
+  constexpr int Rounds = 400;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::vector<std::thread> Threads;
+  for (int W = 0; W != Writers; ++W)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != Rounds; ++I) {
+        Flate->compress(Payload);
+        if (!Flate->tryDecompress(Frame).ok())
+          Violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (int R = 0; R != Readers; ++R)
+    Threads.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        CodecStats S = Flate->snapshot();
+        uint64_t Calls = S.CompressCalls - Base.CompressCalls;
+        uint64_t Bytes = S.BytesIn - Base.BytesIn;
+        if (Bytes < Calls * Payload.size())
+          Violations.fetch_add(1, std::memory_order_relaxed);
+        uint64_t Decodes = S.DecompressCalls - Base.DecompressCalls;
+        if (Decodes > uint64_t(Writers) * Rounds)
+          Violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (int W = 0; W != Writers; ++W)
+    Threads[W].join();
+  Stop.store(true, std::memory_order_release);
+  for (size_t I = Writers; I != Threads.size(); ++I)
+    Threads[I].join();
+
+  EXPECT_EQ(Violations.load(), 0u);
+  CodecStats Final = Flate->snapshot();
+  EXPECT_EQ(Final.CompressCalls - Base.CompressCalls,
+            uint64_t(Writers) * Rounds);
+  EXPECT_EQ(Final.BytesIn - Base.BytesIn,
+            uint64_t(Writers) * Rounds * Payload.size());
+  EXPECT_EQ(Final.DecompressCalls - Base.DecompressCalls,
+            uint64_t(Writers) * Rounds);
 }
 
 TEST(Codec, CorruptFramesYieldTypedErrors) {
@@ -157,7 +221,8 @@ TEST(Chain, ChainedCompressInverts) {
 TEST(Pipeline, ParallelOutputMatchesSerial) {
   vm::VMProgram P = buildVM(syntheticSource(40));
   std::string Error;
-  for (const char *Spec : {"brisc", "vm-compact+flate", "flate"}) {
+  for (const char *Spec : {"brisc", "vm-compact+flate", "flate", "bwt-dict",
+                           "brisc-ctx+flate"}) {
     std::vector<const Codec *> Chain = parseChain(Spec, Error);
     ASSERT_FALSE(Chain.empty()) << Error;
     std::vector<std::vector<uint8_t>> Payloads =

@@ -20,13 +20,16 @@
 
 #include "brisc/Brisc.h"
 #include "flate/Flate.h"
+#include "pipeline/Codec.h"
 #include "pipeline/Pipeline.h"
 #include "pipeline/Profile.h"
 #include "store/CodeStore.h"
 #include "store/FrameSource.h"
 #include "store/Trace.h"
+#include "support/BitStream.h"
 #include "support/ByteIO.h"
 #include "support/FaultInject.h"
+#include "support/Huffman.h"
 #include "vm/Encode.h"
 #include "wire/Wire.h"
 
@@ -175,6 +178,75 @@ TEST(FaultInjection, VMEncodingsSurviveCorruption) {
   sweep(Compact, 4002, [](const std::vector<uint8_t> &Bad) {
     return vm::tryDecodeFunctionCompact(Bad).ok();
   }, "vm compact");
+}
+
+//===----------------------------------------------------------------------===//
+// bwt-dict and brisc-ctx codec frames: both decoders run over
+// attacker-controlled container bytes like every other delivery format,
+// so both get the seeded sweep — corrupt frames decode cleanly or fail
+// typed, never crash, hang, or over-allocate (asan preset checks).
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, BwtDictAndBriscCtxFramesSurviveCorruption) {
+  vm::VMProgram P = buildVM(syntheticSource(10));
+  ASSERT_FALSE(P.Functions.empty());
+  // Both codecs consume fixed-width function encodings (FixedCode /
+  // Raw payloads are the same bytes).
+  std::vector<uint8_t> Payload = vm::encodeFunction(P.Functions[0]);
+
+  for (const char *Name : {"bwt-dict", "brisc-ctx"}) {
+    const pipeline::Codec *C = pipeline::Registry::instance().find(Name);
+    ASSERT_NE(C, nullptr) << Name;
+    std::vector<uint8_t> Frame = C->compress(Payload);
+    Result<std::vector<uint8_t>> Clean = C->tryDecompress(Frame);
+    ASSERT_TRUE(Clean.ok()) << Name << ": " << Clean.error().message();
+    ASSERT_EQ(Clean.value(), Payload) << Name;
+
+    sweep(Frame, Name[1] == 'w' ? 8001 : 8002,
+          [&](const std::vector<uint8_t> &Bad) {
+            return C->tryDecompress(Bad).ok();
+          },
+          Name);
+  }
+}
+
+// A hand-built bwt-dict frame whose MTF stream re-announces an
+// already-known byte as "new". The encoder never emits this shape (a
+// seen symbol is addressed through the table), so it only appears in a
+// corrupt or hostile stream — and before the duplicate reject existed,
+// a long run of such tokens grew the decoder table without bound. The
+// reject must be a typed error naming the duplicate.
+TEST(FaultInjection, BwtDictRejectsDuplicateNewSymbolBomb) {
+  // Alphabet {0}: the single 1-bit code '0' maps to MTF index 0 ("new
+  // symbol"), so every token is index 0 followed by an 8-bit literal.
+  std::vector<uint8_t> Lens = {1};
+  ASSERT_TRUE(HuffmanCode::isValidLengthSet(Lens));
+  HuffmanCode Code(Lens);
+  BitWriter BW;
+  for (int I = 0; I != 2; ++I) {
+    Code.encode(BW, 0);
+    BW.writeBits(5, 8); // The same literal twice: the second is the bomb.
+  }
+  std::vector<uint8_t> Bits = BW.finish();
+
+  ByteWriter W;
+  W.writeU8('B');
+  W.writeU8('D');
+  W.writeU8(1);          // version
+  W.writeVarU(4);        // OrigLen: within the bit budget
+  W.writeVarU(0);        // Primary
+  W.writeVarU(1);        // NumSyms
+  W.writeU8(Lens[0]);    // nibble-packed lengths (one nibble used)
+  W.writeVarU(Bits.size());
+  W.writeBytes(Bits);
+
+  const pipeline::Codec *C = pipeline::Registry::instance().find("bwt-dict");
+  ASSERT_NE(C, nullptr);
+  Result<std::vector<uint8_t>> R = C->tryDecompress(W.take());
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("duplicate new-symbol"),
+            std::string::npos)
+      << R.error().message();
 }
 
 //===----------------------------------------------------------------------===//

@@ -35,8 +35,10 @@ namespace {
 
 const size_t PageTargets[] = {64, 256, 4096, 0}; // 0 = whole function.
 
-const char *const PerFunctionChains[] = {"flate", "vm-compact", "brisc",
-                                         "brisc+flate", "vm-compact+flate"};
+const char *const PerFunctionChains[] = {
+    "flate",     "vm-compact", "brisc",          "brisc+flate",
+    "vm-compact+flate", "bwt-dict", "brisc-ctx", "brisc-ctx+flate",
+    "brisc-ctx+bwt-dict"};
 
 std::unique_ptr<CodeStore> mustBuildStore(const vm::VMProgram &P,
                                           const std::string &Chain,

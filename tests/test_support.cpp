@@ -4,12 +4,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BWT.h"
 #include "support/BitStream.h"
 #include "support/ByteIO.h"
 #include "support/Error.h"
 #include "support/Huffman.h"
 #include "support/MTF.h"
 #include "support/PRNG.h"
+#include "support/Support.h"
 
 #include "gtest/gtest.h"
 
@@ -246,6 +248,106 @@ TEST(MTF, DecodeOutOfRangeIndexThrowsDecodeError) {
   MTFDecoder Dec;
   (void)Dec.decode(0, 7); // Table now holds one symbol.
   EXPECT_THROW(Dec.decode(5, 0), DecodeError);
+}
+
+TEST(MTF, DecoderCapsTableGrowth) {
+  // Regression: a hostile stream of Index==0 tokens grew the decoder
+  // table without bound. The cap must reject the first token past it
+  // with a typed error, not allocate.
+  MTFDecoder Dec(4);
+  for (uint64_t V = 0; V != 4; ++V)
+    EXPECT_EQ(Dec.decode(0, V), V);
+  EXPECT_EQ(Dec.tableSize(), 4u);
+  try {
+    Dec.decode(0, 99);
+    FAIL() << "cap not enforced";
+  } catch (const DecodeError &E) {
+    EXPECT_NE(std::string(E.what()).find("table size cap"),
+              std::string::npos);
+  }
+  // Table-addressing tokens still work at the cap.
+  EXPECT_EQ(Dec.decode(4, 0), 0u);
+}
+
+TEST(MTF, DecoderRejectsDuplicateNewSymbol) {
+  // The encoder never re-announces a seen symbol (it addresses the
+  // table instead), so a duplicate "new symbol" token only occurs in a
+  // corrupt or hostile stream and must be a typed reject.
+  MTFDecoder Dec;
+  EXPECT_EQ(Dec.decode(0, 7), 7u);
+  EXPECT_EQ(Dec.decode(0, 9), 9u);
+  try {
+    Dec.decode(0, 7);
+    FAIL() << "duplicate accepted";
+  } catch (const DecodeError &E) {
+    EXPECT_NE(std::string(E.what()).find("duplicate new-symbol"),
+              std::string::npos);
+  }
+}
+
+TEST(BWT, KnownTransformAndRoundTrip) {
+  const std::string S = "banana";
+  std::vector<uint8_t> In(S.begin(), S.end());
+  BWTResult R = bwtForward(ByteSpan(In.data(), In.size()));
+  EXPECT_EQ(std::string(R.LastCol.begin(), R.LastCol.end()), "nnbaaa");
+  EXPECT_EQ(bwtInverse(R.LastCol, R.Primary), In);
+}
+
+TEST(BWT, RandomAndPeriodicRoundTrip) {
+  PRNG Rng(11);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    size_t N = Rng.below(400);
+    std::vector<uint8_t> In(N);
+    for (uint8_t &B : In)
+      B = static_cast<uint8_t>(Rng.below(Trial % 3 ? 256 : 4));
+    BWTResult R = bwtForward(ByteSpan(In.data(), In.size()));
+    ASSERT_EQ(bwtInverse(R.LastCol, R.Primary), In) << "trial " << Trial;
+  }
+  // Periodic inputs have identical rotations; the index tie-break must
+  // keep the transform deterministic and invertible all the same.
+  std::vector<uint8_t> Periodic;
+  for (int I = 0; I != 64; ++I)
+    Periodic.push_back(I % 2 ? 0xAB : 0xCD);
+  BWTResult A = bwtForward(ByteSpan(Periodic.data(), Periodic.size()));
+  BWTResult B = bwtForward(ByteSpan(Periodic.data(), Periodic.size()));
+  EXPECT_EQ(A.LastCol, B.LastCol);
+  EXPECT_EQ(A.Primary, B.Primary);
+  EXPECT_EQ(bwtInverse(A.LastCol, A.Primary), Periodic);
+}
+
+TEST(BWT, InverseRejectsBadPrimary) {
+  std::vector<uint8_t> Col = {1, 2, 3};
+  EXPECT_THROW(bwtInverse(Col, 3), DecodeError);
+  EXPECT_THROW(bwtInverse({}, 1), DecodeError);
+  EXPECT_TRUE(bwtInverse({}, 0).empty());
+}
+
+TEST(Support, ParseUnsignedAcceptsStrictDecimalInRange) {
+  uint64_t V = 77;
+  EXPECT_TRUE(parseUnsigned("0", 0, 10, V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUnsigned("1024", 1, 4096, V));
+  EXPECT_EQ(V, 1024u);
+  EXPECT_TRUE(parseUnsigned("18446744073709551615", 0, UINT64_MAX, V));
+  EXPECT_EQ(V, UINT64_MAX);
+}
+
+TEST(Support, ParseUnsignedRejectsGarbageRangeAndOverflow) {
+  // Regression: the CLI used atoi, which maps "4x" to 4, "-3" to a
+  // negative surprise, and overflow to UB. The replacement must reject
+  // every shape and leave the output untouched.
+  uint64_t V = 77;
+  EXPECT_FALSE(parseUnsigned("", 0, 10, V));
+  EXPECT_FALSE(parseUnsigned(nullptr, 0, 10, V));
+  EXPECT_FALSE(parseUnsigned("-3", 0, 10, V));
+  EXPECT_FALSE(parseUnsigned("4x", 0, 10, V));
+  EXPECT_FALSE(parseUnsigned(" 4", 0, 10, V));
+  EXPECT_FALSE(parseUnsigned("0x10", 0, 100, V));
+  EXPECT_FALSE(parseUnsigned("11", 0, 10, V));
+  EXPECT_FALSE(parseUnsigned("0", 1, 10, V));
+  EXPECT_FALSE(parseUnsigned("18446744073709551616", 0, UINT64_MAX, V));
+  EXPECT_FALSE(parseUnsigned("99999999999999999999999", 0, UINT64_MAX, V));
+  EXPECT_EQ(V, 77u);
 }
 
 TEST(PRNG, Deterministic) {
